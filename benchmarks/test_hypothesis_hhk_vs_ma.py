@@ -1,0 +1,26 @@
+"""Sect. 3.3: the data-complexity hypothesis.
+
+"The real computation times of naive implementations of HHK and the
+algorithm of Ma et al. should show no significant differences in the
+(labeled) graph query setting."
+
+Asserted shape: the two baselines stay within roughly an order of
+magnitude of each other on every query (no systematic blowout in
+either direction), and both compute the same relation.  The SOI
+solver's advantage over *both* is covered by Table 2.
+"""
+
+from repro.bench import render_hypothesis, run_hhk_hypothesis
+
+
+def test_hhk_hypothesis(benchmark, save_table):
+    rows = benchmark.pedantic(run_hhk_hypothesis, rounds=1, iterations=1)
+    save_table("hypothesis_hhk_vs_ma", render_hypothesis(rows))
+
+    assert all(r.sim_equal for r in rows)
+    for r in rows:
+        assert 0.05 <= r.ratio <= 20.0, (r.query, r.ratio)
+    # No systematic winner by an order of magnitude on the medians.
+    import statistics
+    median_ratio = statistics.median(r.ratio for r in rows)
+    assert 0.2 <= median_ratio <= 5.0

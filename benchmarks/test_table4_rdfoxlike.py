@@ -1,0 +1,62 @@
+"""Table 4: query times on the full vs. pruned store for the
+RDFox-like engine profile (materializing hash joins).
+
+Paper shapes asserted:
+* t_DB_pruned <= t_DB on the heavy queries (pruning shrinks the
+  materialized intermediates this profile is sensitive to);
+* on heavy queries even t_pruned + t_SPARQLSIM beats t_DB (the
+  paper's 15-of-32 improvement count — here asserted as "a
+  substantial set of queries improves end-to-end");
+* on highly selective queries the pruning time dominates
+  (t_pruned + t_SIM > t_DB) — both directions must occur, as in the
+  paper's discussion of L0 vs. L1.
+"""
+
+from repro.bench import render_engine_table, run_engine_table
+
+PROFILE = "rdfox-like"
+
+#: Queries with large intermediate results under hash joins.
+HEAVY = ("L1", "D0", "B13", "B14", "B17")
+#: Queries answered in microseconds where pruning cannot pay off.
+SELECTIVE = ("L5", "B16", "D2")
+
+
+def test_table4_full(benchmark, save_table):
+    rows = benchmark.pedantic(
+        run_engine_table, args=(PROFILE,), rounds=1, iterations=1
+    )
+    save_table("table4", render_engine_table(rows, PROFILE))
+    by_name = {r.name: r for r in rows}
+
+    assert all(r.results_equal for r in rows)
+
+    # Pruned evaluation never regresses badly on the heavy queries
+    # (20% slack absorbs timer noise on already-fast queries)...
+    for name in HEAVY:
+        row = by_name[name]
+        assert row.t_db_pruned <= 1.20 * row.t_db_full, (
+            name, row.t_db_pruned, row.t_db_full,
+        )
+    # ...and the paper's headline case wins with a clear margin: L1's
+    # huge intermediate join tables shrink dramatically after pruning.
+    l1 = by_name["L1"]
+    assert l1.t_db_pruned <= 0.70 * l1.t_db_full, (
+        l1.t_db_pruned, l1.t_db_full,
+    )
+
+    # End-to-end wins exist (pruning + pruned eval < full eval).
+    # The exact count swings with timer noise (4-8 at this scale);
+    # the shape claim is that a meaningful set of queries wins.
+    end_to_end_wins = [
+        r for r in rows
+        if r.result_count > 0 and r.t_pruned_plus_sim < r.t_db_full
+    ]
+    assert len(end_to_end_wins) >= 3, [r.name for r in end_to_end_wins]
+
+    # ...and losses exist too: selective queries where t_sim dominates.
+    losses = [
+        r.name for r in rows
+        if r.name in SELECTIVE and r.t_pruned_plus_sim > r.t_db_full
+    ]
+    assert losses, "expected pruning overhead to dominate somewhere"

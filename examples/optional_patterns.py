@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""OPTIONAL patterns and non-well-designed queries (paper Sect. 4).
+
+Walks through the paper's (X2) and (X3) examples:
+
+* (X2) — a well-designed OPTIONAL: the SOI gains a surrogate
+  variable ?director_o with the copy inequality
+  ?director_o <= ?director_m (Eq. (14));
+* (X3) — a *non*-well-designed pattern (variable ?v3 occurs inside
+  an OPTIONAL and outside of it, but not in the optional's left
+  side): the compiler renames the optional occurrence and adds
+  v3_R2 <= v3 (Sect. 4.4), keeping pruning sound without treating
+  non-well-designed patterns specially.
+
+Run:  python examples/optional_patterns.py
+"""
+
+from repro import PruningPipeline, example_movie_database
+from repro.core import compile_query
+from repro.graph import figure5_database
+from repro.sparql import is_well_designed, parse_query
+
+X2 = """
+    SELECT * WHERE {
+        ?director directed ?movie .
+        OPTIONAL { ?director worked_with ?coworker . }
+    }
+"""
+
+X3 = """
+    SELECT * WHERE {
+        { ?v1 a ?v2 . OPTIONAL { ?v3 b ?v2 . } }
+        ?v3 c ?v4 .
+    }
+"""
+
+
+def show(title: str, query_text: str, db, db_name: str) -> None:
+    print(f"=== {title} ===")
+    query = parse_query(query_text)
+    print(f"well-designed: {is_well_designed(query.pattern)}")
+
+    [compiled] = compile_query(query_text)
+    print("system of inequalities:")
+    for line in compiled.soi.describe().splitlines():
+        print(f"  {line}")
+
+    pipeline = PruningPipeline(db)
+    report = pipeline.run(query_text, name=title)
+    print(
+        f"on {db_name}: {report.result_count} results, "
+        f"{report.triples_after_pruning}/{report.triples_total} triples "
+        f"kept, pruned == full: {report.results_equal}"
+    )
+    for solution in pipeline.evaluate_full(query_text).decoded():
+        rendered = ", ".join(
+            f"{var}={value}" for var, value in sorted(
+                solution.items(), key=lambda kv: kv[0].name
+            )
+        )
+        print(f"  {rendered}")
+    print()
+
+
+def main() -> None:
+    show("(X2) well-designed OPTIONAL", X2,
+         example_movie_database(), "Fig. 1(a)")
+    show("(X3) non-well-designed pattern", X3,
+         figure5_database(), "Fig. 5(a)")
+
+    print("Note how (X3)'s second match binds ?v3/?v4 through the")
+    print("mandatory c-edge while the optional b-edge stays unbound —")
+    print("the cross-product behaviour of non-well-designed patterns")
+    print("the paper handles by renaming (Sect. 4.4).")
+
+
+if __name__ == "__main__":
+    main()

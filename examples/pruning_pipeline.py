@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Dual simulation as a per-query pruning mechanism (paper Sect. 5).
+
+Generates an LUBM-like database, then runs the cyclic queries L0-L2
+and the selective queries L3-L5 through the pruning pipeline on both
+engine profiles, printing a Table-3/4-style report.  Reproduces the
+paper's two headline observations at laptop scale:
+
+* L1 prunes *least* effectively (dual-simulation false positives from
+  students whose degree university differs from their department's),
+  yet profits *most* from pruning on the materializing engine;
+* L0 converges slowly (the open advisor/course spiral is peeled one
+  layer per fixpoint round) so its pruning time can exceed the plain
+  engine time — pruning is not free.
+
+Run:  python examples/pruning_pipeline.py
+"""
+
+from repro import PruningPipeline
+from repro.workloads import LUBM_QUERIES, generate_lubm
+
+
+def main() -> None:
+    db = generate_lubm(n_universities=8, seed=7)
+    print(f"LUBM-like database: {db}\n")
+
+    for profile in ("rdfox-like", "virtuoso-like"):
+        pipeline = PruningPipeline(db, profile=profile)
+        print(f"--- engine profile: {profile} ---")
+        header = (
+            f"{'query':6s} {'results':>8s} {'kept':>7s} {'ratio':>7s} "
+            f"{'rounds':>6s} {'t_sim':>8s} {'t_full':>8s} {'t_pruned':>9s}"
+        )
+        print(header)
+        for name in sorted(LUBM_QUERIES):
+            report = pipeline.run(LUBM_QUERIES[name], name=name)
+            assert report.results_equal, name
+            print(
+                f"{name:6s} {report.result_count:8d} "
+                f"{report.triples_after_pruning:7d} "
+                f"{100 * report.prune_ratio:6.1f}% "
+                f"{report.rounds:6d} "
+                f"{report.t_simulation:8.4f} "
+                f"{report.t_db_full:8.4f} "
+                f"{report.t_db_pruned:9.4f}"
+            )
+        print()
+
+    print("Observations to look for (cf. paper Sect. 5.3):")
+    print(" * L1 has the lowest pruning ratio of the L-queries;")
+    print(" * L0 needs by far the most fixpoint rounds;")
+    print(" * on rdfox-like, t_pruned << t_full for L1/L2;")
+    print(" * for the selective L3-L5, t_sim dominates everything.")
+
+
+if __name__ == "__main__":
+    main()

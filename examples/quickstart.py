@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's running example, end to end.
+
+Builds the Fig. 1(a) movie database, runs query (X1) through the
+dual-simulation pruning pipeline, and shows every stage: the system
+of inequalities, the largest dual simulation, the pruned database,
+and the (identical) query answers on the full and pruned stores.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PruningPipeline, Variable, example_movie_database
+from repro.core import compile_query, solve
+
+X1 = """
+    SELECT * WHERE {
+        ?director directed ?movie .
+        ?director worked_with ?coworker .
+    }
+"""
+
+
+def main() -> None:
+    db = example_movie_database()
+    print(f"database: {db}\n")
+
+    # Stage 1: compile the query to a system of inequalities (Sect. 3).
+    [compiled] = compile_query(X1)
+    print("system of inequalities (cf. Fig. 3 of the paper):")
+    print(compiled.soi.describe(), "\n")
+
+    # Stage 2: solve it — the largest dual simulation (Prop. 2).
+    result = solve(compiled.soi, db)
+    print("largest dual simulation (relation (2) of the paper):")
+    for var_name in ("director", "movie", "coworker"):
+        vid = compiled.mandatory_vid(Variable(var_name))
+        print(f"  ?{var_name:9s} -> {sorted(result.candidates(vid))}")
+    print(f"  fixpoint: {result.report.rounds} rounds, "
+          f"{result.report.evaluations} inequality evaluations\n")
+
+    # Stage 3: prune and evaluate (Sect. 5).
+    pipeline = PruningPipeline(db)
+    report = pipeline.run(X1, name="X1")
+    print(f"pruning: {report.triples_total} triples -> "
+          f"{report.triples_after_pruning} "
+          f"({100 * report.prune_ratio:.0f}% disqualified)")
+    print(f"results: {report.result_count} matches; "
+          f"pruned evaluation identical to full: {report.results_equal}\n")
+
+    print("answers:")
+    for solution in pipeline.evaluate_full(X1).decoded():
+        rendered = ", ".join(
+            f"{var}={value}" for var, value in sorted(
+                solution.items(), key=lambda kv: kv[0].name
+            )
+        )
+        print(f"  {rendered}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro — Fast Dual Simulation Processing of Graph Database Queries.
+
+A complete reproduction of Mennicke et al. (ICDE 2019,
+arXiv:1810.09355): the SOI-based dual simulation algorithm
+(SPARQLSIM), the Ma et al. and HHK baselines, the SPARQL operator
+extensions (AND / OPTIONAL / UNION), dual-simulation database
+pruning, an in-memory triple store with two join-engine profiles,
+and the LUBM-like / DBpedia-like workloads of the evaluation.
+
+Quickstart::
+
+    from repro import (
+        example_movie_database, parse_query, PruningPipeline,
+    )
+
+    db = example_movie_database()
+    pipeline = PruningPipeline(db)
+    report = pipeline.run(
+        "SELECT * WHERE { ?director directed ?movie . "
+        "?director worked_with ?coworker . }"
+    )
+    print(report.result_count, report.triples_after_pruning)
+"""
+
+from repro.bitvec import Bitset, LabelMatrixPair
+from repro.core import (
+    SolverOptions,
+    SolverResult,
+    SystemOfInequalities,
+    compile_query,
+    hhk_dual_simulation,
+    is_dual_simulation,
+    largest_dual_simulation,
+    largest_dual_simulation_reference,
+    ma_dual_simulation,
+    prune,
+    solve,
+)
+from repro.graph import (
+    Graph,
+    GraphDatabase,
+    Literal,
+    example_movie_database,
+)
+from repro.pipeline import PipelineReport, PruneOutcome, PruningPipeline
+from repro.rdf import Iri, RdfLiteral, Variable
+from repro.sparql import parse_pattern, parse_query
+from repro.store import QueryEngine, QueryResult, TripleStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graphs
+    "Graph",
+    "GraphDatabase",
+    "Literal",
+    "example_movie_database",
+    # terms
+    "Iri",
+    "RdfLiteral",
+    "Variable",
+    # bitvec
+    "Bitset",
+    "LabelMatrixPair",
+    # core
+    "largest_dual_simulation",
+    "largest_dual_simulation_reference",
+    "ma_dual_simulation",
+    "hhk_dual_simulation",
+    "is_dual_simulation",
+    "SystemOfInequalities",
+    "solve",
+    "SolverOptions",
+    "SolverResult",
+    "compile_query",
+    "prune",
+    # sparql
+    "parse_query",
+    "parse_pattern",
+    # store
+    "TripleStore",
+    "QueryEngine",
+    "QueryResult",
+    # pipeline
+    "PruningPipeline",
+    "PruneOutcome",
+    "PipelineReport",
+]

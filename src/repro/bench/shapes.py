@@ -1,0 +1,110 @@
+"""Reusable shape assertions for the benchmark suite.
+
+Each helper checks one of the qualitative claims of the paper's
+evaluation (see EXPERIMENTS.md) and raises ``AssertionError`` with a
+diagnostic listing the offending queries.  Centralizing them keeps
+the per-table benches declarative and the tolerances documented in
+one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.bench.runner import Table2Row
+from repro.pipeline.pruned_query import PipelineReport
+
+
+def assert_universal_win(rows: Sequence[Table2Row]) -> None:
+    """Table 2 shape: SPARQLSIM beats the baseline on every query."""
+    losers = [r.query for r in rows if r.t_sparqlsim >= r.t_ma]
+    assert not losers, f"baseline won on: {losers}"
+
+
+def assert_order_of_magnitude_typical(
+    rows: Sequence[Table2Row], fraction: float = 1 / 3
+) -> None:
+    """Table 2 shape: >=10x speedups on a sizeable share of queries."""
+    big = [r for r in rows if r.speedup >= 10.0]
+    assert len(big) >= int(len(rows) * fraction), (
+        f"only {len(big)}/{len(rows)} queries at >=10x"
+    )
+
+
+def assert_simulations_agree(rows: Sequence[Table2Row]) -> None:
+    wrong = [r.query for r in rows if not r.sim_equal]
+    assert not wrong, f"algorithms disagree on: {wrong}"
+
+
+def assert_pruning_floor(
+    rows: Sequence[PipelineReport], floor: float, strong_floor: float = 0.95,
+    strong_count: int = 0,
+) -> None:
+    """Table 3 shape: every query prunes at least ``floor``; at least
+    ``strong_count`` prune ``strong_floor``."""
+    weak = [(r.name, round(r.prune_ratio, 3)) for r in rows
+            if r.prune_ratio < floor]
+    assert not weak, f"below the {floor:.0%} pruning floor: {weak}"
+    strong = [r for r in rows if r.prune_ratio >= strong_floor]
+    assert len(strong) >= strong_count, (
+        f"only {len(strong)} queries at >={strong_floor:.0%}"
+    )
+
+
+def assert_empty_queries_prune_to_zero(
+    rows: Sequence[PipelineReport], expected_empty: Iterable[str]
+) -> None:
+    by_name = {r.name: r for r in rows}
+    for name in expected_empty:
+        row = by_name[name]
+        assert row.result_count == 0, name
+        assert row.triples_after_pruning == 0, name
+
+
+def assert_soundness(rows: Sequence[PipelineReport]) -> None:
+    """Theorem 2: matches preserved everywhere; exact equality for
+    well-designed queries (all catalog queries are)."""
+    lost = [r.name for r in rows if not r.results_preserved]
+    assert not lost, f"matches lost on: {lost}"
+    unequal = [r.name for r in rows if r.well_designed and not r.results_equal]
+    assert not unequal, f"well-designed but unequal: {unequal}"
+
+
+def assert_required_never_pruned(rows: Sequence[PipelineReport]) -> None:
+    bad = [
+        r.name for r in rows
+        if r.triples_after_pruning < r.required_triples
+    ]
+    assert not bad, f"required triples pruned away on: {bad}"
+
+
+def overhead(row: PipelineReport) -> float:
+    """Kept-to-required ratio (the Sect. 5.3 effectiveness measure)."""
+    return row.triples_after_pruning / max(1, row.required_triples)
+
+
+def assert_worst_overhead(
+    rows: Sequence[PipelineReport], expected_worst: str,
+    among: Iterable[str],
+) -> None:
+    """Sect. 5.3 shape: ``expected_worst`` has the largest
+    kept/required overhead among the given queries (L1's role)."""
+    by_name = {r.name: r for r in rows}
+    worst = max(among, key=lambda name: overhead(by_name[name]))
+    assert worst == expected_worst, (
+        f"worst overhead is {worst} "
+        f"({ {n: round(overhead(by_name[n]), 2) for n in among} })"
+    )
+
+
+def engine_wins(rows: Sequence[PipelineReport]) -> List[str]:
+    """Queries whose engine time improved on the pruned store."""
+    return [r.name for r in rows if r.t_db_pruned < r.t_db_full]
+
+
+def end_to_end_wins(rows: Sequence[PipelineReport]) -> List[str]:
+    """Queries where pruning + pruned evaluation beats full evaluation."""
+    return [
+        r.name for r in rows
+        if r.result_count > 0 and r.t_pruned_plus_sim < r.t_db_full
+    ]

@@ -1,0 +1,23 @@
+"""Bit-vector / bit-matrix kernel (paper Sect. 3.2).
+
+Public surface:
+
+* :class:`Bitset` — fixed-width mutable bitsets over uint64 words.
+* :class:`AdjacencyMatrix` — one direction of a label's adjacency.
+* :class:`LabelMatrixPair` — forward+backward matrices of one label.
+* :func:`build_label_matrices` — construct all label matrices at once.
+"""
+
+from repro.bitvec.bitset import Bitset
+from repro.bitvec.matrix import (
+    AdjacencyMatrix,
+    LabelMatrixPair,
+    build_label_matrices,
+)
+
+__all__ = [
+    "Bitset",
+    "AdjacencyMatrix",
+    "LabelMatrixPair",
+    "build_label_matrices",
+]

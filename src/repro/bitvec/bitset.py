@@ -1,0 +1,267 @@
+"""Fixed-width bitsets backed by NumPy ``uint64`` words.
+
+The SOI solver of the paper (Sect. 3.2) manipulates candidate sets
+``chi_S(v)`` and adjacency-matrix rows as bit-vectors.  This module
+provides that substrate: a mutable fixed-width bitset with the bulk
+operations the solver needs (AND/OR/AND-NOT, subset and intersection
+tests, popcount, set-bit iteration), all vectorized over 64-bit words.
+
+Bits beyond ``nbits`` (the *tail*) are kept at zero as a class
+invariant, which makes equality, popcount and subset tests plain word
+comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+
+_WORD_BITS = 64
+
+# Bit-position lookup for iter_ones(): unpackbits works on uint8 views.
+_UINT8_BITORDER = "little"
+
+
+def _word_count(nbits: int) -> int:
+    return (nbits + _WORD_BITS - 1) // _WORD_BITS
+
+
+def _tail_mask(nbits: int) -> int:
+    """Mask selecting the valid bits of the last word."""
+    rem = nbits % _WORD_BITS
+    if rem == 0:
+        return 0xFFFFFFFFFFFFFFFF
+    return (1 << rem) - 1
+
+
+class Bitset:
+    """A mutable set of integers in ``range(nbits)`` stored bitwise.
+
+    Instances are intentionally *not* hashable: the solver mutates
+    candidate vectors in place.  Use :meth:`to_frozenset` when a
+    hashable snapshot is needed.
+    """
+
+    __slots__ = ("nbits", "words")
+
+    def __init__(self, nbits: int, words: np.ndarray | None = None):
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        self.nbits = nbits
+        if words is None:
+            self.words = np.zeros(_word_count(nbits), dtype=np.uint64)
+        else:
+            if words.dtype != np.uint64 or words.shape != (_word_count(nbits),):
+                raise DimensionMismatchError(
+                    f"expected {_word_count(nbits)} uint64 words for "
+                    f"{nbits} bits, got {words.shape} of {words.dtype}"
+                )
+            self.words = words
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def zeros(cls, nbits: int) -> "Bitset":
+        """The empty set over a domain of ``nbits`` elements."""
+        return cls(nbits)
+
+    @classmethod
+    def ones(cls, nbits: int) -> "Bitset":
+        """The full set {0, .., nbits-1}."""
+        out = cls(nbits)
+        out.words.fill(0xFFFFFFFFFFFFFFFF)
+        if out.words.size:
+            out.words[-1] = np.uint64(_tail_mask(nbits))
+        return out
+
+    @classmethod
+    def from_indices(cls, nbits: int, indices: Iterable[int]) -> "Bitset":
+        """Build a bitset from an iterable of member indices."""
+        out = cls(nbits)
+        idx = np.fromiter(indices, dtype=np.int64)
+        if idx.size == 0:
+            return out
+        if idx.min() < 0 or idx.max() >= nbits:
+            raise IndexError(f"index out of range for {nbits}-bit set")
+        np.bitwise_or.at(
+            out.words,
+            idx // _WORD_BITS,
+            np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64),
+        )
+        return out
+
+    @classmethod
+    def singleton(cls, nbits: int, index: int) -> "Bitset":
+        """The one-element set {index}."""
+        out = cls(nbits)
+        out.add(index)
+        return out
+
+    def copy(self) -> "Bitset":
+        return Bitset(self.nbits, self.words.copy())
+
+    # -- element access -----------------------------------------------
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.nbits:
+            raise IndexError(f"bit {index} out of range [0, {self.nbits})")
+
+    def add(self, index: int) -> None:
+        self._check_index(index)
+        self.words[index // _WORD_BITS] |= np.uint64(1 << (index % _WORD_BITS))
+
+    def discard(self, index: int) -> None:
+        self._check_index(index)
+        self.words[index // _WORD_BITS] &= np.uint64(
+            ~(1 << (index % _WORD_BITS)) & 0xFFFFFFFFFFFFFFFF
+        )
+
+    def __contains__(self, index: int) -> bool:
+        if not 0 <= index < self.nbits:
+            return False
+        word = int(self.words[index // _WORD_BITS])
+        return bool((word >> (index % _WORD_BITS)) & 1)
+
+    # -- bulk queries ---------------------------------------------------
+
+    def count(self) -> int:
+        """Number of set bits (popcount)."""
+        return int(np.bitwise_count(self.words).sum())
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def any(self) -> bool:
+        return bool(self.words.any())
+
+    def is_empty(self) -> bool:
+        return not self.words.any()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitset):
+            return NotImplemented
+        return self.nbits == other.nbits and bool(
+            np.array_equal(self.words, other.words)
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable
+
+    def _check_width(self, other: "Bitset") -> None:
+        if self.nbits != other.nbits:
+            raise DimensionMismatchError(
+                f"bitset width mismatch: {self.nbits} vs {other.nbits}"
+            )
+
+    def issubset(self, other: "Bitset") -> bool:
+        """True iff ``self <= other`` component-wise (paper's ``<=``)."""
+        self._check_width(other)
+        return not np.any(self.words & ~other.words)
+
+    def __le__(self, other: "Bitset") -> bool:
+        return self.issubset(other)
+
+    def intersects(self, other: "Bitset") -> bool:
+        """True iff the two sets share at least one element."""
+        self._check_width(other)
+        return bool(np.any(self.words & other.words))
+
+    def isdisjoint(self, other: "Bitset") -> bool:
+        return not self.intersects(other)
+
+    # -- bulk operations -----------------------------------------------
+
+    def __and__(self, other: "Bitset") -> "Bitset":
+        self._check_width(other)
+        return Bitset(self.nbits, self.words & other.words)
+
+    def __or__(self, other: "Bitset") -> "Bitset":
+        self._check_width(other)
+        return Bitset(self.nbits, self.words | other.words)
+
+    def __xor__(self, other: "Bitset") -> "Bitset":
+        self._check_width(other)
+        return Bitset(self.nbits, self.words ^ other.words)
+
+    def __sub__(self, other: "Bitset") -> "Bitset":
+        self._check_width(other)
+        return Bitset(self.nbits, self.words & ~other.words)
+
+    def __iand__(self, other: "Bitset") -> "Bitset":
+        self._check_width(other)
+        self.words &= other.words
+        return self
+
+    def __ior__(self, other: "Bitset") -> "Bitset":
+        self._check_width(other)
+        self.words |= other.words
+        return self
+
+    def __ixor__(self, other: "Bitset") -> "Bitset":
+        self._check_width(other)
+        self.words ^= other.words
+        return self
+
+    def __isub__(self, other: "Bitset") -> "Bitset":
+        self._check_width(other)
+        self.words &= ~other.words
+        return self
+
+    def __invert__(self) -> "Bitset":
+        out = Bitset(self.nbits, ~self.words)
+        if out.words.size:
+            out.words[-1] &= np.uint64(_tail_mask(self.nbits))
+        return out
+
+    def intersection_update(self, other: "Bitset") -> bool:
+        """In-place AND; returns True iff ``self`` shrank."""
+        self._check_width(other)
+        before = int(np.bitwise_count(self.words).sum())
+        self.words &= other.words
+        return int(np.bitwise_count(self.words).sum()) < before
+
+    def clear(self) -> None:
+        self.words.fill(0)
+
+    def fill(self) -> None:
+        self.words.fill(0xFFFFFFFFFFFFFFFF)
+        if self.words.size:
+            self.words[-1] = np.uint64(_tail_mask(self.nbits))
+
+    # -- iteration / conversion ------------------------------------------
+
+    def iter_ones(self) -> np.ndarray:
+        """Indices of set bits, ascending, as an int64 array."""
+        if not self.words.any():
+            return np.empty(0, dtype=np.int64)
+        bits = np.unpackbits(
+            self.words.view(np.uint8), bitorder=_UINT8_BITORDER
+        )
+        return np.flatnonzero(bits).astype(np.int64)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.iter_ones().tolist())
+
+    def to_set(self) -> set[int]:
+        return set(self.iter_ones().tolist())
+
+    def to_frozenset(self) -> frozenset[int]:
+        return frozenset(self.iter_ones().tolist())
+
+    def first(self) -> int | None:
+        """Smallest member, or None when empty."""
+        nz = np.flatnonzero(self.words)
+        if nz.size == 0:
+            return None
+        word_idx = int(nz[0])
+        word = int(self.words[word_idx])
+        return word_idx * _WORD_BITS + (word & -word).bit_length() - 1
+
+    def __repr__(self) -> str:
+        n = self.count()
+        if n <= 12:
+            members = ", ".join(str(i) for i in self)
+            return f"Bitset({self.nbits}, {{{members}}})"
+        return f"Bitset({self.nbits}, |.|={n})"

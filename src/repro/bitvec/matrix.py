@@ -1,0 +1,180 @@
+"""Per-label adjacency bit-matrices (Sect. 3.2 of the paper).
+
+For every edge label ``a`` the paper stores two adjacency matrices
+``F_a`` (forward) and ``B_a`` (backward).  Dense |V|x|V| bit matrices
+are wasteful for sparse graphs, so rows are materialized only for
+nodes that actually have ``a``-labeled edges (a dict from node index
+to a :class:`Bitset` row); absent rows are all-zero.  This mirrors
+the gap-encoded storage the paper's prototype uses.
+
+The core operation is the bit-vector x bit-matrix product (Eq. (9)):
+
+    ``(chi x_b F_a)(j) = 1`` iff exists ``i`` with ``chi(i) = 1`` and
+    ``F_a(i, j) = 1``.
+
+Two evaluation strategies are provided, matching Sect. 3.3:
+
+* *row-wise*  — OR together the rows selected by set bits of ``chi``;
+  cost is proportional to ``popcount(chi)``.
+* *column-wise* — restricted to a target mask, test for each masked
+  column ``j`` whether the *transposed* row (i.e. the row of the dual
+  matrix) intersects ``chi``; cost is proportional to
+  ``popcount(mask)``.
+
+Both return identical results; the solver picks per evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.bitvec.bitset import Bitset
+from repro.errors import DimensionMismatchError
+
+
+class AdjacencyMatrix:
+    """One direction (forward or backward) of a label's adjacency.
+
+    ``rows[i]`` is the bitset of nodes reachable from ``i`` via one
+    edge of this label and direction.  ``summary`` is the paper's
+    ``f_a`` / ``b_a`` vector (Eq. (13)): bit ``i`` is set iff row ``i``
+    is non-empty.
+    """
+
+    __slots__ = ("n", "rows", "summary", "n_edges")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.rows: Dict[int, Bitset] = {}
+        self.summary = Bitset.zeros(n)
+        self.n_edges = 0
+
+    def add(self, src: int, dst: int) -> None:
+        """Record an edge src -> dst (in this direction's orientation)."""
+        row = self.rows.get(src)
+        if row is None:
+            row = Bitset.zeros(self.n)
+            self.rows[src] = row
+            self.summary.add(src)
+        if dst not in row:
+            row.add(dst)
+            self.n_edges += 1
+
+    def row(self, i: int) -> Bitset | None:
+        """The row of node ``i`` or None when it is all-zero."""
+        return self.rows.get(i)
+
+    def successors(self, i: int) -> Iterable[int]:
+        row = self.rows.get(i)
+        return iter(row) if row is not None else iter(())
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        row = self.rows.get(src)
+        return row is not None and dst in row
+
+    def density(self) -> float:
+        """Fraction of set bits; the sparsity signal for heuristics."""
+        if self.n == 0:
+            return 0.0
+        return self.n_edges / float(self.n * self.n)
+
+    def product_rowwise(self, vec: Bitset) -> Bitset:
+        """``vec x_b A`` by OR-ing the rows selected by ``vec``."""
+        if vec.nbits != self.n:
+            raise DimensionMismatchError(
+                f"vector width {vec.nbits} != matrix size {self.n}"
+            )
+        out = Bitset.zeros(self.n)
+        # Only nodes with a row can contribute; pre-filter via summary.
+        if not vec.intersects(self.summary):
+            return out
+        for i in (vec & self.summary).iter_ones():
+            out |= self.rows[int(i)]
+        return out
+
+
+class LabelMatrixPair:
+    """Forward and backward adjacency of a single label, kept in sync.
+
+    The backward matrix is exactly the transpose of the forward one,
+    which is what makes the column-wise product cheap: column ``j`` of
+    ``F_a`` is row ``j`` of ``B_a`` and vice versa.
+    """
+
+    __slots__ = ("n", "forward", "backward")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.forward = AdjacencyMatrix(n)
+        self.backward = AdjacencyMatrix(n)
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.forward.add(src, dst)
+        self.backward.add(dst, src)
+
+    @property
+    def n_edges(self) -> int:
+        return self.forward.n_edges
+
+    def product(
+        self,
+        vec: Bitset,
+        direction: str,
+        mask: Bitset | None = None,
+        strategy: str = "auto",
+    ) -> Bitset:
+        """``vec x_b F_a`` (direction='forward') or ``vec x_b B_a``.
+
+        When ``mask`` is given, the result is additionally intersected
+        with it — that is exactly the solver's use (the product result
+        is always ANDed into the target's candidate vector), and what
+        makes the column-wise strategy worthwhile.
+
+        ``strategy`` is one of ``"row"``, ``"column"``, ``"auto"``.
+        Column-wise evaluation requires a mask.
+        """
+        if direction == "forward":
+            primary, dual = self.forward, self.backward
+        elif direction == "backward":
+            primary, dual = self.backward, self.forward
+        else:
+            raise ValueError(f"unknown direction: {direction!r}")
+
+        if strategy == "auto":
+            if mask is not None and mask.count() < vec.count():
+                strategy = "column"
+            else:
+                strategy = "row"
+
+        if strategy == "row":
+            out = primary.product_rowwise(vec)
+            if mask is not None:
+                out &= mask
+            return out
+
+        if strategy == "column":
+            if mask is None:
+                raise ValueError("column-wise product requires a mask")
+            out = Bitset.zeros(self.n)
+            # result(j) = 1 iff dual.row(j) intersects vec, for j in mask.
+            candidates = mask & dual.summary
+            for j in candidates.iter_ones():
+                if dual.rows[int(j)].intersects(vec):
+                    out.add(int(j))
+            return out
+
+        raise ValueError(f"unknown strategy: {strategy!r}")
+
+
+def build_label_matrices(
+    n: int, edges: Iterable[Tuple[int, str, int]]
+) -> Dict[str, LabelMatrixPair]:
+    """Build one :class:`LabelMatrixPair` per label from integer triples."""
+    matrices: Dict[str, LabelMatrixPair] = {}
+    for src, label, dst in edges:
+        pair = matrices.get(label)
+        if pair is None:
+            pair = LabelMatrixPair(n)
+            matrices[label] = pair
+        pair.add_edge(src, dst)
+    return matrices

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write a synthetic workload to an N-Triples file::
+
+      python -m repro generate lubm --out lubm.nt --universities 4
+      python -m repro generate dbpedia --out dbp.nt --scale 2
+
+* ``query`` — evaluate a SPARQL query over an N-Triples file, with or
+  without dual simulation pruning::
+
+      python -m repro query data.nt "SELECT * WHERE { ?s p ?o . }"
+      python -m repro query data.nt query.rq --prune --profile rdfox-like
+
+* ``simulate`` — print the system of inequalities and the largest
+  dual simulation of a query (the Sect. 3/4 machinery)::
+
+      python -m repro simulate data.nt "SELECT * WHERE { ?s p ?o . }"
+
+* ``bench`` — regenerate one of the paper's tables::
+
+      python -m repro bench table2
+      python -m repro bench iterations
+"""
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import compile_query, solve
+from repro.errors import ReproError
+from repro.graph.io import load_ntriples, save_ntriples
+from repro.pipeline import PruningPipeline
+from repro.store import PROFILES
+from repro.workloads import generate_dbpedia, generate_lubm
+
+BENCH_TABLES = (
+    "table2", "table3", "table4", "table5", "iterations", "hypothesis",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast dual simulation processing of graph database "
+                    "queries (Mennicke et al., ICDE 2019) - reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic workload")
+    gen.add_argument("dataset", choices=("lubm", "dbpedia"))
+    gen.add_argument("--out", required=True, help="output .nt path")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--universities", type=int, default=4,
+                     help="LUBM: number of universities")
+    gen.add_argument("--scale", type=int, default=1,
+                     help="DBpedia: entity-scale multiplier")
+    gen.add_argument("--padding", type=int, default=3,
+                     help="DBpedia: unrelated-domain multiplier")
+
+    qry = sub.add_parser("query", help="evaluate a SPARQL query")
+    qry.add_argument("data", help="N-Triples file")
+    qry.add_argument("query", help="SPARQL text or a .rq file path")
+    qry.add_argument("--prune", action="store_true",
+                     help="apply dual simulation pruning first")
+    qry.add_argument("--profile", choices=sorted(PROFILES),
+                     default="virtuoso-like")
+    qry.add_argument("--limit", type=int, default=20,
+                     help="max solutions to print (0 = all)")
+
+    sim = sub.add_parser("simulate", help="show SOI + largest dual simulation")
+    sim.add_argument("data", help="N-Triples file")
+    sim.add_argument("query", help="SPARQL text or a .rq file path")
+    sim.add_argument("--limit", type=int, default=10,
+                     help="max candidates to print per variable (0 = all)")
+
+    ask = sub.add_parser(
+        "ask", help="ASK a query (with the dual simulation fast path)"
+    )
+    ask.add_argument("data", help="N-Triples file")
+    ask.add_argument("query", help="SPARQL ASK text or a .rq file path")
+    ask.add_argument("--profile", choices=sorted(PROFILES),
+                     default="virtuoso-like")
+
+    explain = sub.add_parser("explain", help="show the evaluation plan")
+    explain.add_argument("data", help="N-Triples file")
+    explain.add_argument("query", help="SPARQL text or a .rq file path")
+    explain.add_argument("--profile", choices=sorted(PROFILES),
+                         default="virtuoso-like")
+
+    bench = sub.add_parser("bench", help="regenerate a paper table")
+    bench.add_argument("table", choices=BENCH_TABLES)
+
+    return parser
+
+
+def _read_query(argument: str) -> str:
+    path = Path(argument)
+    if argument.endswith(".rq") and path.exists():
+        return path.read_text()
+    return argument
+
+
+def cmd_generate(args, out) -> int:
+    if args.dataset == "lubm":
+        db = generate_lubm(n_universities=args.universities, seed=args.seed)
+    else:
+        db = generate_dbpedia(
+            scale=args.scale, seed=args.seed, padding=args.padding
+        )
+    save_ntriples(db, args.out)
+    print(
+        f"wrote {db.n_triples} triples "
+        f"({db.n_nodes} nodes, {len(db.labels)} predicates) to {args.out}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_query(args, out) -> int:
+    db = load_ntriples(Path(args.data))
+    query = _read_query(args.query)
+    pipeline = PruningPipeline(db, profile=args.profile)
+    if args.prune:
+        report = pipeline.run(query, name="query")
+        print(
+            f"pruning: {report.triples_total} -> "
+            f"{report.triples_after_pruning} triples "
+            f"({100 * report.prune_ratio:.1f}% pruned) "
+            f"in {report.t_simulation:.4f}s",
+            file=out,
+        )
+        print(
+            f"engine: full {report.t_db_full:.4f}s, "
+            f"pruned {report.t_db_pruned:.4f}s, "
+            f"results equal: {report.results_equal}",
+            file=out,
+        )
+    result = pipeline.evaluate_full(query)
+    solutions = result.decoded()
+    print(f"{len(solutions)} solutions", file=out)
+    shown = solutions if args.limit == 0 else solutions[: args.limit]
+    for mu in shown:
+        rendered = ", ".join(
+            f"{var}={value}" for var, value in sorted(
+                mu.items(), key=lambda kv: kv[0].name
+            )
+        )
+        print(f"  {rendered}", file=out)
+    if args.limit and len(solutions) > args.limit:
+        print(f"  ... ({len(solutions) - args.limit} more)", file=out)
+    return 0
+
+
+def cmd_simulate(args, out) -> int:
+    db = load_ntriples(Path(args.data))
+    query = _read_query(args.query)
+    branches = compile_query(query)
+    for number, compiled in enumerate(branches):
+        if len(branches) > 1:
+            print(f"-- union branch {number} --", file=out)
+        print("system of inequalities:", file=out)
+        for line in compiled.soi.describe().splitlines():
+            print(f"  {line}", file=out)
+        result = solve(compiled.soi, db)
+        print(
+            f"fixpoint: {result.report.rounds} rounds, "
+            f"{result.report.evaluations} evaluations, "
+            f"{result.report.elapsed:.4f}s",
+            file=out,
+        )
+        for variable in sorted(compiled.variables(), key=str):
+            vids = compiled.all_vids(variable)
+            names = set()
+            for vid in vids:
+                names |= result.candidates(vid)
+            shown = sorted(names, key=str)
+            if args.limit and len(shown) > args.limit:
+                extra = f" ... ({len(shown) - args.limit} more)"
+                shown = shown[: args.limit]
+            else:
+                extra = ""
+            print(f"  {variable}: {shown}{extra}", file=out)
+    return 0
+
+
+def cmd_ask(args, out) -> int:
+    db = load_ntriples(Path(args.data))
+    query = _read_query(args.query)
+    pipeline = PruningPipeline(db, profile=args.profile)
+    answer = pipeline.ask(query)
+    print("yes" if answer else "no", file=out)
+    return 0
+
+
+def cmd_explain(args, out) -> int:
+    from repro.store import QueryEngine, TripleStore
+
+    db = load_ntriples(Path(args.data))
+    query = _read_query(args.query)
+    store = TripleStore.from_graph_database(db)
+    print(QueryEngine(store, args.profile).explain(query), file=out)
+    return 0
+
+
+def cmd_bench(args, out) -> int:
+    from repro.bench import (
+        render_engine_table,
+        render_hypothesis,
+        render_iterations,
+        render_table2,
+        render_table3,
+        run_engine_table,
+        run_hhk_hypothesis,
+        run_iteration_study,
+        run_table2,
+        run_table3,
+    )
+
+    if args.table == "table2":
+        print(render_table2(run_table2()), file=out)
+    elif args.table == "table3":
+        print(render_table3(run_table3()), file=out)
+    elif args.table == "table4":
+        print(render_engine_table(run_engine_table("rdfox-like"),
+                                  "rdfox-like"), file=out)
+    elif args.table == "table5":
+        print(render_engine_table(run_engine_table("virtuoso-like"),
+                                  "virtuoso-like"), file=out)
+    elif args.table == "iterations":
+        print(render_iterations(run_iteration_study()), file=out)
+    else:
+        print(render_hypothesis(run_hhk_hypothesis()), file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "query": cmd_query,
+        "simulate": cmd_simulate,
+        "ask": cmd_ask,
+        "explain": cmd_explain,
+        "bench": cmd_bench,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""The paper's core: dual simulation algorithms (naive, HHK, SOI),
+the SPARQL->SOI compiler, and dual simulation pruning."""
+
+from repro.core.compiler import (
+    CompiledQuery,
+    ConstKey,
+    Fragment,
+    compile_pattern,
+    compile_query,
+    pattern_to_graph,
+)
+from repro.core.hhk import HHKResult, HHKStats, hhk_dual_simulation
+from repro.core.naive import NaiveResult, NaiveStats, ma_dual_simulation
+from repro.core.pruning import (
+    PruneResult,
+    prune,
+    retained_triples,
+)
+from repro.core.simulation import (
+    Relation,
+    dual_simulates,
+    empty_relation,
+    full_relation,
+    is_dual_simulation,
+    is_maximal_dual_simulation,
+    largest_dual_simulation_reference,
+    refine_to_dual_simulation,
+    relation_from_pairs,
+    relation_pairs,
+    relation_size,
+    relation_union,
+)
+from repro.core.soi import (
+    BACKWARD,
+    CopyInequality,
+    EdgeInequality,
+    FORWARD,
+    SOIEdge,
+    SOIVariable,
+    SystemOfInequalities,
+)
+from repro.core.plain import (
+    is_simulation,
+    largest_simulation,
+    largest_simulation_reference,
+    simulation_soi,
+)
+from repro.core.reconstruct import (
+    count_matches,
+    enumerate_matches,
+    has_match,
+)
+from repro.core.quotient import (
+    QuotientIndex,
+    bisimulation_partition,
+    quotient_graph,
+    quotient_prefilter,
+)
+from repro.core.solver import (
+    SolverOptions,
+    SolverReport,
+    SolverResult,
+    largest_dual_simulation,
+    solve,
+)
+from repro.core.strategies import ORDERINGS, order_inequalities
+from repro.core.strong import (
+    StrongMatch,
+    ball,
+    pattern_diameter,
+    strong_simulation,
+    strong_simulation_nodes,
+)
+
+__all__ = [
+    # Def. 2 foundations
+    "Relation",
+    "is_dual_simulation",
+    "is_maximal_dual_simulation",
+    "dual_simulates",
+    "largest_dual_simulation_reference",
+    "refine_to_dual_simulation",
+    "empty_relation",
+    "full_relation",
+    "relation_from_pairs",
+    "relation_pairs",
+    "relation_size",
+    "relation_union",
+    # baselines
+    "ma_dual_simulation",
+    "NaiveResult",
+    "NaiveStats",
+    "hhk_dual_simulation",
+    "HHKResult",
+    "HHKStats",
+    # SOI
+    "SystemOfInequalities",
+    "SOIVariable",
+    "SOIEdge",
+    "EdgeInequality",
+    "CopyInequality",
+    "FORWARD",
+    "BACKWARD",
+    "solve",
+    "largest_dual_simulation",
+    "SolverOptions",
+    "SolverReport",
+    "SolverResult",
+    "order_inequalities",
+    "ORDERINGS",
+    # plain simulation
+    "is_simulation",
+    "largest_simulation",
+    "largest_simulation_reference",
+    "simulation_soi",
+    # strong simulation
+    "strong_simulation",
+    "strong_simulation_nodes",
+    "StrongMatch",
+    "pattern_diameter",
+    "ball",
+    # match reconstruction
+    "enumerate_matches",
+    "count_matches",
+    "has_match",
+    # quotient index
+    "QuotientIndex",
+    "bisimulation_partition",
+    "quotient_graph",
+    "quotient_prefilter",
+    # compiler + pruning
+    "compile_query",
+    "compile_pattern",
+    "pattern_to_graph",
+    "CompiledQuery",
+    "Fragment",
+    "ConstKey",
+    "prune",
+    "retained_triples",
+    "PruneResult",
+]

@@ -1,0 +1,82 @@
+"""Plain (forward) graph simulation, for comparison with dual
+simulation.
+
+The related work the paper positions against (e.g. Panda [31]) prunes
+with *subgraph simulation*, which only constrains outgoing edges
+(Def. 2(i) without 2(ii)).  The paper argues dual simulation prunes
+more effectively; this module provides plain simulation — both a
+set-based reference and an SOI-based solver variant — so that the
+claim is measurable (see ``benchmarks/test_ablation_dual_vs_plain``).
+
+SOI encoding: a pattern edge ``(v, a, w)`` contributes only
+``v <= w x_b B_a`` — every candidate of ``v`` must have an
+``a``-successor among the candidates of ``w``; the dual inequality
+``w <= v x_b F_a`` is exactly what plain simulation omits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set
+
+from repro.core.simulation import Relation
+from repro.core.soi import SystemOfInequalities
+from repro.core.solver import SolverOptions, SolverResult, solve
+from repro.graph.graph import Graph
+
+
+def is_simulation(pattern: Graph, data: Graph, relation: Relation) -> bool:
+    """Check the plain simulation condition (Def. 2(i) only)."""
+    for v1, candidates in relation.items():
+        if not pattern.has_node(v1):
+            return False
+        for v2 in candidates:
+            if not data.has_node(v2):
+                return False
+            for label, w1 in pattern.out_edges(v1):
+                if not (data.successors(v2, label) & relation.get(w1, set())):
+                    return False
+    return True
+
+
+def largest_simulation_reference(pattern: Graph, data: Graph) -> Relation:
+    """Set-based reference fixpoint for the largest plain simulation."""
+    current: Dict[Hashable, Set[Hashable]] = {
+        node: set(data.nodes()) for node in pattern.nodes()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for v1 in pattern.nodes():
+            survivors = set()
+            for v2 in current[v1]:
+                ok = True
+                for label, w1 in pattern.out_edges(v1):
+                    if not (data.successors(v2, label) & current[w1]):
+                        ok = False
+                        break
+                if ok:
+                    survivors.add(v2)
+            if survivors != current[v1]:
+                current[v1] = survivors
+                changed = True
+    return current
+
+
+def simulation_soi(pattern: Graph) -> SystemOfInequalities:
+    """The forward-only SOI of a pattern graph."""
+    soi = SystemOfInequalities()
+    index: Dict[Hashable, int] = {}
+    for node in pattern.nodes():
+        index[node] = soi.new_variable(str(node), origin=node)
+    for src, label, dst in pattern.edges():
+        soi.add_edge_constraint(index[src], label, index[dst], dual=False)
+    return soi
+
+
+def largest_simulation(
+    pattern: Graph,
+    data: Graph,
+    options: Optional[SolverOptions] = None,
+) -> SolverResult:
+    """Largest plain simulation via the SOI solver."""
+    return solve(simulation_soi(pattern), data, options)

@@ -1,0 +1,146 @@
+"""Dual simulation foundations (paper Sect. 2, Def. 2 / Prop. 1).
+
+A dual simulation between a pattern graph ``G1`` and a data graph
+``G2`` is a relation ``S subseteq V1 x V2`` such that for every pair
+``(v1, v2) in S`` all incoming and outgoing edges of ``v1`` are
+matched by ``v2`` with adjacent pairs again in ``S``.
+
+Relations are handled through their characteristic function
+``chi_S : V1 -> 2^{V2}`` (Sect. 3.1), represented as a dict from
+pattern-node name to a set of data-node names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Set, Tuple
+
+from repro.graph.graph import Graph
+
+Relation = Dict[Hashable, Set[Hashable]]
+
+
+def empty_relation(pattern: Graph) -> Relation:
+    return {node: set() for node in pattern.nodes()}
+
+
+def full_relation(pattern: Graph, data: Graph) -> Relation:
+    all_nodes = set(data.nodes())
+    return {node: set(all_nodes) for node in pattern.nodes()}
+
+
+def relation_from_pairs(
+    pattern: Graph, pairs: Iterable[Tuple[Hashable, Hashable]]
+) -> Relation:
+    relation = empty_relation(pattern)
+    for v1, v2 in pairs:
+        relation.setdefault(v1, set()).add(v2)
+    return relation
+
+
+def relation_pairs(relation: Relation) -> Set[Tuple[Hashable, Hashable]]:
+    return {
+        (v1, v2) for v1, candidates in relation.items() for v2 in candidates
+    }
+
+
+def relation_size(relation: Relation) -> int:
+    return sum(len(candidates) for candidates in relation.values())
+
+
+def relation_union(left: Relation, right: Relation) -> Relation:
+    """Union of two relations (Prop. 1: unions of dual simulations
+    are dual simulations)."""
+    out: Relation = {}
+    for key in set(left) | set(right):
+        out[key] = set(left.get(key, ())) | set(right.get(key, ()))
+    return out
+
+
+def is_dual_simulation(
+    pattern: Graph, data: Graph, relation: Relation
+) -> bool:
+    """Check Def. 2 directly (the specification; O(|S| * degrees))."""
+    for v1, candidates in relation.items():
+        if not pattern.has_node(v1):
+            return False
+        for v2 in candidates:
+            if not data.has_node(v2):
+                return False
+            # Def. 2(i): every outgoing pattern edge is matched.
+            for label, w1 in pattern.out_edges(v1):
+                successors = data.successors(v2, label)
+                if not (successors & relation.get(w1, set())):
+                    return False
+            # Def. 2(ii): every incoming pattern edge is matched.
+            for label, u1 in pattern.in_edges(v1):
+                predecessors = data.predecessors(v2, label)
+                if not (predecessors & relation.get(u1, set())):
+                    return False
+    return True
+
+
+def is_maximal_dual_simulation(
+    pattern: Graph, data: Graph, relation: Relation
+) -> bool:
+    """True iff ``relation`` is a *maximal* dual simulation.
+
+    By Prop. 1 the largest dual simulation is unique, and since the
+    union of two dual simulations is again one, every maximal dual
+    simulation *is* the largest (if ``S`` were maximal but not
+    largest, ``S U S_max`` would be a strictly larger dual
+    simulation).  Hence maximality is equivalent to coinciding with
+    the reference fixpoint.
+    """
+    if not is_dual_simulation(pattern, data, relation):
+        return False
+    largest = largest_dual_simulation_reference(pattern, data)
+    normalized = {node: relation.get(node, set()) for node in pattern.nodes()}
+    return normalized == largest
+
+
+def refine_to_dual_simulation(
+    pattern: Graph, data: Graph, relation: Relation
+) -> Relation:
+    """The largest dual simulation *contained in* ``relation``.
+
+    Reference fixpoint (specification-grade, not fast): repeatedly
+    drop pairs violating Def. 2 until stable.  Used by checkers and
+    property tests as independent ground truth.
+    """
+    current = {key: set(values) for key, values in relation.items()}
+    for node in pattern.nodes():
+        current.setdefault(node, set())
+    changed = True
+    while changed:
+        changed = False
+        for v1 in pattern.nodes():
+            survivors = set()
+            for v2 in current[v1]:
+                ok = True
+                for label, w1 in pattern.out_edges(v1):
+                    if not (data.successors(v2, label) & current[w1]):
+                        ok = False
+                        break
+                if ok:
+                    for label, u1 in pattern.in_edges(v1):
+                        if not (data.predecessors(v2, label) & current[u1]):
+                            ok = False
+                            break
+                if ok:
+                    survivors.add(v2)
+            if survivors != current[v1]:
+                current[v1] = survivors
+                changed = True
+    return current
+
+
+def largest_dual_simulation_reference(pattern: Graph, data: Graph) -> Relation:
+    """Ground-truth largest dual simulation via the reference fixpoint."""
+    return refine_to_dual_simulation(pattern, data, full_relation(pattern, data))
+
+
+def dual_simulates(pattern: Graph, data: Graph) -> bool:
+    """Does ``data`` dual simulate ``pattern``?  True iff there is a
+    non-empty dual simulation between them (Def. 2)."""
+    largest = largest_dual_simulation_reference(pattern, data)
+    return relation_size(largest) > 0

@@ -1,0 +1,223 @@
+"""Systems of inequalities (paper Sect. 3.2, Eq. (11)/(12)/(13)).
+
+A system of inequalities ``E = (Var, Eq)`` has one variable per
+pattern node (plus surrogate variables introduced by the OPTIONAL
+renaming of Sect. 4.3/4.4) and, per pattern edge ``(v, a, w)``, the
+two inequalities
+
+    ``w <= v x_b F_a``   and   ``v <= w x_b B_a``.
+
+Surrogates add *copy* inequalities ``v_Q2 <= v`` (Eq. (14)/(15)).
+
+Variables support unification (SPARQL AND shares variables between
+subqueries, Lemma 3) through an embedded union-find; consumers must
+address rows via :meth:`SystemOfInequalities.find`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from repro.errors import SolverError
+from repro.graph.graph import Graph
+
+FORWARD = "F"
+BACKWARD = "B"
+
+
+@dataclass
+class SOIVariable:
+    """One SOI variable.
+
+    ``origin`` ties the variable back to the query term it denotes
+    (a :class:`~repro.rdf.terms.Variable` or a constant marker);
+    ``constant`` pins the variable to a single database node.
+    """
+
+    vid: int
+    name: str
+    origin: object = None
+    constant: Optional[Hashable] = None
+    has_constant: bool = False
+
+
+@dataclass
+class EdgeInequality:
+    """``target <= source x_b A`` for A in {F_a, B_a} (Eq. (11))."""
+
+    target: int
+    source: int
+    label: str
+    matrix: str  # FORWARD or BACKWARD
+
+
+@dataclass
+class CopyInequality:
+    """``target <= source`` (Eq. (14)/(15)): optional surrogates."""
+
+    target: int
+    source: int
+
+
+Inequality = EdgeInequality | CopyInequality
+
+
+@dataclass
+class SOIEdge:
+    """A pattern edge retained for Eq.-(13) initialization and pruning.
+
+    ``dual`` is True for ordinary dual simulation edges (both
+    inequalities); False for plain-simulation edges (forward condition
+    only, see :mod:`repro.core.plain`).
+    """
+
+    source: int
+    label: str
+    target: int
+    dual: bool = True
+
+
+class SystemOfInequalities:
+    """Variables + inequalities + union-find for shared variables."""
+
+    def __init__(self):
+        self.variables: List[SOIVariable] = []
+        self.inequalities: List[Inequality] = []
+        self.edges: List[SOIEdge] = []
+        self._parent: List[int] = []
+
+    # -- variables ---------------------------------------------------------
+
+    def new_variable(
+        self,
+        name: str,
+        origin: object = None,
+        constant: Optional[Hashable] = None,
+        has_constant: bool = False,
+    ) -> int:
+        vid = len(self.variables)
+        self.variables.append(
+            SOIVariable(vid, name, origin, constant, has_constant)
+        )
+        self._parent.append(vid)
+        return vid
+
+    def new_constant(self, value: Hashable, name: Optional[str] = None) -> int:
+        return self.new_variable(
+            name or f"const:{value!r}", origin=None, constant=value,
+            has_constant=True,
+        )
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.variables)
+
+    def variable(self, vid: int) -> SOIVariable:
+        return self.variables[vid]
+
+    # -- union-find (Lemma 3 unification) -------------------------------------
+
+    def find(self, vid: int) -> int:
+        root = vid
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[vid] != root:  # path compression
+            self._parent[vid], vid = root, self._parent[vid]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Unify two variables; returns the surviving root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        # Keep the lower id as root for determinism; merge constants.
+        root, child = (ra, rb) if ra < rb else (rb, ra)
+        self._parent[child] = root
+        root_var = self.variables[root]
+        child_var = self.variables[child]
+        if child_var.has_constant:
+            if root_var.has_constant and root_var.constant != child_var.constant:
+                raise SolverError(
+                    f"cannot unify distinct constants "
+                    f"{root_var.constant!r} and {child_var.constant!r}"
+                )
+            root_var.constant = child_var.constant
+            root_var.has_constant = True
+        return root
+
+    def roots(self) -> List[int]:
+        """All canonical variable ids."""
+        return sorted({self.find(v.vid) for v in self.variables})
+
+    # -- constraints -----------------------------------------------------------
+
+    def add_edge_constraint(
+        self, source: int, label: str, target: int, dual: bool = True
+    ) -> None:
+        """Add the inequalities of pattern edge (source, label, target).
+
+        With ``dual=True`` (the default) both Eq.-(11) inequalities are
+        added; with ``dual=False`` only the backward-matrix inequality
+        ``source <= target x_b B_a`` (plain simulation: candidates of
+        the source must have a matching successor, nothing is required
+        of the target's predecessors).
+        """
+        if not isinstance(label, Hashable):
+            raise SolverError(f"unusable edge label: {label!r}")
+        if dual:
+            self.inequalities.append(
+                EdgeInequality(target=target, source=source, label=label,
+                               matrix=FORWARD)
+            )
+        self.inequalities.append(
+            EdgeInequality(target=source, source=target, label=label,
+                           matrix=BACKWARD)
+        )
+        self.edges.append(
+            SOIEdge(source=source, label=label, target=target, dual=dual)
+        )
+
+    def add_copy_constraint(self, target: int, source: int) -> None:
+        self.inequalities.append(CopyInequality(target=target, source=source))
+
+    # -- construction from a pattern graph ------------------------------------
+
+    @classmethod
+    def from_pattern_graph(cls, pattern: Graph) -> "SystemOfInequalities":
+        """SOI of a plain pattern graph: Var := V1, Eq per Eq. (11)."""
+        soi = cls()
+        index: Dict[Hashable, int] = {}
+        for node in pattern.nodes():
+            index[node] = soi.new_variable(str(node), origin=node)
+        for src, label, dst in pattern.edges():
+            soi.add_edge_constraint(index[src], label, index[dst])
+        return soi
+
+    # -- introspection ------------------------------------------------------------
+
+    def variable_by_origin(self, origin: object) -> Optional[int]:
+        """Canonical vid of the (first) variable with the given origin."""
+        for var in self.variables:
+            if var.origin == origin:
+                return self.find(var.vid)
+        return None
+
+    def describe(self) -> str:
+        """Human-readable rendering (mirrors Fig. 3 of the paper)."""
+        lines = []
+        for ineq in self.inequalities:
+            target = self.variables[self.find(ineq.target)].name
+            source = self.variables[self.find(ineq.source)].name
+            if isinstance(ineq, EdgeInequality):
+                matrix = "F" if ineq.matrix == FORWARD else "B"
+                lines.append(f"{target} <= {source} x {matrix}[{ineq.label}]")
+            else:
+                lines.append(f"{target} <= {source}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SystemOfInequalities(vars={self.n_variables}, "
+            f"inequalities={len(self.inequalities)}, edges={len(self.edges)})"
+        )

@@ -1,0 +1,268 @@
+"""The SOI fixpoint solver — the paper's SPARQLSIM algorithm (Sect. 3).
+
+Starting from an initial assignment (Eq. (12) full vectors, or the
+Eq. (13) summary-vector refinement), the solver repeatedly evaluates
+*unstable* inequalities.  Evaluating ``t <= s x_b A`` computes the
+product ``r`` (row- or column-wise, chosen dynamically) and, when the
+target row is not below ``r``, intersects it — which destabilizes
+every inequality whose *source* is the updated variable (step 2(b) of
+the algorithm in Sect. 3.2).
+
+The fixpoint reached is the largest solution of the SOI, i.e. the
+largest dual simulation (Prop. 2).  The solver reports rounds
+(generations of the worklist), per-inequality evaluations, updates,
+and removed bits — the quantities behind Table 2 and the Sect. 5.3
+iteration discussion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.bitvec import Bitset
+from repro.core.simulation import Relation
+from repro.core.soi import (
+    CopyInequality,
+    FORWARD,
+    SystemOfInequalities,
+)
+from repro.core.strategies import order_inequalities
+from repro.errors import SolverError
+from repro.graph.graph import Graph
+
+INITIALIZATIONS = ("summary", "full")
+PRODUCTS = ("auto", "row", "column")
+
+
+@dataclass
+class SolverOptions:
+    """Tunable strategy knobs (paper Sect. 3.3)."""
+
+    initialization: str = "summary"  # Eq. (13); "full" is Eq. (12)
+    ordering: str = "sparsity"
+    product: str = "auto"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.initialization not in INITIALIZATIONS:
+            raise SolverError(
+                f"unknown initialization {self.initialization!r}"
+            )
+        if self.product not in PRODUCTS:
+            raise SolverError(f"unknown product strategy {self.product!r}")
+
+
+@dataclass
+class SolverReport:
+    """Work counters of one solve."""
+
+    rounds: int = 0
+    evaluations: int = 0
+    updates: int = 0
+    bits_removed: int = 0
+    elapsed: float = 0.0
+
+
+class SolverResult:
+    """Largest solution of an SOI over one data graph."""
+
+    def __init__(
+        self,
+        soi: SystemOfInequalities,
+        data: Graph,
+        rows: Dict[int, Bitset],
+        report: SolverReport,
+    ):
+        self.soi = soi
+        self.data = data
+        self._rows = rows
+        self.report = report
+
+    def row(self, vid: int) -> Bitset:
+        """Candidate bit-vector of a variable (by any member vid)."""
+        return self._rows[self.soi.find(vid)]
+
+    def candidates(self, vid: int) -> Set[Hashable]:
+        """Candidate node names of a variable."""
+        data = self.data
+        return {data.node_name(int(i)) for i in self.row(vid).iter_ones()}
+
+    def total_bits(self) -> int:
+        return sum(row.count() for row in self._rows.values())
+
+    def is_empty(self) -> bool:
+        return all(row.is_empty() for row in self._rows.values())
+
+    def to_relation(self) -> Relation:
+        """Characteristic-function view keyed by variable origins.
+
+        Intended for SOIs built from pattern graphs, where every
+        variable's origin is the pattern node name.
+        """
+        relation: Relation = {}
+        for var in self.soi.variables:
+            if var.origin is None:
+                continue
+            relation[var.origin] = self.candidates(var.vid)
+        return relation
+
+
+def _initial_rows(
+    soi: SystemOfInequalities, data: Graph, options: SolverOptions
+) -> Dict[int, Bitset]:
+    n = data.n_nodes
+    matrices = data.matrices()
+    rows: Dict[int, Bitset] = {}
+    for root in soi.roots():
+        var = soi.variable(root)
+        if var.has_constant:
+            if data.has_node(var.constant):
+                rows[root] = Bitset.singleton(n, data.node_index(var.constant))
+            else:
+                rows[root] = Bitset.zeros(n)
+        else:
+            rows[root] = Bitset.ones(n)
+    if options.initialization == "summary":
+        # Eq. (13): v <= AND of incident-edge summary vectors.  For
+        # plain-simulation edges only the source is constrained (the
+        # target owes nothing to its predecessors).
+        for edge in soi.edges:
+            source = soi.find(edge.source)
+            target = soi.find(edge.target)
+            pair = matrices.get(edge.label)
+            if pair is None:
+                rows[source].clear()
+                if edge.dual:
+                    rows[target].clear()
+            else:
+                rows[source] &= pair.forward.summary
+                if edge.dual:
+                    rows[target] &= pair.backward.summary
+    return rows
+
+
+def solve(
+    soi: SystemOfInequalities,
+    data: Graph,
+    options: Optional[SolverOptions] = None,
+    prefilter: Optional[Dict[int, Bitset]] = None,
+) -> SolverResult:
+    """Compute the largest solution of ``soi`` over ``data``.
+
+    ``prefilter`` optionally intersects initial rows with externally
+    computed candidate sets (keyed by canonical vid) — e.g. from the
+    bisimulation-quotient index.  The prefilter must over-approximate
+    the largest solution or candidates will be lost.
+    """
+    options = options or SolverOptions()
+    start = time.perf_counter()
+    report = SolverReport()
+    matrices = data.matrices()
+    n = data.n_nodes
+    rows = _initial_rows(soi, data, options)
+    if prefilter:
+        for vid, candidates in prefilter.items():
+            rows[soi.find(vid)] &= candidates
+
+    inequalities = soi.inequalities
+
+    # Index: canonical source vid -> inequalities it feeds.
+    by_source: Dict[int, List[int]] = {}
+    for idx, ineq in enumerate(inequalities):
+        by_source.setdefault(soi.find(ineq.source), []).append(idx)
+
+    def evaluate(idx: int) -> bool:
+        """Evaluate one inequality; True iff the target row shrank."""
+        ineq = inequalities[idx]
+        target = soi.find(ineq.target)
+        source = soi.find(ineq.source)
+        target_row = rows[target]
+        report.evaluations += 1
+        before = target_row.count()
+        if before == 0:
+            return False
+
+        if isinstance(ineq, CopyInequality):
+            if target_row.issubset(rows[source]):
+                return False
+            target_row &= rows[source]
+            after = target_row.count()
+        else:
+            pair = matrices.get(ineq.label)
+            if pair is None:
+                target_row.clear()
+                after = 0
+            else:
+                direction = (
+                    "forward" if ineq.matrix == FORWARD else "backward"
+                )
+                result = pair.product(
+                    rows[source],
+                    direction,
+                    mask=target_row,
+                    strategy=options.product,
+                )
+                after = result.count()
+                if after == before:
+                    return False  # result subset of target & equal size
+                rows[target] = result
+
+        report.updates += 1
+        report.bits_removed += before - after
+        return True
+
+    if options.ordering == "dynamic":
+        # Fully dynamic selection: always evaluate the unstable
+        # inequality whose source row currently has the fewest set
+        # bits ("shrink the simulation as early as possible" taken to
+        # its run-time-analytics extreme).
+        pending: Set[int] = set(range(len(inequalities)))
+        while pending:
+            idx = min(
+                pending,
+                key=lambda i: (
+                    rows[soi.find(inequalities[i].source)].count(), i
+                ),
+            )
+            pending.discard(idx)
+            if evaluate(idx):
+                target = soi.find(inequalities[idx].target)
+                pending.update(by_source.get(target, ()))
+        if inequalities:
+            report.rounds = -(-report.evaluations // len(inequalities))
+    else:
+        # Static priority of each inequality (lower rank runs earlier).
+        order = order_inequalities(
+            inequalities, matrices, n,
+            ordering=options.ordering, seed=options.seed,
+        )
+        rank = {idx: position for position, idx in enumerate(order)}
+        queue: List[int] = sorted(
+            range(len(inequalities)), key=rank.__getitem__
+        )
+        pending_next: Set[int] = set()
+        while queue:
+            report.rounds += 1
+            for idx in queue:
+                if evaluate(idx):
+                    target = soi.find(inequalities[idx].target)
+                    for dependent in by_source.get(target, ()):
+                        pending_next.add(dependent)
+            queue = sorted(pending_next, key=rank.__getitem__)
+            pending_next = set()
+
+    report.elapsed = time.perf_counter() - start
+    return SolverResult(soi, data, rows, report)
+
+
+def largest_dual_simulation(
+    pattern: Graph,
+    data: Graph,
+    options: Optional[SolverOptions] = None,
+) -> SolverResult:
+    """Largest dual simulation between a pattern graph and a data
+    graph via the SOI solver (the fast path of Table 2)."""
+    soi = SystemOfInequalities.from_pattern_graph(pattern)
+    return solve(soi, data, options)

@@ -1,0 +1,105 @@
+"""Evaluation strategies for the SOI solver (paper Sect. 3.3).
+
+The paper stresses that its contribution is the *separation* of the
+algorithmic representation (the SOI) from the evaluation strategy,
+"externally adaptable by static and dynamic heuristics".  Two choice
+points exist:
+
+1. **Inequality ordering** — which unstable inequality to evaluate
+   next.  The paper's choice: shrink the simulation as early as
+   possible by preferring inequalities whose matrix has more empty
+   columns (a sparsity signal).
+2. **Product orientation** — evaluate ``source x_b A`` row-wise or
+   column-wise; the paper chooses row-wise iff the source row has
+   fewer set bits than the target row.  (That dynamic rule lives in
+   :meth:`LabelMatrixPair.product` with ``strategy='auto'``.)
+
+This module implements the static ordering heuristics; Sect. 5.3's
+finding that "there is not a single heuristic that fits all input
+patterns and databases" is reproduced by the strategy ablation bench.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from repro.bitvec.matrix import LabelMatrixPair
+from repro.core.soi import (
+    CopyInequality,
+    EdgeInequality,
+    FORWARD,
+    Inequality,
+)
+
+ORDERINGS = ("fifo", "sparsity", "frequency", "random")
+
+
+def _empty_columns(
+    ineq: EdgeInequality, matrices: Dict[str, LabelMatrixPair], n: int
+) -> int:
+    """Empty columns of the inequality's matrix component.
+
+    A column ``j`` of ``F_a`` is empty iff node ``j`` has no incoming
+    ``a``-edge, i.e. iff bit ``j`` of the backward summary is clear —
+    and symmetrically for ``B_a``.
+    """
+    pair = matrices.get(ineq.label)
+    if pair is None:
+        return n  # absent label: the all-zero matrix, maximally sparse
+    if ineq.matrix == FORWARD:
+        return n - pair.backward.summary.count()
+    return n - pair.forward.summary.count()
+
+
+def _label_frequency(
+    ineq: EdgeInequality, matrices: Dict[str, LabelMatrixPair]
+) -> int:
+    pair = matrices.get(ineq.label)
+    return pair.n_edges if pair is not None else 0
+
+
+def order_inequalities(
+    inequalities: List[Inequality],
+    matrices: Dict[str, LabelMatrixPair],
+    n: int,
+    ordering: str = "sparsity",
+    seed: int = 0,
+) -> List[int]:
+    """Initial processing order as a list of inequality indices.
+
+    Copy inequalities are cheap and only ever tighten surrogates, so
+    every ordering floats them to the front.
+    """
+    indices = list(range(len(inequalities)))
+    if ordering == "fifo":
+        key: Callable[[int], tuple] = lambda i: (
+            0 if isinstance(inequalities[i], CopyInequality) else 1,
+            i,
+        )
+        return sorted(indices, key=key)
+    if ordering == "sparsity":
+        def sparsity_key(i: int) -> tuple:
+            ineq = inequalities[i]
+            if isinstance(ineq, CopyInequality):
+                return (0, 0, i)
+            # More empty columns first -> negate.
+            return (1, -_empty_columns(ineq, matrices, n), i)
+        return sorted(indices, key=sparsity_key)
+    if ordering == "frequency":
+        def frequency_key(i: int) -> tuple:
+            ineq = inequalities[i]
+            if isinstance(ineq, CopyInequality):
+                return (0, 0, i)
+            return (1, _label_frequency(ineq, matrices), i)
+        return sorted(indices, key=frequency_key)
+    if ordering == "random":
+        rng = random.Random(seed)
+        rng.shuffle(indices)
+        indices.sort(
+            key=lambda i: 0 if isinstance(inequalities[i], CopyInequality) else 1
+        )
+        return indices
+    raise ValueError(
+        f"unknown ordering {ordering!r}; choose from {ORDERINGS}"
+    )

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Malformed graph or graph-database input."""
+
+
+class DimensionMismatchError(ReproError):
+    """Bit-vector/bit-matrix operands of incompatible width."""
+
+
+class TermError(ReproError):
+    """Malformed RDF term (IRI, literal, variable)."""
+
+
+class ParseError(ReproError):
+    """Syntax error while parsing N-Triples or SPARQL text."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class QueryError(ReproError):
+    """Semantically invalid query (e.g. unknown variable projected)."""
+
+
+class StoreError(ReproError):
+    """Triple-store level failure (unknown term, bad index access)."""
+
+
+class SolverError(ReproError):
+    """SOI construction or fixpoint-solver failure."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload-generator parameters."""

@@ -1,0 +1,37 @@
+"""Graph data model (paper Sect. 2): edge-labeled directed graphs and
+graph databases with the literal/object distinction of Def. 1."""
+
+from repro.graph.database import GraphDatabase, Literal, example_movie_database
+from repro.graph.generators import (
+    chain_pattern,
+    cycle_pattern,
+    figure4_database,
+    figure4_pattern,
+    figure5_database,
+    grid_database,
+    planted_pattern_database,
+    random_database,
+    random_graph,
+    random_pattern,
+    star_pattern,
+)
+from repro.graph.graph import Edge, Graph
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphDatabase",
+    "Literal",
+    "example_movie_database",
+    "random_graph",
+    "random_database",
+    "random_pattern",
+    "planted_pattern_database",
+    "chain_pattern",
+    "cycle_pattern",
+    "star_pattern",
+    "grid_database",
+    "figure4_pattern",
+    "figure4_database",
+    "figure5_database",
+]

@@ -1,0 +1,201 @@
+"""Random graph generators used by tests and property-based checks.
+
+These are deliberately small, seedable generators — the large-scale
+workload generators (LUBM-like, DBpedia-like) live in
+``repro.workloads``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.graph.database import GraphDatabase
+from repro.graph.graph import Graph
+
+
+def random_graph(
+    n_nodes: int,
+    n_edges: int,
+    labels: Sequence[str] = ("a", "b", "c"),
+    seed: int = 0,
+) -> Graph:
+    """A uniformly random edge-labeled digraph (self-loops allowed)."""
+    if n_nodes <= 0:
+        raise WorkloadError("n_nodes must be positive")
+    if not labels:
+        raise WorkloadError("need at least one label")
+    rng = random.Random(seed)
+    graph = Graph()
+    for i in range(n_nodes):
+        graph.add_node(i)
+    for _ in range(n_edges):
+        src = rng.randrange(n_nodes)
+        dst = rng.randrange(n_nodes)
+        label = rng.choice(list(labels))
+        graph.add_edge(src, label, dst)
+    return graph
+
+
+def random_database(
+    n_nodes: int,
+    n_edges: int,
+    labels: Sequence[str] = ("a", "b", "c"),
+    seed: int = 0,
+) -> GraphDatabase:
+    """A uniformly random graph database (objects only, no literals)."""
+    graph = random_graph(n_nodes, n_edges, labels, seed)
+    db = GraphDatabase()
+    for node in graph.nodes():
+        db.add_node(node)
+    for s, p, o in graph.edges():
+        db.add_triple(s, p, o)
+    return db
+
+
+def random_pattern(
+    n_vars: int,
+    n_edges: int,
+    labels: Sequence[str] = ("a", "b", "c"),
+    seed: int = 0,
+    connected: bool = True,
+) -> Graph:
+    """A random query-pattern graph over variables ``v0..v{n-1}``.
+
+    With ``connected=True`` a spanning backbone is laid down first so
+    the pattern forms a single weakly connected component — the usual
+    shape of database queries.
+    """
+    if n_vars <= 0:
+        raise WorkloadError("n_vars must be positive")
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(n_vars)]
+    pattern = Graph()
+    for name in names:
+        pattern.add_node(name)
+    remaining = n_edges
+    if connected and n_vars > 1:
+        order = names[:]
+        rng.shuffle(order)
+        for i in range(1, len(order)):
+            anchor = rng.choice(order[:i])
+            label = rng.choice(list(labels))
+            if rng.random() < 0.5:
+                pattern.add_edge(anchor, label, order[i])
+            else:
+                pattern.add_edge(order[i], label, anchor)
+            remaining -= 1
+    while remaining > 0:
+        src = rng.choice(names)
+        dst = rng.choice(names)
+        label = rng.choice(list(labels))
+        pattern.add_edge(src, label, dst)
+        remaining -= 1
+    return pattern
+
+
+def planted_pattern_database(
+    pattern: Graph,
+    n_copies: int,
+    noise_nodes: int,
+    noise_edges: int,
+    seed: int = 0,
+) -> GraphDatabase:
+    """A database guaranteed to contain ``n_copies`` disjoint matches
+    of ``pattern`` plus uniform random noise.
+
+    Useful for tests that need a known non-empty result set.
+    """
+    rng = random.Random(seed)
+    db = GraphDatabase()
+    labels = sorted(pattern.labels) or ["a"]
+    for copy in range(n_copies):
+        for s, label, d in pattern.edges():
+            db.add_triple(f"c{copy}:{s}", label, f"c{copy}:{d}")
+    for i in range(noise_nodes):
+        db.add_node(f"noise{i}")
+    noise_names = [f"noise{i}" for i in range(noise_nodes)]
+    if noise_names:
+        for _ in range(noise_edges):
+            db.add_triple(
+                rng.choice(noise_names),
+                rng.choice(labels),
+                rng.choice(noise_names),
+            )
+    return db
+
+
+def chain_pattern(length: int, label: str = "a") -> Graph:
+    """v0 -a-> v1 -a-> ... -a-> v{length}."""
+    pattern = Graph()
+    for i in range(length):
+        pattern.add_edge(f"v{i}", label, f"v{i + 1}")
+    return pattern
+
+
+def cycle_pattern(length: int, label: str = "a") -> Graph:
+    """A directed cycle of ``length`` nodes."""
+    if length < 1:
+        raise WorkloadError("cycle length must be >= 1")
+    pattern = Graph()
+    for i in range(length):
+        pattern.add_edge(f"v{i}", label, f"v{(i + 1) % length}")
+    return pattern
+
+
+def star_pattern(rays: int, labels: Sequence[str] | None = None) -> Graph:
+    """A star: center -l_i-> leaf_i for each ray."""
+    pattern = Graph()
+    for i in range(rays):
+        label = labels[i % len(labels)] if labels else f"l{i}"
+        pattern.add_edge("center", label, f"leaf{i}")
+    return pattern
+
+
+def grid_database(
+    width: int, height: int, labels: Tuple[str, str] = ("right", "down")
+) -> GraphDatabase:
+    """A width x height grid database; handy for path/cycle queries."""
+    db = GraphDatabase()
+    right, down = labels
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                db.add_triple((x, y), right, (x + 1, y))
+            if y + 1 < height:
+                db.add_triple((x, y), down, (x, y + 1))
+    return db
+
+
+def figure4_pattern() -> Graph:
+    """Fig. 4(a): v -knows-> w, w -knows-> v (a 2-cycle)."""
+    pattern = Graph()
+    pattern.add_edge("v", "knows", "w")
+    pattern.add_edge("w", "knows", "v")
+    return pattern
+
+
+def figure4_database() -> GraphDatabase:
+    """Fig. 4(b): the 4-node 'knows' graph where dual simulation keeps
+    the false positive p4 (see Sect. 4.1)."""
+    db = GraphDatabase()
+    db.add_triple("p1", "knows", "p2")
+    db.add_triple("p2", "knows", "p1")
+    db.add_triple("p3", "knows", "p2")
+    db.add_triple("p2", "knows", "p3")
+    db.add_triple("p3", "knows", "p4")
+    db.add_triple("p4", "knows", "p3")
+    return db
+
+
+def figure5_database() -> GraphDatabase:
+    """Fig. 5(a): the 6-node database used for query (X3)."""
+    db = GraphDatabase()
+    db.add_triple(1, "a", 2)
+    db.add_triple(1, "a", 3)
+    db.add_triple(4, "b", 2)
+    db.add_triple(4, "c", 5)
+    db.add_triple(3, "d", 5)
+    db.add_triple(3, "d", 6)
+    return db

@@ -1,0 +1,102 @@
+"""Loading and saving graph databases as N-Triples.
+
+Bridges the RDF term layer and the graph layer: IRIs become string
+node names (their IRI text), RDF literals become
+:class:`~repro.graph.database.Literal` nodes carrying the converted
+Python value, and predicates become string labels.  The mapping is
+lossy only in one direction (datatype IRIs of non-numeric literals
+collapse to their Python value); round-tripping a database written by
+:func:`save_ntriples` reproduces it exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO, Union
+
+from urllib.parse import quote, unquote
+
+from repro.errors import GraphError, TermError
+from repro.graph.database import GraphDatabase, Literal
+from repro.rdf.ntriples import parse, serialize_triple
+from repro.rdf.terms import Iri, RdfLiteral
+
+Source = Union[str, Path, TextIO]
+
+#: Namespace for node names that are not valid IRIs (e.g. the paper's
+#: intuitive names like "B. De Palma"); they are percent-encoded into
+#: this namespace on save and decoded transparently on load.
+NAME_NS = "urn:repro:name:"
+
+
+def _node_from_term(term) -> object:
+    if isinstance(term, Iri):
+        if term.value.startswith(NAME_NS):
+            return unquote(term.value[len(NAME_NS):])
+        return term.value
+    if isinstance(term, RdfLiteral):
+        return Literal(term.python_value())
+    raise GraphError(f"cannot map term to a database node: {term!r}")
+
+
+def _term_from_node(node) -> object:
+    if isinstance(node, Literal):
+        value = node.value
+        if isinstance(value, bool):
+            return RdfLiteral.boolean(value)
+        if isinstance(value, int):
+            return RdfLiteral.integer(value)
+        if isinstance(value, float):
+            return RdfLiteral(
+                str(value), "http://www.w3.org/2001/XMLSchema#decimal"
+            )
+        return RdfLiteral(str(value))
+    return _iri_from_name(str(node))
+
+
+def _iri_from_name(name: str) -> Iri:
+    try:
+        return Iri(name)
+    except TermError:
+        return Iri(NAME_NS + quote(name, safe=""))
+
+
+def _name_from_iri(iri: Iri) -> str:
+    if iri.value.startswith(NAME_NS):
+        return unquote(iri.value[len(NAME_NS):])
+    return iri.value
+
+
+def load_ntriples(source: Source) -> GraphDatabase:
+    """Read N-Triples text/file/path into a :class:`GraphDatabase`."""
+    if isinstance(source, Path):
+        text: Union[str, TextIO] = source.read_text()
+    elif isinstance(source, str) and "\n" not in source and source.endswith(".nt"):
+        text = Path(source).read_text()
+    else:
+        text = source
+    db = GraphDatabase()
+    for subject, predicate, obj in parse(text):
+        db.add_triple(
+            _node_from_term(subject),
+            _name_from_iri(predicate),
+            _node_from_term(obj),
+        )
+    return db
+
+
+def dump_ntriples(db: GraphDatabase) -> str:
+    """Render a graph database as N-Triples text."""
+    lines = []
+    for s, p, o in sorted(db.triples(), key=lambda t: (str(t[0]), str(t[1]), str(t[2]))):
+        lines.append(
+            serialize_triple(
+                (_term_from_node(s), _iri_from_name(str(p)), _term_from_node(o))
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def save_ntriples(db: GraphDatabase, path: Union[str, Path]) -> None:
+    """Write a graph database to an ``.nt`` file."""
+    Path(path).write_text(dump_ntriples(db))

@@ -1,0 +1,16 @@
+"""End-to-end pruned query processing + the pruning advisor."""
+
+from repro.pipeline.advisor import PruningAdvice, PruningAdvisor
+from repro.pipeline.pruned_query import (
+    PipelineReport,
+    PruneOutcome,
+    PruningPipeline,
+)
+
+__all__ = [
+    "PruningPipeline",
+    "PruneOutcome",
+    "PipelineReport",
+    "PruningAdvisor",
+    "PruningAdvice",
+]

@@ -1,0 +1,235 @@
+"""When is dual simulation pruning worth it?  (paper Sect. 5.3)
+
+The paper's recommendation: *"use dual simulation for pruning in
+cases where queries produce large intermediate results.  Such cases
+can usually be detected employing database statistics for join result
+size estimation, also used for join order optimization."*  And the
+paper's own conclusion adds that such guidelines "make sense on a
+per-system and per-data basis" — the same query may deserve pruning
+in front of a materializing engine but not in front of one that
+propagates bindings.
+
+This module implements that guideline as a profile-aware advisor:
+
+* ``rdfox-like``    — System-R style cardinality estimation over the
+  static join order with *materialized* extents: every triple pattern
+  contributes its full extent, joins shrink by shared-variable
+  distinct counts.  Large estimates here mean large hash-join inputs,
+  the case where pruning shines (Table 4).
+* ``virtuoso-like`` — greedy binding-propagating estimation: the
+  per-step matches an index nested-loop engine touches.  These are
+  usually tiny, which is why the paper finds few wins in Table 5.
+
+The verdict compares the estimated join work against an estimate of
+the dual simulation cost (touched predicate extents times a small
+fixpoint constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.rdf.terms import Variable
+from repro.sparql.ast import (
+    BGP,
+    Filter,
+    GraphPattern,
+    Join,
+    LeftJoin,
+    SelectQuery,
+    TriplePattern,
+    Union,
+    iter_triple_patterns,
+)
+from repro.sparql.normalize import flatten, merge_bgps
+from repro.sparql.parser import parse_query
+from repro.store.optimizer import order_bgp
+from repro.store.statistics import StoreStatistics
+from repro.store.triple_store import TripleStore
+
+
+@dataclass
+class PruningAdvice:
+    """The advisor's verdict for one query."""
+
+    recommended: bool
+    profile: str
+    estimated_join_work: float
+    estimated_simulation_work: float
+    peak_intermediate: float
+    step_estimates: List[float] = field(default_factory=list)
+
+    @property
+    def work_ratio(self) -> float:
+        if self.estimated_simulation_work == 0:
+            return float("inf")
+        return self.estimated_join_work / self.estimated_simulation_work
+
+
+class PruningAdvisor:
+    """Statistics-based advisor over one store."""
+
+    #: Pruning is recommended when estimated join work exceeds the
+    #: estimated simulation work by this factor...
+    DEFAULT_THRESHOLD = 1.0
+    #: ...and the peak intermediate is at least this large ("large
+    #: intermediate results" is an absolute notion: tiny queries never
+    #: amortize the pruning pass, however their ratio looks).
+    DEFAULT_MIN_INTERMEDIATE = 1000.0
+    #: Per-extent cost of the fixpoint relative to per-row join work:
+    #: ~4 revisits per inequality, discounted by the 64-bit word
+    #: parallelism of the bit-matrix products (4/16 = 0.25).
+    DEFAULT_SIMULATION_COST_FACTOR = 0.25
+
+    def __init__(
+        self,
+        store: TripleStore,
+        stats: Optional[StoreStatistics] = None,
+        threshold: float = DEFAULT_THRESHOLD,
+        min_intermediate: float = DEFAULT_MIN_INTERMEDIATE,
+        simulation_cost_factor: float = DEFAULT_SIMULATION_COST_FACTOR,
+    ):
+        self.store = store
+        self.stats = stats or StoreStatistics(store)
+        self.threshold = threshold
+        self.min_intermediate = min_intermediate
+        self.simulation_cost_factor = simulation_cost_factor
+
+    # -- pattern-level statistics -------------------------------------------
+
+    def _extent(self, pattern: TriplePattern) -> float:
+        if isinstance(pattern.predicate, Variable):
+            return float(self.stats.total_triples)
+        p = self.store.predicates.lookup(pattern.predicate)
+        if p is None:
+            return 0.0
+        base = float(self.stats.predicate_count.get(p, 0))
+        # Constants select a fraction of the extent.
+        if not isinstance(pattern.subject, Variable):
+            base /= max(1, self.stats.subject_count.get(p, 1))
+        if not isinstance(pattern.object, Variable):
+            base /= max(1, self.stats.object_count.get(p, 1))
+        return base
+
+    def _var_distincts(self, pattern: TriplePattern) -> Dict[Variable, float]:
+        out: Dict[Variable, float] = {}
+        if isinstance(pattern.predicate, Variable):
+            n = float(max(1, self.store.n_nodes))
+            for term in (pattern.subject, pattern.object):
+                if isinstance(term, Variable):
+                    out[term] = n
+            return out
+        p = self.store.predicates.lookup(pattern.predicate)
+        subjects = float(max(1, self.stats.subject_count.get(p, 1)))
+        objects = float(max(1, self.stats.object_count.get(p, 1)))
+        if isinstance(pattern.subject, Variable):
+            out[pattern.subject] = subjects
+        if isinstance(pattern.object, Variable):
+            out[pattern.object] = min(out.get(pattern.object, objects), objects)
+        return out
+
+    # -- estimation per profile ------------------------------------------------
+
+    def _steps_materialize(self, bgp: BGP) -> List[float]:
+        """System-R estimates over the static order, full extents."""
+        ordered = order_bgp(
+            bgp.triples, self.stats, self.store, ordering="static"
+        )
+        steps: List[float] = []
+        size: Optional[float] = None
+        var_distinct: Dict[Variable, float] = {}
+        for pattern in ordered:
+            extent = self._extent(pattern)
+            distincts = self._var_distincts(pattern)
+            if size is None:
+                size = extent
+            else:
+                shared = set(distincts) & set(var_distinct)
+                denominator = 1.0
+                for variable in shared:
+                    denominator *= max(
+                        min(var_distinct[variable], size),
+                        min(distincts[variable], extent),
+                        1.0,
+                    )
+                size = size * extent / denominator
+            for variable, count in distincts.items():
+                var_distinct[variable] = min(
+                    var_distinct.get(variable, count), count
+                )
+            steps.append(size)
+        return steps
+
+    def _steps_nested(self, bgp: BGP) -> List[float]:
+        """Binding-propagating estimates over the greedy order."""
+        ordered = order_bgp(
+            bgp.triples, self.stats, self.store, ordering="greedy"
+        )
+        steps: List[float] = []
+        bound: set = set()
+        size = 1.0
+        for pattern in ordered:
+            step = self.stats.estimate_pattern(pattern, bound, self.store)
+            size *= max(step, 1e-9)
+            bound |= {
+                term
+                for term in (pattern.subject, pattern.predicate,
+                             pattern.object)
+                if isinstance(term, Variable)
+            }
+            steps.append(size)
+        return steps
+
+    def _collect_steps(
+        self, pattern: GraphPattern, profile: str
+    ) -> List[float]:
+        if isinstance(pattern, BGP):
+            if profile == "rdfox-like":
+                return self._steps_materialize(pattern)
+            return self._steps_nested(pattern)
+        if isinstance(pattern, (Join, LeftJoin, Union)):
+            return self._collect_steps(pattern.left, profile) + \
+                self._collect_steps(pattern.right, profile)
+        if isinstance(pattern, Filter):
+            return self._collect_steps(pattern.pattern, profile)
+        return []
+
+    def _simulation_work(self, pattern: GraphPattern) -> float:
+        """Touched predicate extents x a small fixpoint constant."""
+        work = 0.0
+        for triple in iter_triple_patterns(pattern):
+            if isinstance(triple.predicate, Variable):
+                work += self.stats.total_triples
+                continue
+            p = self.store.predicates.lookup(triple.predicate)
+            if p is not None:
+                work += self.stats.predicate_count.get(p, 0)
+        return self.simulation_cost_factor * work
+
+    # -- verdict --------------------------------------------------------------------
+
+    def advise(
+        self, query: SelectQuery | str, profile: str = "rdfox-like"
+    ) -> PruningAdvice:
+        if profile not in ("rdfox-like", "virtuoso-like"):
+            raise ValueError(f"unknown profile: {profile!r}")
+        if isinstance(query, str):
+            query = parse_query(query)
+        pattern = merge_bgps(flatten(query.pattern))
+        steps = self._collect_steps(pattern, profile)
+        join_work = sum(steps)
+        sim_work = self._simulation_work(pattern)
+        peak = max(steps) if steps else 0.0
+        recommended = (
+            join_work > self.threshold * sim_work
+            and peak >= self.min_intermediate
+        )
+        return PruningAdvice(
+            recommended=recommended,
+            profile=profile,
+            estimated_join_work=join_work,
+            estimated_simulation_work=sim_work,
+            peak_intermediate=peak,
+            step_estimates=steps,
+        )

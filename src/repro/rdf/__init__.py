@@ -1,0 +1,41 @@
+"""RDF substrate: terms, dictionary encoding, N-Triples I/O."""
+
+from repro.rdf.dictionary import TermDictionary
+from repro.rdf.ntriples import (
+    BLANK_NS,
+    parse,
+    parse_line,
+    serialize,
+    serialize_triple,
+)
+from repro.rdf.terms import (
+    Iri,
+    PatternTerm,
+    RdfLiteral,
+    Term,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_INTEGER,
+    XSD_STRING,
+    is_constant,
+)
+
+__all__ = [
+    "Iri",
+    "RdfLiteral",
+    "Variable",
+    "Term",
+    "PatternTerm",
+    "is_constant",
+    "TermDictionary",
+    "parse",
+    "parse_line",
+    "serialize",
+    "serialize_triple",
+    "BLANK_NS",
+    "XSD_STRING",
+    "XSD_INTEGER",
+    "XSD_DECIMAL",
+    "XSD_BOOLEAN",
+]

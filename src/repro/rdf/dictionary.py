@@ -1,0 +1,61 @@
+"""Dictionary encoding of RDF terms.
+
+Triple stores (and the SOI solver's bit-vectors) work over dense
+integer ids.  A :class:`TermDictionary` is a bidirectional mapping
+from terms to ids, append-only, with separate id spaces optional via
+multiple instances (the store keeps one for nodes and one for
+predicates, matching the paper's node set vs. alphabet split).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List
+
+from repro.errors import StoreError
+
+
+class TermDictionary:
+    """Append-only bidirectional term <-> dense-id mapping."""
+
+    __slots__ = ("_by_term", "_by_id")
+
+    def __init__(self):
+        self._by_term: Dict[Hashable, int] = {}
+        self._by_id: List[Hashable] = []
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, term: Hashable) -> bool:
+        return term in self._by_term
+
+    def encode(self, term: Hashable) -> int:
+        """Return the id of ``term``, assigning a fresh one if new."""
+        idx = self._by_term.get(term)
+        if idx is None:
+            idx = len(self._by_id)
+            self._by_term[term] = idx
+            self._by_id.append(term)
+        return idx
+
+    def lookup(self, term: Hashable) -> int | None:
+        """The id of ``term`` or None when unknown (no insertion)."""
+        return self._by_term.get(term)
+
+    def require(self, term: Hashable) -> int:
+        idx = self._by_term.get(term)
+        if idx is None:
+            raise StoreError(f"unknown term: {term!r}")
+        return idx
+
+    def decode(self, idx: int) -> Hashable:
+        try:
+            return self._by_id[idx]
+        except IndexError:
+            raise StoreError(f"unknown term id: {idx}") from None
+
+    def terms(self) -> Iterator[Hashable]:
+        return iter(self._by_id)
+
+    def __repr__(self) -> str:
+        return f"TermDictionary(|terms|={len(self)})"

@@ -1,0 +1,188 @@
+"""A line-oriented N-Triples reader and writer.
+
+Supports the subset of N-Triples needed for dataset interchange:
+IRIs in angle brackets, plain/typed/language-tagged literals with the
+usual string escapes, ``#`` comments and blank lines.  Blank nodes are
+accepted as ``_:label`` and surfaced as IRIs in a reserved namespace
+(the paper's data model has no blank nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TextIO, Tuple
+
+from repro.errors import ParseError, TermError
+from repro.rdf.terms import Iri, RdfLiteral, Term, XSD_STRING
+
+BLANK_NS = "urn:repro:blank:"
+
+Triple = Tuple[Iri, Iri, Term]
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+class _LineScanner:
+    """Character scanner over a single N-Triples line."""
+
+    def __init__(self, text: str, line_no: int):
+        self.text = text
+        self.pos = 0
+        self.line_no = line_no
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, line=self.line_no, column=self.pos + 1)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}, found {self.peek()!r}")
+        self.pos += 1
+
+    def read_iri(self) -> Iri:
+        self.expect("<")
+        start = self.pos
+        end = self.text.find(">", start)
+        if end < 0:
+            raise self.error("unterminated IRI")
+        value = self.text[start:end]
+        self.pos = end + 1
+        try:
+            return Iri(value)
+        except TermError as exc:
+            raise self.error(str(exc)) from exc
+
+    def read_blank(self) -> Iri:
+        # _:label -> IRI in the reserved blank namespace.
+        self.pos += 2  # consume "_:"
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("empty blank-node label")
+        return Iri(BLANK_NS + self.text[start : self.pos])
+
+    def read_string_body(self) -> str:
+        self.expect('"')
+        out = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated string literal")
+            char = self.text[self.pos]
+            self.pos += 1
+            if char == '"':
+                return "".join(out)
+            if char == "\\":
+                if self.at_end():
+                    raise self.error("dangling escape")
+                esc = self.text[self.pos]
+                self.pos += 1
+                if esc in _ESCAPES:
+                    out.append(_ESCAPES[esc])
+                elif esc == "u":
+                    out.append(self._read_unicode(4))
+                elif esc == "U":
+                    out.append(self._read_unicode(8))
+                else:
+                    raise self.error(f"unknown escape: \\{esc}")
+            else:
+                out.append(char)
+
+    def _read_unicode(self, width: int) -> str:
+        hexdigits = self.text[self.pos : self.pos + width]
+        if len(hexdigits) < width:
+            raise self.error("truncated unicode escape")
+        try:
+            code = int(hexdigits, 16)
+        except ValueError:
+            raise self.error(f"bad unicode escape: {hexdigits!r}") from None
+        self.pos += width
+        return chr(code)
+
+    def read_literal(self) -> RdfLiteral:
+        body = self.read_string_body()
+        if self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] == "-"
+            ):
+                self.pos += 1
+            if self.pos == start:
+                raise self.error("empty language tag")
+            return RdfLiteral(body, XSD_STRING, self.text[start : self.pos])
+        if self.text.startswith("^^", self.pos):
+            self.pos += 2
+            datatype = self.read_iri()
+            return RdfLiteral(body, datatype.value)
+        return RdfLiteral(body)
+
+    def read_subject(self) -> Iri:
+        if self.peek() == "<":
+            return self.read_iri()
+        if self.text.startswith("_:", self.pos):
+            return self.read_blank()
+        raise self.error("subject must be an IRI or blank node")
+
+    def read_object(self) -> Term:
+        if self.peek() == "<":
+            return self.read_iri()
+        if self.text.startswith("_:", self.pos):
+            return self.read_blank()
+        if self.peek() == '"':
+            return self.read_literal()
+        raise self.error("object must be an IRI, blank node, or literal")
+
+
+def parse_line(line: str, line_no: int = 1) -> Triple | None:
+    """Parse one N-Triples line; None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    scanner = _LineScanner(stripped, line_no)
+    subject = scanner.read_subject()
+    scanner.skip_ws()
+    predicate = scanner.read_iri()
+    scanner.skip_ws()
+    obj = scanner.read_object()
+    scanner.skip_ws()
+    scanner.expect(".")
+    scanner.skip_ws()
+    if not scanner.at_end():
+        raise scanner.error("trailing content after '.'")
+    return (subject, predicate, obj)
+
+
+def parse(source: str | TextIO) -> Iterator[Triple]:
+    """Parse N-Triples text or a file-like object, yielding triples."""
+    lines = source.splitlines() if isinstance(source, str) else source
+    for line_no, line in enumerate(lines, start=1):
+        triple = parse_line(line, line_no)
+        if triple is not None:
+            yield triple
+
+
+def serialize_triple(triple: Triple) -> str:
+    subject, predicate, obj = triple
+    return f"{subject.n3()} {predicate.n3()} {obj.n3()} ."
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Render triples as N-Triples text (one statement per line)."""
+    return "\n".join(serialize_triple(t) for t in triples) + "\n"

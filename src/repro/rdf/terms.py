@@ -1,0 +1,152 @@
+"""RDF terms: IRIs, literals, and query variables.
+
+The paper abstracts IRIs into intuitive names; this module keeps the
+full term structure so the N-Triples reader, the triple store and the
+SPARQL parser can interoperate, while the graph layer may continue to
+use plain strings (an :class:`Iri` stringifies to its IRI text).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import TermError
+
+# XSD datatype shorthands used by the literal parser.
+XSD_STRING = "http://www.w3.org/2001/XMLSchema#string"
+XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+XSD_DECIMAL = "http://www.w3.org/2001/XMLSchema#decimal"
+XSD_BOOLEAN = "http://www.w3.org/2001/XMLSchema#boolean"
+
+
+class Iri:
+    """An IRI reference, e.g. ``<http://example.org/Alice>``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        if not value:
+            raise TermError("IRI must be non-empty")
+        if any(c in value for c in "<>\"{}|^`") or any(
+            ord(c) <= 0x20 for c in value
+        ):
+            raise TermError(f"invalid character in IRI: {value!r}")
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Iri) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Iri", self.value))
+
+    def __str__(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Iri({self.value!r})"
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+
+class RdfLiteral:
+    """A typed or plain RDF literal."""
+
+    __slots__ = ("lexical", "datatype", "language")
+
+    def __init__(
+        self,
+        lexical: str,
+        datatype: str = XSD_STRING,
+        language: str | None = None,
+    ):
+        if language is not None and datatype != XSD_STRING:
+            raise TermError("language-tagged literals must be plain strings")
+        self.lexical = str(lexical)
+        self.datatype = datatype
+        self.language = language
+
+    @classmethod
+    def integer(cls, value: int) -> "RdfLiteral":
+        return cls(str(int(value)), XSD_INTEGER)
+
+    @classmethod
+    def boolean(cls, value: bool) -> "RdfLiteral":
+        return cls("true" if value else "false", XSD_BOOLEAN)
+
+    def python_value(self) -> Union[str, int, float, bool]:
+        """Best-effort conversion to a native Python value."""
+        if self.datatype == XSD_INTEGER:
+            return int(self.lexical)
+        if self.datatype == XSD_DECIMAL:
+            return float(self.lexical)
+        if self.datatype == XSD_BOOLEAN:
+            return self.lexical == "true"
+        return self.lexical
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RdfLiteral)
+            and self.lexical == other.lexical
+            and self.datatype == other.datatype
+            and self.language == other.language
+        )
+
+    def __hash__(self) -> int:
+        return hash(("RdfLiteral", self.lexical, self.datatype, self.language))
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def __repr__(self) -> str:
+        if self.language:
+            return f"RdfLiteral({self.lexical!r}, lang={self.language!r})"
+        if self.datatype != XSD_STRING:
+            return f"RdfLiteral({self.lexical!r}, {self.datatype!r})"
+        return f"RdfLiteral({self.lexical!r})"
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype != XSD_STRING:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+
+class Variable:
+    """A SPARQL query variable ``?name``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not all(c.isalnum() or c == "_" for c in name):
+            raise TermError(f"invalid variable name: {name!r}")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+Term = Union[Iri, RdfLiteral]
+PatternTerm = Union[Iri, RdfLiteral, Variable]
+
+
+def is_constant(term: PatternTerm) -> bool:
+    """True for IRIs and literals; False for variables."""
+    return not isinstance(term, Variable)

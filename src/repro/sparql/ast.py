@@ -1,0 +1,385 @@
+"""Abstract syntax of the SPARQL fragment handled by the paper.
+
+The paper's query language ``S`` (Sect. 4.3) comprises union-free
+queries built from BGPs with AND and OPTIONAL; we additionally carry
+UNION (removed by normalization, Prop. 3) and simple FILTERs (ignored
+by the pruning compiler — dropping a filter only ever *enlarges* the
+overapproximation, so soundness is preserved; the engine applies
+them).
+
+Pattern terms are either :class:`~repro.rdf.terms.Variable` or
+constants.  Constants are opaque node names compared by equality with
+database nodes, so plain strings, :class:`~repro.rdf.terms.Iri` and
+:class:`~repro.graph.database.Literal` all work.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.errors import QueryError
+from repro.rdf.terms import Variable
+
+
+class TriplePattern:
+    """A triple pattern (s, p, o); s/o may be variables or constants,
+    p may be a variable or a label constant."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject, predicate, obj):
+        self.subject = subject
+        self.predicate = predicate
+        self.object = obj
+
+    def variables(self) -> FrozenSet[Variable]:
+        out = set()
+        for term in (self.subject, self.predicate, self.object):
+            if isinstance(term, Variable):
+                out.add(term)
+        return frozenset(out)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TriplePattern)
+            and self.subject == other.subject
+            and self.predicate == other.predicate
+            and self.object == other.object
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.subject, self.predicate, self.object))
+
+    def __repr__(self) -> str:
+        return f"TriplePattern({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+
+# -- filter expressions ---------------------------------------------------
+
+
+class Expression:
+    """Base class of filter expressions."""
+
+    def variables(self) -> FrozenSet[Variable]:
+        raise NotImplementedError
+
+
+class Comparison(Expression):
+    """Binary comparison between variables/constants."""
+
+    OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left, right):
+        if op not in self.OPS:
+            raise QueryError(f"unknown comparison operator: {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        out = set()
+        if isinstance(self.left, Variable):
+            out.add(self.left)
+        if isinstance(self.right, Variable):
+            out.add(self.right)
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.left!r} {self.op} {self.right!r})"
+
+
+class BooleanOp(Expression):
+    """'&&' / '||' combination of expressions."""
+
+    __slots__ = ("op", "operands")
+
+    def __init__(self, op: str, operands: Sequence[Expression]):
+        if op not in ("&&", "||"):
+            raise QueryError(f"unknown boolean operator: {op!r}")
+        self.op = op
+        self.operands = tuple(operands)
+
+    def variables(self) -> FrozenSet[Variable]:
+        out: set = set()
+        for operand in self.operands:
+            out |= operand.variables()
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return f"BooleanOp({self.op!r}, {list(self.operands)!r})"
+
+
+class Negation(Expression):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.operand.variables()
+
+    def __repr__(self) -> str:
+        return f"Negation({self.operand!r})"
+
+
+class Bound(Expression):
+    """``BOUND(?v)`` — true when the solution binds ``?v``."""
+
+    __slots__ = ("variable",)
+
+    def __init__(self, variable: Variable):
+        self.variable = variable
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset({self.variable})
+
+    def __repr__(self) -> str:
+        return f"Bound({self.variable!r})"
+
+
+# -- graph patterns --------------------------------------------------------
+
+
+class GraphPattern:
+    """Base class of query graph patterns."""
+
+    def variables(self) -> FrozenSet[Variable]:
+        raise NotImplementedError
+
+    def mandatory_variables(self) -> FrozenSet[Variable]:
+        """The paper's ``mand`` function (Sect. 4.3)."""
+        raise NotImplementedError
+
+
+class BGP(GraphPattern):
+    """A basic graph pattern: a set of triple patterns."""
+
+    __slots__ = ("triples",)
+
+    def __init__(self, triples: Sequence[TriplePattern]):
+        self.triples = tuple(triples)
+
+    def variables(self) -> FrozenSet[Variable]:
+        out: set = set()
+        for t in self.triples:
+            out |= t.variables()
+        return frozenset(out)
+
+    def mandatory_variables(self) -> FrozenSet[Variable]:
+        return self.variables()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BGP) and set(self.triples) == set(other.triples)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.triples))
+
+    def __repr__(self) -> str:
+        return f"BGP({list(self.triples)!r})"
+
+
+class Join(GraphPattern):
+    """``Q1 AND Q2`` — SPARQL inner join."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: GraphPattern, right: GraphPattern):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def mandatory_variables(self) -> FrozenSet[Variable]:
+        return (
+            self.left.mandatory_variables() | self.right.mandatory_variables()
+        )
+
+    def __repr__(self) -> str:
+        return f"Join({self.left!r}, {self.right!r})"
+
+
+class LeftJoin(GraphPattern):
+    """``Q1 OPTIONAL Q2`` — SPARQL left-outer join."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: GraphPattern, right: GraphPattern):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def mandatory_variables(self) -> FrozenSet[Variable]:
+        return self.left.mandatory_variables()
+
+    def __repr__(self) -> str:
+        return f"LeftJoin({self.left!r}, {self.right!r})"
+
+
+class Union(GraphPattern):
+    """``Q1 UNION Q2``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: GraphPattern, right: GraphPattern):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def mandatory_variables(self) -> FrozenSet[Variable]:
+        # Only variables bound in every branch are certain; for the
+        # pruning machinery UNION is normalized away first, so this is
+        # used for analysis/validation only.
+        return (
+            self.left.mandatory_variables() & self.right.mandatory_variables()
+        )
+
+    def __repr__(self) -> str:
+        return f"Union({self.left!r}, {self.right!r})"
+
+
+class Filter(GraphPattern):
+    """``FILTER(expr)`` applied to a pattern."""
+
+    __slots__ = ("expression", "pattern")
+
+    def __init__(self, expression: Expression, pattern: GraphPattern):
+        self.expression = expression
+        self.pattern = pattern
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.pattern.variables()
+
+    def mandatory_variables(self) -> FrozenSet[Variable]:
+        return self.pattern.mandatory_variables()
+
+    def __repr__(self) -> str:
+        return f"Filter({self.expression!r}, {self.pattern!r})"
+
+
+class SelectQuery:
+    """A SELECT query: projection + solution modifiers over a pattern.
+
+    ``order_by`` is a sequence of ``(variable, ascending)`` pairs;
+    ``limit``/``offset`` slice the (ordered) solution sequence.
+    """
+
+    __slots__ = (
+        "projection", "pattern", "distinct", "order_by", "limit", "offset",
+    )
+
+    def __init__(
+        self,
+        projection: Optional[Sequence[Variable]],
+        pattern: GraphPattern,
+        distinct: bool = False,
+        order_by: Sequence[Tuple[Variable, bool]] = (),
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ):
+        known = pattern.variables()
+        if projection is not None:
+            for var in projection:
+                if var not in known:
+                    raise QueryError(
+                        f"projected variable {var} does not occur in the pattern"
+                    )
+        for var, _ascending in order_by:
+            if var not in known:
+                raise QueryError(
+                    f"ORDER BY variable {var} does not occur in the pattern"
+                )
+        if limit is not None and limit < 0:
+            raise QueryError("LIMIT must be non-negative")
+        if offset < 0:
+            raise QueryError("OFFSET must be non-negative")
+        self.projection = tuple(projection) if projection is not None else None
+        self.pattern = pattern
+        self.distinct = distinct
+        self.order_by = tuple(order_by)
+        self.limit = limit
+        self.offset = offset
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.pattern.variables()
+
+    def __repr__(self) -> str:
+        proj = "*" if self.projection is None else list(self.projection)
+        return f"SelectQuery({proj}, {self.pattern!r})"
+
+
+class AskQuery:
+    """An ASK query: does the pattern have at least one solution?"""
+
+    __slots__ = ("pattern",)
+
+    def __init__(self, pattern: GraphPattern):
+        self.pattern = pattern
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.pattern.variables()
+
+    def __repr__(self) -> str:
+        return f"AskQuery({self.pattern!r})"
+
+
+def iter_triple_patterns(pattern: GraphPattern) -> Iterator[TriplePattern]:
+    """All triple patterns anywhere in a graph pattern."""
+    if isinstance(pattern, BGP):
+        yield from pattern.triples
+    elif isinstance(pattern, (Join, LeftJoin, Union)):
+        yield from iter_triple_patterns(pattern.left)
+        yield from iter_triple_patterns(pattern.right)
+    elif isinstance(pattern, Filter):
+        yield from iter_triple_patterns(pattern.pattern)
+    else:
+        raise QueryError(f"unknown pattern node: {pattern!r}")
+
+
+def is_well_designed(pattern: GraphPattern) -> bool:
+    """Perez et al.'s well-designedness check (Sect. 4.5).
+
+    A pattern is well-designed iff for every sub-pattern
+    ``Q1 OPTIONAL Q2`` and every variable ``v`` of ``Q2`` occurring
+    anywhere outside the optional sub-pattern, ``v`` also occurs in
+    ``Q1``.
+    """
+
+    def occurs_outside(sub: GraphPattern, root: GraphPattern, var) -> bool:
+        # Count occurrences of var in root that are not inside sub.
+        if root is sub:
+            return False
+        if isinstance(root, BGP):
+            return var in root.variables()
+        if isinstance(root, Filter):
+            return occurs_outside(sub, root.pattern, var) or (
+                var in root.expression.variables()
+            )
+        if isinstance(root, (Join, LeftJoin, Union)):
+            return occurs_outside(sub, root.left, var) or occurs_outside(
+                sub, root.right, var
+            )
+        raise QueryError(f"unknown pattern node: {root!r}")
+
+    def walk(node: GraphPattern) -> Iterator[LeftJoin]:
+        if isinstance(node, LeftJoin):
+            yield node
+        if isinstance(node, (Join, LeftJoin, Union)):
+            yield from walk(node.left)
+            yield from walk(node.right)
+        elif isinstance(node, Filter):
+            yield from walk(node.pattern)
+
+    for optional in walk(pattern):
+        for var in optional.right.variables():
+            if var in optional.left.variables():
+                continue
+            if occurs_outside(optional, pattern, var):
+                return False
+    return True

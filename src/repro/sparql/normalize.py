@@ -1,0 +1,155 @@
+"""UNION normal form (paper Prop. 3 / Perez et al. Prop. 3.8).
+
+Every query is equivalent to a UNION of finitely many union-free
+queries; AND, OPTIONAL and FILTER distribute over UNION.  The pruning
+compiler (Sect. 4) operates on union-free queries, so this module
+rewrites arbitrary patterns into a list of union-free branches.
+
+Additionally small structural clean-ups used throughout:
+* ``merge_bgps`` fuses Join-of-BGP chains into single BGPs (the SPARQL
+  algebra treats triples of one group as one BGP);
+* ``flatten`` removes empty-BGP Join units introduced by parsing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import QueryError
+from repro.sparql.ast import (
+    BGP,
+    Filter,
+    GraphPattern,
+    Join,
+    LeftJoin,
+    Union,
+)
+
+
+def is_union_free(pattern: GraphPattern) -> bool:
+    if isinstance(pattern, BGP):
+        return True
+    if isinstance(pattern, Union):
+        return False
+    if isinstance(pattern, (Join, LeftJoin)):
+        return is_union_free(pattern.left) and is_union_free(pattern.right)
+    if isinstance(pattern, Filter):
+        return is_union_free(pattern.pattern)
+    raise QueryError(f"unknown pattern node: {pattern!r}")
+
+
+def to_union_free(pattern: GraphPattern) -> List[GraphPattern]:
+    """The union-free branches whose UNION is equivalent to ``pattern``.
+
+    Uses the distributivity equivalences of Perez et al.:
+    ``(P1 UNION P2) AND P3     == (P1 AND P3) UNION (P2 AND P3)``
+    ``(P1 UNION P2) OPT P3     == (P1 OPT P3) UNION (P2 OPT P3)``
+    ``P1 OPT (P2 UNION P3)     == (P1 OPT P2) UNION (P1 OPT P3)``
+    ``FILTER e (P1 UNION P2)   == (FILTER e P1) UNION (FILTER e P2)``
+    """
+    if isinstance(pattern, BGP):
+        return [pattern]
+    if isinstance(pattern, Union):
+        return to_union_free(pattern.left) + to_union_free(pattern.right)
+    if isinstance(pattern, Join):
+        return [
+            Join(left, right)
+            for left in to_union_free(pattern.left)
+            for right in to_union_free(pattern.right)
+        ]
+    if isinstance(pattern, LeftJoin):
+        return [
+            LeftJoin(left, right)
+            for left in to_union_free(pattern.left)
+            for right in to_union_free(pattern.right)
+        ]
+    if isinstance(pattern, Filter):
+        return [
+            Filter(pattern.expression, branch)
+            for branch in to_union_free(pattern.pattern)
+        ]
+    raise QueryError(f"unknown pattern node: {pattern!r}")
+
+
+def flatten(pattern: GraphPattern) -> GraphPattern:
+    """Drop empty-BGP Join units; e.g. ``Join(BGP(()), P) -> P``."""
+    if isinstance(pattern, BGP):
+        return pattern
+    if isinstance(pattern, Join):
+        left = flatten(pattern.left)
+        right = flatten(pattern.right)
+        if isinstance(left, BGP) and not left.triples:
+            return right
+        if isinstance(right, BGP) and not right.triples:
+            return left
+        return Join(left, right)
+    if isinstance(pattern, LeftJoin):
+        left = flatten(pattern.left)
+        right = flatten(pattern.right)
+        if isinstance(right, BGP) and not right.triples:
+            return left
+        return LeftJoin(left, right)
+    if isinstance(pattern, Union):
+        return Union(flatten(pattern.left), flatten(pattern.right))
+    if isinstance(pattern, Filter):
+        return Filter(pattern.expression, flatten(pattern.pattern))
+    raise QueryError(f"unknown pattern node: {pattern!r}")
+
+
+def merge_bgps(pattern: GraphPattern) -> GraphPattern:
+    """Fuse ``Join(BGP, BGP)`` chains into single BGPs.
+
+    Sound for inner joins of BGPs (set-semantics join of two BGPs over
+    shared variables equals the single merged BGP).
+    """
+    if isinstance(pattern, BGP):
+        return pattern
+    if isinstance(pattern, Join):
+        left = merge_bgps(pattern.left)
+        right = merge_bgps(pattern.right)
+        if isinstance(left, BGP) and isinstance(right, BGP):
+            return BGP(left.triples + right.triples)
+        return Join(left, right)
+    if isinstance(pattern, LeftJoin):
+        return LeftJoin(merge_bgps(pattern.left), merge_bgps(pattern.right))
+    if isinstance(pattern, Union):
+        return Union(merge_bgps(pattern.left), merge_bgps(pattern.right))
+    if isinstance(pattern, Filter):
+        return Filter(pattern.expression, merge_bgps(pattern.pattern))
+    raise QueryError(f"unknown pattern node: {pattern!r}")
+
+
+def normalize(pattern: GraphPattern) -> List[GraphPattern]:
+    """Full normalization pipeline: flatten, UNION-split, merge BGPs."""
+    return [merge_bgps(branch) for branch in to_union_free(flatten(pattern))]
+
+
+def strip_optional(pattern: GraphPattern) -> GraphPattern:
+    """The mandatory core: drop all OPTIONAL parts (used for Table 2,
+    where the Ma et al. baseline only accepts BGPs)."""
+    if isinstance(pattern, BGP):
+        return pattern
+    if isinstance(pattern, Join):
+        return Join(strip_optional(pattern.left), strip_optional(pattern.right))
+    if isinstance(pattern, LeftJoin):
+        return strip_optional(pattern.left)
+    if isinstance(pattern, Union):
+        return Union(strip_optional(pattern.left), strip_optional(pattern.right))
+    if isinstance(pattern, Filter):
+        return Filter(pattern.expression, strip_optional(pattern.pattern))
+    raise QueryError(f"unknown pattern node: {pattern!r}")
+
+
+def strip_filters(pattern: GraphPattern) -> GraphPattern:
+    """Remove FILTER wrappers (the pruning compiler ignores them)."""
+    if isinstance(pattern, BGP):
+        return pattern
+    if isinstance(pattern, Join):
+        return Join(strip_filters(pattern.left), strip_filters(pattern.right))
+    if isinstance(pattern, LeftJoin):
+        return LeftJoin(strip_filters(pattern.left), strip_filters(pattern.right))
+    if isinstance(pattern, Union):
+        return Union(strip_filters(pattern.left), strip_filters(pattern.right))
+    if isinstance(pattern, Filter):
+        return strip_filters(pattern.pattern)
+    raise QueryError(f"unknown pattern node: {pattern!r}")

@@ -1,0 +1,403 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Grammar (whitespace-insensitive)::
+
+    Query        := Prologue 'SELECT' 'DISTINCT'? ('*' | Var+)
+                    'WHERE'? Group
+    Prologue     := ('PREFIX' PNAME ':'? IRI)*
+    Group        := '{' GroupBody '}'
+    GroupBody    := (Triples | 'OPTIONAL' Group | Group ('UNION' Group)*
+                     | 'FILTER' '(' Expr ')') ('.'? ...)*
+    Triples      := Term Verb Object (',' Object)* (';' Verb Object...)*
+
+Group semantics follow the SPARQL algebra translation: elements of a
+group are folded left-to-right with Join; an OPTIONAL element folds
+with LeftJoin; FILTERs collected in a group wrap the whole group.
+
+Constant handling: IRIs and prefixed names become :class:`Iri` terms
+when a prologue/prefix map is in play, otherwise bare NAME tokens
+become plain-string constants (matching the paper's "intuitive names"
+presentation, e.g. ``?director directed ?movie``).  The keyword ``a``
+in verb position is the plain label ``"a"`` by default and the
+``rdf:type`` IRI when ``a_is_rdf_type=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ParseError
+from repro.rdf.terms import Iri, RdfLiteral, Variable
+from repro.sparql.ast import (
+    AskQuery,
+    BGP,
+    BooleanOp,
+    Bound,
+    Comparison,
+    Expression,
+    Filter,
+    GraphPattern,
+    Join,
+    LeftJoin,
+    Negation,
+    SelectQuery,
+    TriplePattern,
+    Union,
+)
+from repro.sparql.tokenizer import Token, tokenize
+
+RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], a_is_rdf_type: bool):
+        self.tokens = tokens
+        self.pos = 0
+        self.prefixes: Dict[str, str] = {}
+        self.a_is_rdf_type = a_is_rdf_type
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(
+            f"{message} (found {token.kind} {token.value!r})",
+            line=token.line,
+            column=token.column,
+        )
+
+    def accept_punct(self, value: str) -> bool:
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value == value:
+            self.pos += 1
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> None:
+        if not self.accept_punct(value):
+            raise self.error(f"expected {value!r}")
+
+    def accept_keyword(self, value: str) -> bool:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value == value:
+            self.pos += 1
+            return True
+        return False
+
+    def expect_keyword(self, value: str) -> None:
+        if not self.accept_keyword(value):
+            raise self.error(f"expected keyword {value}")
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_query(self):
+        self.parse_prologue()
+        if self.accept_keyword("ASK"):
+            self.accept_keyword("WHERE")
+            pattern = self.parse_group()
+            if self.peek().kind != "EOF":
+                raise self.error("trailing content after query")
+            return AskQuery(pattern)
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        projection: Optional[List[Variable]]
+        if self.accept_punct("*"):
+            projection = None
+        else:
+            projection = []
+            while self.peek().kind == "VAR":
+                projection.append(Variable(self.next().value))
+            if not projection:
+                raise self.error("expected '*' or at least one variable")
+        self.accept_keyword("WHERE")
+        pattern = self.parse_group()
+        order_by = self.parse_order_by()
+        limit, offset = self.parse_limit_offset()
+        if self.peek().kind != "EOF":
+            raise self.error("trailing content after query")
+        return SelectQuery(
+            projection, pattern, distinct,
+            order_by=order_by, limit=limit, offset=offset,
+        )
+
+    def parse_order_by(self):
+        conditions: List = []
+        if not self.accept_keyword("ORDER"):
+            return conditions
+        self.expect_keyword("BY")
+        while True:
+            token = self.peek()
+            if token.kind == "VAR":
+                self.next()
+                conditions.append((Variable(token.value), True))
+            elif token.kind == "KEYWORD" and token.value in ("ASC", "DESC"):
+                self.next()
+                ascending = token.value == "ASC"
+                self.expect_punct("(")
+                var_token = self.next()
+                if var_token.kind != "VAR":
+                    raise self.error("ORDER BY expects a variable")
+                self.expect_punct(")")
+                conditions.append((Variable(var_token.value), ascending))
+            else:
+                break
+        if not conditions:
+            raise self.error("ORDER BY needs at least one condition")
+        return conditions
+
+    def parse_limit_offset(self):
+        limit: Optional[int] = None
+        offset = 0
+        # LIMIT and OFFSET may appear in either order.
+        for _ in range(2):
+            if self.accept_keyword("LIMIT"):
+                token = self.next()
+                if token.kind != "NUMBER" or "." in token.value:
+                    raise self.error("LIMIT expects an integer")
+                limit = int(token.value)
+            elif self.accept_keyword("OFFSET"):
+                token = self.next()
+                if token.kind != "NUMBER" or "." in token.value:
+                    raise self.error("OFFSET expects an integer")
+                offset = int(token.value)
+        return limit, offset
+
+    def parse_prologue(self) -> None:
+        while self.accept_keyword("PREFIX"):
+            token = self.next()
+            if token.kind != "PNAME" or not token.value.endswith(":"):
+                raise self.error("expected prefix name ending in ':'")
+            prefix = token.value[:-1]
+            iri_token = self.next()
+            if iri_token.kind != "IRI":
+                raise self.error("expected IRI after prefix name")
+            self.prefixes[prefix] = iri_token.value
+
+    def parse_group(self) -> GraphPattern:
+        self.expect_punct("{")
+        elements: List[GraphPattern] = []
+        optionals: List[int] = []  # indices of elements joined as OPTIONAL
+        filters: List[Expression] = []
+        while not self.accept_punct("}"):
+            token = self.peek()
+            if token.kind == "KEYWORD" and token.value == "OPTIONAL":
+                self.next()
+                inner = self.parse_group()
+                optionals.append(len(elements))
+                elements.append(inner)
+            elif token.kind == "KEYWORD" and token.value == "FILTER":
+                self.next()
+                self.expect_punct("(")
+                filters.append(self.parse_expression())
+                self.expect_punct(")")
+            elif token.kind == "PUNCT" and token.value == "{":
+                sub = self.parse_group()
+                while self.accept_keyword("UNION"):
+                    sub = Union(sub, self.parse_group())
+                elements.append(sub)
+            elif token.kind == "EOF":
+                raise self.error("unterminated group (missing '}')")
+            else:
+                elements.append(self.parse_triples_block())
+            self.accept_punct(".")
+
+        pattern = self.fold_group(elements, optionals)
+        for expression in filters:
+            pattern = Filter(expression, pattern)
+        return pattern
+
+    def fold_group(
+        self, elements: List[GraphPattern], optionals: List[int]
+    ) -> GraphPattern:
+        optional_set = set(optionals)
+        pattern: Optional[GraphPattern] = None
+        for index, element in enumerate(elements):
+            if pattern is None:
+                if index in optional_set:
+                    # OPTIONAL as the first element joins with the empty BGP.
+                    pattern = LeftJoin(BGP(()), element)
+                else:
+                    pattern = element
+            elif index in optional_set:
+                pattern = LeftJoin(pattern, element)
+            else:
+                pattern = Join(pattern, element)
+        return pattern if pattern is not None else BGP(())
+
+    def parse_triples_block(self) -> BGP:
+        triples: List[TriplePattern] = []
+        while True:
+            subject = self.parse_term(position="subject")
+            self.parse_property_list(subject, triples)
+            # A '.' may separate further same-block triples.
+            saved = self.pos
+            if self.accept_punct("."):
+                token = self.peek()
+                if token.kind in ("VAR", "IRI", "PNAME", "NAME", "NUMBER", "STRING"):
+                    continue
+                self.pos = saved  # let the group loop consume the dot
+            break
+        return BGP(triples)
+
+    def parse_property_list(self, subject, triples: List[TriplePattern]) -> None:
+        while True:
+            predicate = self.parse_verb()
+            while True:
+                obj = self.parse_term(position="object")
+                triples.append(TriplePattern(subject, predicate, obj))
+                if not self.accept_punct(","):
+                    break
+            if not self.accept_punct(";"):
+                break
+
+    def parse_verb(self):
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value == "A":
+            self.next()
+            return Iri(RDF_TYPE) if self.a_is_rdf_type else "a"
+        if token.kind == "VAR":
+            self.next()
+            return Variable(token.value)
+        if token.kind == "IRI":
+            self.next()
+            return Iri(token.value)
+        if token.kind == "PNAME":
+            self.next()
+            return self.expand_pname(token)
+        if token.kind == "NAME":
+            self.next()
+            return token.value
+        raise self.error("expected predicate")
+
+    def parse_term(self, position: str):
+        token = self.peek()
+        if token.kind == "VAR":
+            self.next()
+            return Variable(token.value)
+        if token.kind == "IRI":
+            self.next()
+            return Iri(token.value)
+        if token.kind == "PNAME":
+            self.next()
+            return self.expand_pname(token)
+        if token.kind == "NAME":
+            self.next()
+            return token.value
+        if token.kind == "STRING":
+            self.next()
+            return RdfLiteral(token.value)
+        if token.kind == "NUMBER":
+            self.next()
+            return self.number_literal(token.value)
+        if token.kind == "KEYWORD" and token.value == "A" and position == "subject":
+            # A bare 'a' in subject position is a plain name.
+            self.next()
+            return "a"
+        raise self.error(f"expected {position} term")
+
+    def number_literal(self, text: str) -> RdfLiteral:
+        if "." in text:
+            return RdfLiteral(text, "http://www.w3.org/2001/XMLSchema#decimal")
+        return RdfLiteral.integer(int(text))
+
+    def expand_pname(self, token: Token):
+        prefix, _, local = token.value.partition(":")
+        if prefix in self.prefixes:
+            return Iri(self.prefixes[prefix] + local)
+        if self.prefixes:
+            raise ParseError(
+                f"unknown prefix: {prefix!r}", line=token.line, column=token.column
+            )
+        # Without a prologue, prefixed names are opaque string constants
+        # (matching the paper's ub:Publication style examples).
+        return token.value
+
+    # -- filter expressions ---------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        operands = [self.parse_and()]
+        while self.accept_punct("||"):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("||", operands)
+
+    def parse_and(self) -> Expression:
+        operands = [self.parse_unary()]
+        while self.accept_punct("&&"):
+            operands.append(self.parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("&&", operands)
+
+    def parse_unary(self) -> Expression:
+        if self.accept_punct("!"):
+            return Negation(self.parse_unary())
+        if self.accept_punct("("):
+            inner = self.parse_expression()
+            self.expect_punct(")")
+            return inner
+        if self.accept_keyword("BOUND"):
+            self.expect_punct("(")
+            token = self.next()
+            if token.kind != "VAR":
+                raise self.error("BOUND expects a variable")
+            self.expect_punct(")")
+            return Bound(Variable(token.value))
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_operand()
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value in Comparison.OPS:
+            self.next()
+            right = self.parse_operand()
+            return Comparison(token.value, left, right)
+        raise self.error("expected comparison operator")
+
+    def parse_operand(self):
+        token = self.peek()
+        if token.kind == "VAR":
+            self.next()
+            return Variable(token.value)
+        if token.kind == "NUMBER":
+            self.next()
+            return self.number_literal(token.value)
+        if token.kind == "STRING":
+            self.next()
+            return RdfLiteral(token.value)
+        if token.kind == "IRI":
+            self.next()
+            return Iri(token.value)
+        if token.kind == "PNAME":
+            self.next()
+            return self.expand_pname(token)
+        if token.kind == "NAME":
+            self.next()
+            return token.value
+        raise self.error("expected filter operand")
+
+
+def parse_query(text: str, a_is_rdf_type: bool = False) -> SelectQuery:
+    """Parse a SELECT query from SPARQL text."""
+    return _Parser(tokenize(text), a_is_rdf_type).parse_query()
+
+
+def parse_pattern(text: str, a_is_rdf_type: bool = False) -> GraphPattern:
+    """Parse a group graph pattern ``{ ... }`` without a SELECT head."""
+    parser = _Parser(tokenize(text), a_is_rdf_type)
+    pattern = parser.parse_group()
+    if parser.peek().kind != "EOF":
+        raise parser.error("trailing content after pattern")
+    return pattern

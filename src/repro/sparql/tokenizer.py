@@ -1,0 +1,198 @@
+"""Tokenizer for the SPARQL subset.
+
+Produces a flat token stream consumed by the recursive-descent parser.
+Token kinds:
+
+* ``KEYWORD``  — SELECT, DISTINCT, WHERE, OPTIONAL, UNION, FILTER,
+  PREFIX, BOUND, A (the ``rdf:type`` shorthand)
+* ``VAR``      — ``?name``
+* ``IRI``      — ``<...>``
+* ``PNAME``    — ``prefix:local`` or ``:local``
+* ``STRING``   — double-quoted with escapes
+* ``NUMBER``   — integer or decimal
+* ``PUNCT``    — ``{ } ( ) . ; , * = != <= >= < > && || !``
+* ``EOF``
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "SELECT",
+    "ASK",
+    "DISTINCT",
+    "WHERE",
+    "OPTIONAL",
+    "UNION",
+    "FILTER",
+    "PREFIX",
+    "BOUND",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "A",
+}
+
+_PUNCT_2 = ("!=", "<=", ">=", "&&", "||")
+_PUNCT_1 = "{}().;,*=<>!"
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SPARQL text; raises :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(text)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line=line, column=col)
+
+    while i < n:
+        char = text[i]
+        if char == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if char in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if char == "#":  # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+
+        if char == "?" or char == "$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise error("empty variable name")
+            tokens.append(Token("VAR", text[i + 1 : j], start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        if char == "<":
+            # Either an IRI or a comparison; IRIs never contain spaces
+            # and must close on the same line before any whitespace.
+            j = text.find(">", i + 1)
+            segment = text[i + 1 : j] if j > 0 else ""
+            if j > 0 and "\n" not in segment and " " not in segment and (
+                j > i + 1
+            ):
+                # Treat "<=" as comparison, "<iri>" as IRI: an IRI body
+                # never starts with "=".
+                if not segment.startswith("="):
+                    tokens.append(Token("IRI", segment, start_line, start_col))
+                    col += j - i + 1
+                    i = j + 1
+                    continue
+            two = text[i : i + 2]
+            if two == "<=":
+                tokens.append(Token("PUNCT", "<=", start_line, start_col))
+                i += 2
+                col += 2
+            else:
+                tokens.append(Token("PUNCT", "<", start_line, start_col))
+                i += 1
+                col += 1
+            continue
+
+        if char == '"':
+            j = i + 1
+            out = []
+            while j < n:
+                c = text[j]
+                if c == "\\":
+                    if j + 1 >= n:
+                        raise error("dangling escape in string")
+                    esc = text[j + 1]
+                    mapped = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}.get(esc)
+                    if mapped is None:
+                        raise error(f"unknown escape: \\{esc}")
+                    out.append(mapped)
+                    j += 2
+                elif c == '"':
+                    break
+                elif c == "\n":
+                    raise error("newline in string literal")
+                else:
+                    out.append(c)
+                    j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            tokens.append(Token("STRING", "".join(out), start_line, start_col))
+            col += j - i + 1
+            i = j + 1
+            continue
+
+        if char.isdigit() or (
+            char == "-" and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A trailing "." is the triple terminator, not a decimal
+                    # point ("5." means NUMBER 5 then PUNCT ".").
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        two = text[i : i + 2]
+        if two in _PUNCT_2:
+            tokens.append(Token("PUNCT", two, start_line, start_col))
+            i += 2
+            col += 2
+            continue
+        if char in _PUNCT_1:
+            tokens.append(Token("PUNCT", char, start_line, start_col))
+            i += 1
+            col += 1
+            continue
+
+        if char.isalpha() or char == "_" or char == ":":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_:.-"):
+                j += 1
+            # Do not swallow a trailing "." (triple terminator).
+            while j > i and text[j - 1] == ".":
+                j -= 1
+            word = text[i:j]
+            if ":" in word:
+                tokens.append(Token("PNAME", word, start_line, start_col))
+            elif word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), start_line, start_col))
+            else:
+                # Bare word: treated as a plain-name constant/label.
+                tokens.append(Token("NAME", word, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+
+        raise error(f"unexpected character: {char!r}")
+
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

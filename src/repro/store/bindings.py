@@ -1,0 +1,111 @@
+"""Solution mappings (the paper's partial matches ``mu``).
+
+A solution is a partial function from variables to node ids of a
+store, represented as a plain dict.  This module provides the
+compatibility predicate ``mu1 <-> mu2`` (Sect. 4.2), merging, and
+decoding back to node names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.rdf.terms import Variable
+from repro.store.triple_store import TripleStore
+
+Solution = Dict[Variable, int]
+
+
+def compatible(mu1: Solution, mu2: Solution) -> bool:
+    """True iff the two solutions agree on all shared variables."""
+    if len(mu2) < len(mu1):
+        mu1, mu2 = mu2, mu1
+    for var, value in mu1.items():
+        other = mu2.get(var)
+        if other is not None and other != value:
+            return False
+    return True
+
+
+def merge(mu1: Solution, mu2: Solution) -> Solution:
+    """``mu1 union mu2`` — assumes compatibility."""
+    out = dict(mu1)
+    out.update(mu2)
+    return out
+
+
+def solution_key(mu: Solution) -> Tuple[Tuple[str, int], ...]:
+    """A hashable canonical form (for DISTINCT and set comparisons)."""
+    return tuple(sorted(((var.name, value) for var, value in mu.items())))
+
+
+def decode_solution(mu: Solution, store: TripleStore) -> Dict[Variable, Hashable]:
+    """Map node ids back to node names."""
+    return {var: store.nodes.decode(value) for var, value in mu.items()}
+
+
+def decode_all(
+    solutions: Iterable[Solution], store: TripleStore
+) -> List[Dict[Variable, Hashable]]:
+    return [decode_solution(mu, store) for mu in solutions]
+
+
+def _sort_token(value) -> Tuple:
+    """A totally-ordered key for heterogeneous node names: numbers
+    before strings, each compared within their own class."""
+    from repro.graph.database import Literal
+
+    if isinstance(value, Literal):
+        value = value.value
+    if isinstance(value, bool):
+        return (0, int(value), "")
+    if isinstance(value, (int, float)):
+        return (0, float(value), "")
+    return (1, 0.0, str(value))
+
+
+def order_solutions(
+    solutions: List[Solution],
+    order_by: Tuple[Tuple[Variable, bool], ...],
+    store: TripleStore,
+) -> List[Solution]:
+    """Stable multi-key ORDER BY; unbound variables sort first."""
+    if not order_by:
+        return solutions
+    ordered = list(solutions)
+    # Apply keys right-to-left so the leftmost condition dominates
+    # (sorted() is stable).
+    for variable, ascending in reversed(order_by):
+        def key(mu, variable=variable):
+            node_id = mu.get(variable)
+            if node_id is None:
+                return (0, (0, 0.0, ""))
+            return (1, _sort_token(store.nodes.decode(node_id)))
+        ordered.sort(key=key, reverse=not ascending)
+    return ordered
+
+
+def project(
+    solutions: Iterable[Solution],
+    variables: Optional[Tuple[Variable, ...]],
+    distinct: bool = False,
+) -> List[Solution]:
+    """SELECT projection; ``variables=None`` keeps everything (*)."""
+    if variables is None:
+        projected = list(solutions)
+    else:
+        keep = set(variables)
+        projected = [
+            {var: value for var, value in mu.items() if var in keep}
+            for mu in solutions
+        ]
+    if not distinct:
+        return projected
+    seen = set()
+    out: List[Solution] = []
+    for mu in projected:
+        key = solution_key(mu)
+        if key not in seen:
+            seen.add(key)
+            out.append(mu)
+    return out

@@ -1,0 +1,107 @@
+"""Join-order optimization for BGP evaluation.
+
+Two orderings, one per engine profile (Sect. 5 of the paper compares
+two systems whose different join-order behaviour shapes Tables 4/5):
+
+* ``greedy``  — dynamic: repeatedly pick the cheapest remaining triple
+  pattern given the variables bound so far, preferring patterns
+  connected to the already-bound set (Virtuoso-like).
+* ``static``  — data-independent of bindings: ascending base predicate
+  cardinality, connectivity-adjusted only to avoid cross products
+  (RDFox-like hash-join pipelines).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.rdf.terms import Variable
+from repro.sparql.ast import TriplePattern
+from repro.store.statistics import StoreStatistics
+from repro.store.triple_store import TripleStore
+
+
+def _pattern_vars(pattern: TriplePattern) -> Set[Variable]:
+    return set(pattern.variables())
+
+
+def order_greedy(
+    triples: Sequence[TriplePattern],
+    stats: StoreStatistics,
+    store: TripleStore,
+    initially_bound: Set[Variable] | None = None,
+) -> List[TriplePattern]:
+    """Cheapest-first ordering under propagated bindings."""
+    remaining = list(triples)
+    bound: Set[Variable] = set(initially_bound or ())
+    ordered: List[TriplePattern] = []
+    while remaining:
+        best = None
+        best_cost = None
+        for pattern in remaining:
+            cost = stats.estimate_pattern(pattern, bound, store)
+            connected = bool(_pattern_vars(pattern) & bound) or not ordered
+            # Disconnected patterns form cross products; penalize.
+            if not connected:
+                cost *= 1e6
+            if best_cost is None or cost < best_cost:
+                best = pattern
+                best_cost = cost
+        assert best is not None
+        ordered.append(best)
+        remaining.remove(best)
+        bound |= _pattern_vars(best)
+    return ordered
+
+
+def order_static(
+    triples: Sequence[TriplePattern],
+    stats: StoreStatistics,
+    store: TripleStore,
+    initially_bound: Set[Variable] | None = None,
+) -> List[TriplePattern]:
+    """Base-cardinality ordering, adjusted only for connectivity."""
+
+    def base_cost(pattern: TriplePattern) -> float:
+        if isinstance(pattern.predicate, Variable):
+            return float(stats.total_triples)
+        p = store.predicates.lookup(pattern.predicate)
+        if p is None:
+            return 0.0
+        return float(stats.predicate_count.get(p, 0))
+
+    remaining = sorted(triples, key=base_cost)
+    bound: Set[Variable] = set(initially_bound or ())
+    ordered: List[TriplePattern] = []
+    while remaining:
+        pick = None
+        for pattern in remaining:
+            if not ordered or _pattern_vars(pattern) & bound:
+                pick = pattern
+                break
+        if pick is None:  # all disconnected; accept a cross product
+            pick = remaining[0]
+        ordered.append(pick)
+        remaining.remove(pick)
+        bound |= _pattern_vars(pick)
+    return ordered
+
+
+ORDERINGS = {
+    "greedy": order_greedy,
+    "static": order_static,
+}
+
+
+def order_bgp(
+    triples: Sequence[TriplePattern],
+    stats: StoreStatistics,
+    store: TripleStore,
+    ordering: str = "greedy",
+    initially_bound: Set[Variable] | None = None,
+) -> List[TriplePattern]:
+    try:
+        strategy = ORDERINGS[ordering]
+    except KeyError:
+        raise ValueError(f"unknown ordering: {ordering!r}") from None
+    return strategy(triples, stats, store, initially_bound)

@@ -1,0 +1,165 @@
+"""Specification-grade reference evaluator (Perez et al. semantics).
+
+A deliberately naive evaluator that transcribes the SPARQL set
+semantics the paper builds on (Sect. 4) as directly as possible:
+
+* ``[[t]]``            — scan all triples, unify;
+* ``[[Q1 AND Q2]]``    — all compatible merges (no join algorithm);
+* ``[[Q1 OPT Q2]]``    — compatible merges plus unextendable left
+  solutions, with the *conditional* filter semantics when the right
+  side is a FILTER (the filter sees the merged solution);
+* ``[[Q1 UNION Q2]]``  — set union;
+* ``FILTER``           — drop rows whose expression errors or is
+  false.
+
+It makes no attempt to be fast — its only job is to be an obviously
+correct oracle for property tests against the real executor.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import QueryError
+from repro.rdf.terms import Variable
+from repro.sparql.ast import (
+    BGP,
+    Expression,
+    Filter,
+    GraphPattern,
+    Join,
+    LeftJoin,
+    SelectQuery,
+    TriplePattern,
+    Union,
+)
+from repro.store.bindings import Solution, compatible, merge, solution_key
+from repro.store.executor import Executor
+from repro.store.triple_store import TripleStore
+
+
+class ReferenceEvaluator:
+    """Naive direct-semantics evaluator over a triple store."""
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+        # Reuse the production filter evaluation (it is already a
+        # direct transcription of the semantics).
+        self._filter_executor = Executor(store)
+
+    # -- triple patterns ----------------------------------------------------
+
+    def _eval_triple(self, pattern: TriplePattern) -> List[Solution]:
+        solutions: List[Solution] = []
+        store = self.store
+        for s, p, o in store.match_ids(None, None, None):
+            mu: Solution = {}
+            ok = True
+            for term, value, space in (
+                (pattern.subject, s, "node"),
+                (pattern.predicate, p, "predicate"),
+                (pattern.object, o, "node"),
+            ):
+                if isinstance(term, Variable):
+                    bound = mu.get(term)
+                    if bound is None:
+                        mu[term] = value
+                    elif bound != value:
+                        ok = False
+                        break
+                else:
+                    lookup = (
+                        store.predicates.lookup(term)
+                        if space == "predicate"
+                        else store.nodes.lookup(term)
+                    )
+                    if lookup != value:
+                        ok = False
+                        break
+            if ok:
+                # Predicate variables must not leak node-space ids:
+                # keep them, the engine does the same.
+                solutions.append(mu)
+        return solutions
+
+    def _eval_bgp(self, bgp: BGP) -> List[Solution]:
+        solutions: List[Solution] = [{}]
+        for pattern in bgp.triples:
+            extent = self._eval_triple(pattern)
+            solutions = [
+                merge(left, right)
+                for left in solutions
+                for right in extent
+                if compatible(left, right)
+            ]
+        return solutions
+
+    # -- operators -------------------------------------------------------------
+
+    def evaluate(self, pattern: GraphPattern) -> List[Solution]:
+        if isinstance(pattern, BGP):
+            return self._eval_bgp(pattern)
+        if isinstance(pattern, Join):
+            left = self.evaluate(pattern.left)
+            right = self.evaluate(pattern.right)
+            return [
+                merge(l, r) for l in left for r in right if compatible(l, r)
+            ]
+        if isinstance(pattern, LeftJoin):
+            return self._eval_left_join(pattern)
+        if isinstance(pattern, Union):
+            return self.evaluate(pattern.left) + self.evaluate(pattern.right)
+        if isinstance(pattern, Filter):
+            return [
+                mu
+                for mu in self.evaluate(pattern.pattern)
+                if self._accepts(pattern.expression, mu)
+            ]
+        raise QueryError(f"unknown pattern node: {pattern!r}")
+
+    def _eval_left_join(self, pattern: LeftJoin) -> List[Solution]:
+        left = self.evaluate(pattern.left)
+        # Conditional semantics: a FILTER directly under the optional
+        # side is evaluated on the *merged* solution.
+        if isinstance(pattern.right, Filter):
+            condition = pattern.right.expression
+            right = self.evaluate(pattern.right.pattern)
+        else:
+            condition = None
+            right = self.evaluate(pattern.right)
+        out: List[Solution] = []
+        for l in left:
+            extended = False
+            for r in right:
+                if not compatible(l, r):
+                    continue
+                merged = merge(l, r)
+                if condition is not None and not self._accepts(
+                    condition, merged
+                ):
+                    continue
+                out.append(merged)
+                extended = True
+            if not extended:
+                out.append(dict(l))
+        return out
+
+    def _accepts(self, expression: Expression, mu: Solution) -> bool:
+        return self._filter_executor.filter_accepts(expression, mu)
+
+    # -- entry point ---------------------------------------------------------------
+
+    def evaluate_query(self, query: SelectQuery) -> List[Solution]:
+        from repro.store.bindings import order_solutions, project
+
+        solutions = order_solutions(
+            self.evaluate(query.pattern), query.order_by, self.store
+        )
+        projected = project(solutions, query.projection, query.distinct)
+        start = query.offset
+        if query.limit is not None:
+            return projected[start : start + query.limit]
+        return projected[start:] if start else projected
+
+    def as_set(self, pattern: GraphPattern):
+        return {solution_key(mu) for mu in self.evaluate(pattern)}

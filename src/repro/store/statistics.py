@@ -1,0 +1,79 @@
+"""Cardinality statistics for join ordering.
+
+The paper points out (Sect. 5.3) that join-order estimation via
+database statistics is exactly how engines decide where pruning pays
+off.  This module provides the per-predicate statistics both engine
+profiles use: triple counts and distinct subject/object counts, from
+which triple-pattern cardinalities under partial bindings are
+estimated with the usual uniformity assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.rdf.terms import Variable
+from repro.sparql.ast import TriplePattern
+from repro.store.triple_store import TripleStore
+
+
+class StoreStatistics:
+    """Immutable snapshot of per-predicate statistics of a store."""
+
+    def __init__(self, store: TripleStore):
+        self._store = store
+        self.total_triples = store.n_triples
+        self.predicate_count: Dict[int, int] = {}
+        self.subject_count: Dict[int, int] = {}
+        self.object_count: Dict[int, int] = {}
+        for p in store.predicate_ids():
+            self.predicate_count[p] = store.predicate_count(p)
+            self.subject_count[p] = store.distinct_subjects(p)
+            self.object_count[p] = store.distinct_objects(p)
+
+    def selectivity(self, p: int) -> float:
+        """Fraction of all triples carrying predicate ``p``.
+
+        High selectivity in the paper's sense means *few* triples; we
+        return the triple fraction, so smaller is more selective.
+        """
+        if self.total_triples == 0:
+            return 0.0
+        return self.predicate_count.get(p, 0) / self.total_triples
+
+    def estimate_pattern(
+        self,
+        pattern: TriplePattern,
+        bound_vars: set,
+        store: Optional[TripleStore] = None,
+    ) -> float:
+        """Estimated result cardinality of a triple pattern, treating
+        variables in ``bound_vars`` (and constants) as bound."""
+        store = store or self._store
+
+        def is_bound(term) -> bool:
+            return not isinstance(term, Variable) or term in bound_vars
+
+        # Resolve the predicate; a variable predicate means summing
+        # over everything, approximated by the total count.
+        if isinstance(pattern.predicate, Variable):
+            if pattern.predicate in bound_vars:
+                base = self.total_triples / max(1, len(self.predicate_count))
+            else:
+                base = float(self.total_triples)
+            subjects = max(1, store.n_nodes)
+            objects = max(1, store.n_nodes)
+        else:
+            p = store.predicates.lookup(pattern.predicate)
+            if p is None:
+                return 0.0
+            base = float(self.predicate_count.get(p, 0))
+            subjects = max(1, self.subject_count.get(p, 1))
+            objects = max(1, self.object_count.get(p, 1))
+
+        estimate = base
+        if is_bound(pattern.subject):
+            estimate /= subjects
+        if is_bound(pattern.object):
+            estimate /= objects
+        return estimate

@@ -1,0 +1,31 @@
+"""Synthetic workloads standing in for the paper's datasets
+(LUBM(10000) and DBpedia 2016-10) plus the query catalogs."""
+
+from repro.workloads.dbpedia import DBpediaConfig, generate_dbpedia
+from repro.workloads.lubm import LUBM_PREDICATES, LUBMConfig, generate_lubm
+from repro.workloads.queries import (
+    BENCH_QUERIES,
+    CYCLIC_QUERIES,
+    DBPEDIA_QUERIES,
+    EXPECTED_EMPTY,
+    LUBM_QUERIES,
+    dataset_of,
+    get_query,
+    iter_all_queries,
+)
+
+__all__ = [
+    "generate_lubm",
+    "LUBMConfig",
+    "LUBM_PREDICATES",
+    "generate_dbpedia",
+    "DBpediaConfig",
+    "LUBM_QUERIES",
+    "DBPEDIA_QUERIES",
+    "BENCH_QUERIES",
+    "EXPECTED_EMPTY",
+    "CYCLIC_QUERIES",
+    "dataset_of",
+    "get_query",
+    "iter_all_queries",
+]

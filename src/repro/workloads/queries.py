@@ -1,0 +1,315 @@
+"""Query catalogs mirroring the paper's evaluation (Sect. 5.1).
+
+Three families, shaped after the paper's workloads:
+
+* **L0-L5** — LUBM queries (after Atre [4]): L0/L2 cyclic with
+  low-selectivity predicates (huge results, many fixpoint
+  iterations), L1 the Fig. 6(b) publication cycle (fast fixpoint,
+  *weak* pruning), L3-L5 selective constant-anchored queries with
+  OPTIONAL parts.
+* **D0-D5** — DBpedia queries (after Atre [4]): OPTIONAL-heavy,
+  including an empty-result query (D1).
+* **B0-B19** — DBpedia benchmark queries (after Morsey et al. [23]):
+  a broad mixture of stars, chains, cycles, OPTIONALs, a UNION, with
+  empty (B4, B15) and near-empty (B16) members, as in Table 3.
+
+The absolute result counts of the paper cannot carry over to the
+scaled-down synthetic data; the catalog preserves each query's
+*shape role* (documented per query) which is what Tables 2-5 exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+#: Queries against the LUBM-like dataset.
+LUBM_QUERIES: Dict[str, str] = {
+    # Fig. 6(a): the cyclic student/advisor/course triangle.  Low
+    # label diversity drives many fixpoint iterations.
+    "L0": """
+        SELECT * WHERE {
+            ?student advisor ?professor .
+            ?professor teacherOf ?course .
+            ?student takesCourse ?course .
+        }
+    """,
+    # Fig. 6(b): the publication cycle.  Converges fast but prunes
+    # weakly (students with a foreign degree co-authoring).
+    "L1": """
+        SELECT * WHERE {
+            ?publication type Publication .
+            ?publication author ?student .
+            ?publication author ?professor .
+            ?student memberOf ?department .
+            ?professor worksFor ?department .
+            ?student undergraduateDegreeFrom ?university .
+            ?department subOrganizationOf ?university .
+        }
+    """,
+    # Larger cyclic low-selectivity query; huge result set.
+    "L2": """
+        SELECT * WHERE {
+            ?student memberOf ?department .
+            ?professor worksFor ?department .
+            ?student advisor ?professor .
+            ?professor teacherOf ?course .
+            ?student takesCourse ?course .
+        }
+    """,
+    # Selective, constant-anchored, with an OPTIONAL part.
+    "L3": """
+        SELECT * WHERE {
+            ?professor headOf ?department .
+            ?department subOrganizationOf u0 .
+            OPTIONAL {
+                ?student advisor ?professor .
+                ?student teachingAssistantOf ?course .
+            }
+        }
+    """,
+    # Very selective: one department, typed students, OPTIONAL TA.
+    "L4": """
+        SELECT * WHERE {
+            ?student memberOf u0:d0 .
+            ?student type GraduateStudent .
+            OPTIONAL { ?student teachingAssistantOf ?course . }
+        }
+    """,
+    # Tiny: the head of one department and their courses.
+    "L5": """
+        SELECT * WHERE {
+            ?professor headOf u0:d0 .
+            ?professor teacherOf ?course .
+            OPTIONAL { ?ta teachingAssistantOf ?course . }
+        }
+    """,
+}
+
+#: D-queries against the DBpedia-like dataset (OPTIONAL-heavy).
+DBPEDIA_QUERIES: Dict[str, str] = {
+    # Large result with an OPTIONAL award.
+    "D0": """
+        SELECT * WHERE {
+            ?movie type Movie .
+            ?movie starring ?actor .
+            OPTIONAL { ?actor awarded ?award . }
+        }
+    """,
+    # Empty: cities never direct movies.
+    "D1": """
+        SELECT * WHERE {
+            ?city capital_of ?country .
+            ?city directed ?movie .
+        }
+    """,
+    # Tiny: rare predicate + OPTIONAL rare predicate.
+    "D2": """
+        SELECT * WHERE {
+            ?person death_cause Illness .
+            OPTIONAL { ?person resting_place ?place . }
+        }
+    """,
+    # Moderate chain with OPTIONAL.
+    "D3": """
+        SELECT * WHERE {
+            ?movie based_on ?book .
+            ?book author ?writer .
+            OPTIONAL { ?movie music_by ?composer . }
+        }
+    """,
+    # Large star-chain: movie -> actor -> city -> country.
+    "D4": """
+        SELECT * WHERE {
+            ?movie starring ?actor .
+            ?actor born_in ?city .
+            ?city located_in ?country .
+        }
+    """,
+    # Star on directors with OPTIONAL studio.
+    "D5": """
+        SELECT * WHERE {
+            ?director directed ?movie .
+            ?director awarded ?award .
+            OPTIONAL { ?movie studio ?studio . }
+        }
+    """,
+}
+
+#: B-queries (benchmark mixture) against the DBpedia-like dataset.
+BENCH_QUERIES: Dict[str, str] = {
+    # Star with OPTIONAL award.
+    "B0": """
+        SELECT * WHERE {
+            ?director directed ?movie .
+            ?director born_in ?city .
+            OPTIONAL { ?director awarded ?award . }
+        }
+    """,
+    # Constant genre restriction.
+    "B1": """
+        SELECT * WHERE {
+            ?movie genre Action .
+            ?movie starring ?actor .
+        }
+    """,
+    # Chain: movie -> actor -> birthplace.
+    "B2": """
+        SELECT * WHERE {
+            ?movie starring ?actor .
+            ?actor born_in ?city .
+        }
+    """,
+    # Longer chain into the place hierarchy.
+    "B3": """
+        SELECT * WHERE {
+            ?movie writer ?writer .
+            ?writer born_in ?city .
+            ?city located_in ?country .
+        }
+    """,
+    # Empty: a capital city is never a spouse.
+    "B4": """
+        SELECT * WHERE {
+            ?x spouse ?y .
+            ?x capital_of ?country .
+        }
+    """,
+    # Influence chain.
+    "B5": """
+        SELECT * WHERE {
+            ?p influenced ?q .
+            ?q influenced ?r .
+        }
+    """,
+    # Big star on movies.
+    "B6": """
+        SELECT * WHERE {
+            ?movie type Movie .
+            ?movie starring ?actor .
+            ?movie genre ?genre .
+        }
+    """,
+    # 2-cycle: mutual spouses (the Fig. 4 pattern shape).
+    "B7": """
+        SELECT * WHERE {
+            ?a spouse ?b .
+            ?b spouse ?a .
+        }
+    """,
+    # Franchise chain.
+    "B8": """
+        SELECT * WHERE {
+            ?director directed ?movie .
+            ?movie sequel_of ?previous .
+        }
+    """,
+    # Constant literal restriction through a chain.
+    "B9": """
+        SELECT * WHERE {
+            ?movie based_on ?book .
+            ?book language English .
+        }
+    """,
+    # Studio founders who direct.
+    "B10": """
+        SELECT * WHERE {
+            ?studio founded_by ?director .
+            ?director directed ?movie .
+        }
+    """,
+    # Award constant.
+    "B11": """
+        SELECT * WHERE {
+            ?person awarded Oscar .
+            ?person born_in ?city .
+        }
+    """,
+    # Occupation constant joined to movies.
+    "B12": """
+        SELECT * WHERE {
+            ?person occupation Composer .
+            ?movie music_by ?person .
+        }
+    """,
+    # OPTIONAL literal attribute.
+    "B13": """
+        SELECT * WHERE {
+            ?movie type Movie .
+            ?movie country ?country .
+            OPTIONAL { ?movie budget ?budget . }
+        }
+    """,
+    # The biggest join: low-selectivity star x chain.
+    "B14": """
+        SELECT * WHERE {
+            ?movie starring ?actor .
+            ?movie genre ?genre .
+            ?actor nationality ?nation .
+        }
+    """,
+    # Empty: cities do not author books.
+    "B15": """
+        SELECT * WHERE {
+            ?person died_in ?city .
+            ?city author ?book .
+        }
+    """,
+    # Near-empty: rare narrator predicate.
+    "B16": """
+        SELECT * WHERE {
+            ?movie narrator ?person .
+            OPTIONAL { ?person awarded ?award . }
+        }
+    """,
+    # Large with OPTIONAL: all persons and birthplaces.
+    "B17": """
+        SELECT * WHERE {
+            ?person type Person .
+            ?person born_in ?city .
+            OPTIONAL { ?person awarded ?award . }
+        }
+    """,
+    # Collaboration into direction.
+    "B18": """
+        SELECT * WHERE {
+            ?a worked_with ?b .
+            ?b directed ?movie .
+        }
+    """,
+    # UNION of two genre branches (exercises Prop. 3 normalization).
+    "B19": """
+        SELECT * WHERE {
+            { ?director directed ?movie . ?movie genre Action . }
+            UNION
+            { ?director directed ?movie . ?movie genre Drama . }
+        }
+    """,
+}
+
+#: Queries expected to return no results on any seed.
+EXPECTED_EMPTY = frozenset({"B4", "B15", "D1"})
+
+#: Queries whose mandatory core is cyclic (iteration-count studies).
+CYCLIC_QUERIES = frozenset({"L0", "L1", "L2", "B7"})
+
+#: Which dataset each family runs on.
+FAMILY_DATASET = {"L": "lubm", "D": "dbpedia", "B": "dbpedia"}
+
+
+def dataset_of(name: str) -> str:
+    """'lubm' or 'dbpedia' for a query name like 'L0' / 'B17'."""
+    return FAMILY_DATASET[name[0]]
+
+
+def get_query(name: str) -> str:
+    for catalog in (LUBM_QUERIES, DBPEDIA_QUERIES, BENCH_QUERIES):
+        if name in catalog:
+            return catalog[name]
+    raise KeyError(f"unknown query: {name!r}")
+
+
+def iter_all_queries() -> Iterator[Tuple[str, str, str]]:
+    """Yield (name, dataset, text) for every catalog query."""
+    for catalog in (LUBM_QUERIES, DBPEDIA_QUERIES, BENCH_QUERIES):
+        for name, text in catalog.items():
+            yield name, dataset_of(name), text

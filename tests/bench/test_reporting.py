@@ -1,0 +1,68 @@
+"""Unit tests for table rendering."""
+
+from repro.bench import (
+    HypothesisRow,
+    IterationRow,
+    Table2Row,
+    render_engine_table,
+    render_hypothesis,
+    render_iterations,
+    render_table,
+    render_table2,
+    render_table3,
+)
+from repro.pipeline import PipelineReport
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bb"], [["x", "y"], ["longer", "z"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # All rows have the same width.
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_empty_rows(self):
+        out = render_table(["h1"], [])
+        assert "h1" in out
+
+
+def _report(name="Q", **overrides):
+    report = PipelineReport(name=name)
+    report.result_count = overrides.get("result_count", 5)
+    report.required_triples = overrides.get("required_triples", 7)
+    report.triples_total = overrides.get("triples_total", 100)
+    report.triples_after_pruning = overrides.get("triples_after_pruning", 9)
+    report.t_simulation = overrides.get("t_simulation", 0.001)
+    report.t_db_full = overrides.get("t_db_full", 0.02)
+    report.t_db_pruned = overrides.get("t_db_pruned", 0.005)
+    report.results_equal = overrides.get("results_equal", True)
+    return report
+
+
+class TestRenderers:
+    def test_table2(self):
+        out = render_table2([
+            Table2Row("B0", 0.001, 0.01, 10.0, True),
+            Table2Row("B1", 0.002, 0.002, 1.0, False),
+        ])
+        assert "10.0x" in out
+        assert "NO" in out  # the unequal row is flagged
+
+    def test_table3(self):
+        out = render_table3([_report()])
+        assert "91.0" in out  # 1 - 9/100
+
+    def test_engine_table(self):
+        out = render_engine_table([_report()], "rdfox-like")
+        assert out.startswith("engine profile: rdfox-like")
+        assert "0.00600" in out  # t_pruned + t_sim
+
+    def test_iterations(self):
+        out = render_iterations([IterationRow("L0", 19, 114, 106, 0.04)])
+        assert "19" in out and "114" in out
+
+    def test_hypothesis(self):
+        out = render_hypothesis([HypothesisRow("B0", 0.05, 0.016, 3.13, True)])
+        assert "3.13" in out and "yes" in out

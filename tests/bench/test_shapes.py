@@ -1,0 +1,115 @@
+"""Unit tests for the shape-assertion helpers."""
+
+import pytest
+
+from repro.bench import (
+    Table2Row,
+    assert_empty_queries_prune_to_zero,
+    assert_order_of_magnitude_typical,
+    assert_pruning_floor,
+    assert_required_never_pruned,
+    assert_simulations_agree,
+    assert_soundness,
+    assert_universal_win,
+    assert_worst_overhead,
+    end_to_end_wins,
+    engine_wins,
+    overhead,
+)
+from repro.pipeline import PipelineReport
+
+
+def row2(query="Q", t_sim=0.001, t_ma=0.01, equal=True):
+    return Table2Row(query, t_sim, t_ma, t_ma / t_sim, equal)
+
+
+def report(name="Q", **kw):
+    r = PipelineReport(name=name)
+    r.result_count = kw.get("result_count", 5)
+    r.required_triples = kw.get("required", 10)
+    r.triples_total = kw.get("total", 1000)
+    r.triples_after_pruning = kw.get("kept", 20)
+    r.t_simulation = kw.get("t_sim", 0.001)
+    r.t_db_full = kw.get("t_full", 0.01)
+    r.t_db_pruned = kw.get("t_pruned", 0.002)
+    r.results_equal = kw.get("equal", True)
+    r.results_preserved = kw.get("preserved", True)
+    r.well_designed = kw.get("wd", True)
+    return r
+
+
+class TestTable2Shapes:
+    def test_universal_win_passes(self):
+        assert_universal_win([row2(), row2("Q2")])
+
+    def test_universal_win_fails(self):
+        with pytest.raises(AssertionError, match="Q2"):
+            assert_universal_win([row2(), row2("Q2", t_sim=0.1, t_ma=0.01)])
+
+    def test_order_of_magnitude(self):
+        assert_order_of_magnitude_typical([row2()], fraction=1.0)
+        with pytest.raises(AssertionError):
+            assert_order_of_magnitude_typical(
+                [row2(t_sim=0.01, t_ma=0.02)], fraction=1.0
+            )
+
+    def test_agreement(self):
+        assert_simulations_agree([row2()])
+        with pytest.raises(AssertionError, match="Q"):
+            assert_simulations_agree([row2(equal=False)])
+
+
+class TestTable3Shapes:
+    def test_pruning_floor(self):
+        assert_pruning_floor([report(kept=20)], floor=0.9)
+        with pytest.raises(AssertionError):
+            assert_pruning_floor([report(kept=500)], floor=0.9)
+
+    def test_strong_count(self):
+        with pytest.raises(AssertionError):
+            assert_pruning_floor(
+                [report(kept=100)], floor=0.5, strong_floor=0.99,
+                strong_count=1,
+            )
+
+    def test_empty_queries(self):
+        rows = [report("E", result_count=0, kept=0), report("Q")]
+        assert_empty_queries_prune_to_zero(rows, ["E"])
+        with pytest.raises(AssertionError):
+            assert_empty_queries_prune_to_zero(rows, ["Q"])
+
+    def test_soundness(self):
+        assert_soundness([report()])
+        with pytest.raises(AssertionError, match="lost"):
+            assert_soundness([report(preserved=False)])
+        with pytest.raises(AssertionError, match="unequal"):
+            assert_soundness([report(equal=False)])
+        # A non-well-designed query may be unequal without failing.
+        assert_soundness([report(equal=False, wd=False)])
+
+    def test_required_never_pruned(self):
+        assert_required_never_pruned([report(kept=20, required=10)])
+        with pytest.raises(AssertionError):
+            assert_required_never_pruned([report(kept=5, required=10)])
+
+    def test_overhead_and_worst(self):
+        a = report("A", kept=20, required=10)   # 2.0
+        b = report("B", kept=15, required=10)   # 1.5
+        assert overhead(a) == 2.0
+        assert_worst_overhead([a, b], "A", ("A", "B"))
+        with pytest.raises(AssertionError):
+            assert_worst_overhead([a, b], "B", ("A", "B"))
+
+
+class TestWinHelpers:
+    def test_engine_wins(self):
+        rows = [report("W"), report("L", t_pruned=0.02)]
+        assert engine_wins(rows) == ["W"]
+
+    def test_end_to_end_wins_excludes_empty(self):
+        rows = [
+            report("W", t_sim=0.001, t_pruned=0.002, t_full=0.01),
+            report("E", result_count=0, t_sim=0.0, t_pruned=0.0,
+                   t_full=1.0),
+        ]
+        assert end_to_end_wins(rows) == ["W"]

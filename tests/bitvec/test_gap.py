@@ -1,0 +1,100 @@
+"""Unit tests for gap-length encoding."""
+
+import numpy as np
+import pytest
+
+from repro.bitvec import Bitset
+from repro.bitvec.gap import (
+    GapEncodedMatrix,
+    decode,
+    dense_bytes,
+    encode,
+    encoded_bytes,
+    memory_report,
+    total_memory,
+)
+from repro.graph import example_movie_database
+
+
+class TestEncodeDecode:
+    def test_example_from_docstring(self):
+        bs = Bitset.from_indices(7, [2, 3, 4, 6])
+        assert encode(bs).tolist() == [2, 3, 1, 1]
+
+    def test_leading_one_gets_empty_zero_run(self):
+        bs = Bitset.from_indices(4, [0, 1])
+        assert encode(bs).tolist() == [0, 2, 2]
+
+    def test_empty_vector(self):
+        bs = Bitset.zeros(10)
+        assert encode(bs).tolist() == [10]
+        assert decode(encode(bs), 10) == bs
+
+    def test_zero_width(self):
+        bs = Bitset.zeros(0)
+        assert encode(bs).size == 0
+        assert decode(encode(bs), 0) == bs
+
+    def test_full_vector(self):
+        bs = Bitset.ones(130)
+        assert encode(bs).tolist() == [0, 130]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_roundtrip_random(self, seed):
+        rng = np.random.default_rng(seed)
+        members = rng.choice(200, size=rng.integers(0, 60), replace=False)
+        bs = Bitset.from_indices(200, members.tolist())
+        assert decode(encode(bs), 200) == bs
+
+    def test_decode_length_mismatch(self):
+        with pytest.raises(ValueError):
+            decode(np.array([3], dtype=np.uint32), 10)
+
+    def test_sparse_much_smaller_than_dense(self):
+        bs = Bitset.from_indices(100_000, [5, 70_000])
+        assert encoded_bytes(encode(bs)) < dense_bytes(100_000) / 100
+
+
+class TestGapEncodedMatrix:
+    def test_rows_roundtrip(self):
+        rows = {
+            0: Bitset.from_indices(50, [1, 2, 40]),
+            7: Bitset.from_indices(50, [0]),
+        }
+        matrix = GapEncodedMatrix.from_rows(50, rows)
+        assert matrix.row(0) == rows[0]
+        assert matrix.row(7) == rows[7]
+        assert matrix.row(3) is None
+        assert 0 in matrix and 3 not in matrix
+
+    def test_cache_eviction(self):
+        rows = {i: Bitset.from_indices(20, [i]) for i in range(10)}
+        matrix = GapEncodedMatrix.from_rows(20, rows, cache_rows=2)
+        for i in range(10):
+            assert matrix.row(i) == rows[i]
+        assert len(matrix._cache) == 2
+        # Re-access still correct after eviction.
+        assert matrix.row(0) == rows[0]
+
+    def test_memory_accessors(self):
+        rows = {0: Bitset.from_indices(1000, [500])}
+        matrix = GapEncodedMatrix.from_rows(1000, rows)
+        assert matrix.stored_bytes() < matrix.dense_equivalent_bytes()
+
+
+class TestMemoryReport:
+    def test_movie_database(self, movie_db):
+        report = memory_report(movie_db)
+        assert set(report) == {str(l) for l in movie_db.labels}
+        dense, encoded = total_memory(report)
+        assert dense > 0 and encoded > 0
+        for label_memory in report.values():
+            assert label_memory.n_edges > 0
+            assert label_memory.ratio > 0
+
+    def test_sparse_labels_compress_well(self):
+        from repro.workloads import generate_lubm
+        db = generate_lubm(n_universities=2, seed=1)
+        dense, encoded = total_memory(memory_report(db))
+        # Gap encoding wins by a wide margin on sparse real-ish data.
+        assert encoded < dense / 5

@@ -1,0 +1,148 @@
+"""Unit tests for adjacency bit-matrices and the x_b product."""
+
+import pytest
+
+from repro.bitvec import (
+    AdjacencyMatrix,
+    Bitset,
+    LabelMatrixPair,
+    build_label_matrices,
+)
+from repro.errors import DimensionMismatchError
+
+
+@pytest.fixture
+def born_in_pair():
+    """The born_in matrices of Fig. 2(a): nodes indexed
+    0=place, 1=director1, 2=director2, 3=coworker, 4=movie."""
+    pair = LabelMatrixPair(5)
+    pair.add_edge(1, 0)
+    pair.add_edge(2, 0)
+    return pair
+
+
+class TestAdjacencyMatrix:
+    def test_add_and_row(self):
+        m = AdjacencyMatrix(4)
+        m.add(0, 1)
+        m.add(0, 2)
+        assert m.row(0).to_set() == {1, 2}
+        assert m.row(3) is None
+
+    def test_duplicate_edges_counted_once(self):
+        m = AdjacencyMatrix(4)
+        m.add(0, 1)
+        m.add(0, 1)
+        assert m.n_edges == 1
+
+    def test_summary_tracks_nonempty_rows(self):
+        m = AdjacencyMatrix(4)
+        m.add(0, 1)
+        m.add(2, 3)
+        assert m.summary.to_set() == {0, 2}
+
+    def test_successors(self):
+        m = AdjacencyMatrix(4)
+        m.add(1, 2)
+        assert set(m.successors(1)) == {2}
+        assert set(m.successors(0)) == set()
+
+    def test_has_edge(self):
+        m = AdjacencyMatrix(4)
+        m.add(1, 2)
+        assert m.has_edge(1, 2)
+        assert not m.has_edge(2, 1)
+
+    def test_density(self):
+        m = AdjacencyMatrix(2)
+        m.add(0, 1)
+        assert m.density() == 0.25
+        assert AdjacencyMatrix(0).density() == 0.0
+
+    def test_product_rowwise_paper_example(self, born_in_pair):
+        # chi = (1,1,1,1,1); chi x F_born_in = (1,0,0,0,0) = r1.
+        chi = Bitset.ones(5)
+        r1 = born_in_pair.forward.product_rowwise(chi)
+        assert r1.to_set() == {0}
+
+    def test_product_rowwise_backward_paper_example(self, born_in_pair):
+        # chi x B_born_in = (0,1,1,0,0) = r2.
+        chi = Bitset.ones(5)
+        r2 = born_in_pair.backward.product_rowwise(chi)
+        assert r2.to_set() == {1, 2}
+
+    def test_product_empty_vector(self, born_in_pair):
+        out = born_in_pair.forward.product_rowwise(Bitset.zeros(5))
+        assert out.is_empty()
+
+    def test_product_dimension_mismatch(self, born_in_pair):
+        with pytest.raises(DimensionMismatchError):
+            born_in_pair.forward.product_rowwise(Bitset.zeros(6))
+
+
+class TestLabelMatrixPair:
+    def test_backward_is_transpose(self):
+        pair = LabelMatrixPair(3)
+        pair.add_edge(0, 1)
+        pair.add_edge(0, 2)
+        assert pair.forward.row(0).to_set() == {1, 2}
+        assert pair.backward.row(1).to_set() == {0}
+        assert pair.backward.row(2).to_set() == {0}
+        assert pair.n_edges == 2
+
+    def test_product_forward_vs_backward(self):
+        pair = LabelMatrixPair(3)
+        pair.add_edge(0, 1)
+        vec = Bitset.from_indices(3, [0])
+        assert pair.product(vec, "forward").to_set() == {1}
+        vec2 = Bitset.from_indices(3, [1])
+        assert pair.product(vec2, "backward").to_set() == {0}
+
+    def test_product_with_mask(self):
+        pair = LabelMatrixPair(4)
+        pair.add_edge(0, 1)
+        pair.add_edge(0, 2)
+        vec = Bitset.from_indices(4, [0])
+        mask = Bitset.from_indices(4, [2, 3])
+        assert pair.product(vec, "forward", mask=mask).to_set() == {2}
+
+    def test_row_and_column_strategies_agree(self):
+        pair = LabelMatrixPair(6)
+        edges = [(0, 1), (0, 2), (3, 2), (4, 5), (5, 0)]
+        for s, d in edges:
+            pair.add_edge(s, d)
+        vec = Bitset.from_indices(6, [0, 3, 5])
+        mask = Bitset.from_indices(6, [0, 1, 2, 5])
+        row = pair.product(vec, "forward", mask=mask, strategy="row")
+        col = pair.product(vec, "forward", mask=mask, strategy="column")
+        auto = pair.product(vec, "forward", mask=mask, strategy="auto")
+        assert row == col == auto
+        row_b = pair.product(vec, "backward", mask=mask, strategy="row")
+        col_b = pair.product(vec, "backward", mask=mask, strategy="column")
+        assert row_b == col_b
+
+    def test_column_requires_mask(self):
+        pair = LabelMatrixPair(3)
+        pair.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            pair.product(Bitset.ones(3), "forward", strategy="column")
+
+    def test_unknown_direction_and_strategy(self):
+        pair = LabelMatrixPair(3)
+        with pytest.raises(ValueError):
+            pair.product(Bitset.ones(3), "sideways")
+        with pytest.raises(ValueError):
+            pair.product(Bitset.ones(3), "forward", strategy="diagonal")
+
+
+class TestBuildLabelMatrices:
+    def test_builds_per_label(self):
+        matrices = build_label_matrices(
+            3, [(0, "a", 1), (1, "b", 2), (0, "a", 2)]
+        )
+        assert set(matrices) == {"a", "b"}
+        assert matrices["a"].n_edges == 2
+        assert matrices["b"].n_edges == 1
+
+    def test_empty(self):
+        assert build_label_matrices(3, []) == {}

@@ -1,0 +1,79 @@
+"""Shared fixtures: the paper's running examples and small workloads.
+
+Session-scoped where construction is expensive; tests must not mutate
+shared databases (construct their own when they need to).
+"""
+
+import pytest
+
+from repro.graph import (
+    example_movie_database,
+    figure4_database,
+    figure4_pattern,
+    figure5_database,
+)
+from repro.workloads import generate_dbpedia, generate_lubm
+
+
+@pytest.fixture(scope="session")
+def movie_db():
+    """Fig. 1(a): the movie example database."""
+    return example_movie_database()
+
+
+@pytest.fixture(scope="session")
+def fig4_pattern():
+    return figure4_pattern()
+
+
+@pytest.fixture(scope="session")
+def fig4_db():
+    return figure4_database()
+
+
+@pytest.fixture(scope="session")
+def fig5_db():
+    return figure5_database()
+
+
+@pytest.fixture(scope="session")
+def small_lubm():
+    """A small LUBM-like database (2 universities, short spiral)."""
+    return generate_lubm(n_universities=2, seed=3, spiral_length=10)
+
+
+@pytest.fixture(scope="session")
+def small_dbpedia():
+    """A small DBpedia-like database."""
+    return generate_dbpedia(scale=1, seed=5, padding=1)
+
+
+X1_QUERY = (
+    "SELECT * WHERE { ?director directed ?movie . "
+    "?director worked_with ?coworker . }"
+)
+
+X2_QUERY = (
+    "SELECT * WHERE { ?director directed ?movie . "
+    "OPTIONAL { ?director worked_with ?coworker . } }"
+)
+
+X3_QUERY = (
+    "SELECT * WHERE { { ?v1 a ?v2 . OPTIONAL { ?v3 b ?v2 . } } "
+    "?v3 c ?v4 . }"
+)
+
+
+@pytest.fixture
+def x1_query():
+    return X1_QUERY
+
+
+@pytest.fixture
+def x2_query():
+    return X2_QUERY
+
+
+@pytest.fixture
+def x3_query():
+    return X3_QUERY

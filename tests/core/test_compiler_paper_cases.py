@@ -1,0 +1,111 @@
+"""The exact renaming examples of paper Sect. 4.4, as compiler tests.
+
+P = (P1 OPTIONAL P2) OPTIONAL P3, with y in all three parts:
+    y_P2 <= y and y_P3 <= y (both anchored to the mandatory y in P1,
+    no y_P2/y_P3 interdependency).
+
+R = R1 OPTIONAL (R2 OPTIONAL R3), with z in all three parts:
+    z_R3 <= z_R2 and z_R2 <= z (the chain through the syntactically
+    closest occurrences).
+
+x in P2 and P3 but not P1: renamed apart with no interdependency.
+"""
+
+from repro.core import CopyInequality, compile_query, solve
+from repro.graph import GraphDatabase
+from repro.rdf import Variable
+
+
+def copies(compiled):
+    soi = compiled.soi
+    return {
+        (soi.find(c.target), soi.find(c.source))
+        for c in soi.inequalities
+        if isinstance(c, CopyInequality)
+    }
+
+
+class TestPExample:
+    QUERY = (
+        "SELECT * WHERE { ?y p ?a . OPTIONAL { ?y q ?b . } "
+        "OPTIONAL { ?y r ?c . } }"
+    )
+
+    def test_two_anchored_surrogates(self):
+        [compiled] = compile_query(self.QUERY)
+        y_vids = compiled.all_vids(Variable("y"))
+        assert len(y_vids) == 3  # mandatory + two surrogates
+        mandatory = compiled.mandatory_vid(Variable("y"))
+        surrogates = [v for v in y_vids if v != mandatory]
+        # Both copy inequalities point at the mandatory occurrence.
+        assert copies(compiled) == {
+            (surrogates[0], mandatory), (surrogates[1], mandatory),
+        }
+
+    def test_semantics_on_data(self):
+        db = GraphDatabase()
+        db.add_triple("m", "p", "a1")     # mandatory y
+        db.add_triple("m", "q", "b1")     # first optional fires
+        db.add_triple("other", "q", "b2") # q-edge without p: no y
+        pipeline_y = None
+        [compiled] = compile_query(self.QUERY)
+        result = solve(compiled.soi, db)
+        mandatory = compiled.mandatory_vid(Variable("y"))
+        assert result.candidates(mandatory) == {"m"}
+        # Surrogates are bounded by the mandatory row.
+        for vid in compiled.all_vids(Variable("y")):
+            assert result.candidates(vid) <= {"m"}
+
+
+class TestRExample:
+    QUERY = (
+        "SELECT * WHERE { ?z p ?a . OPTIONAL { ?z q ?b . "
+        "OPTIONAL { ?z r ?c . } } }"
+    )
+
+    def test_chain_structure(self):
+        [compiled] = compile_query(self.QUERY)
+        soi = compiled.soi
+        mandatory = compiled.mandatory_vid(Variable("z"))
+        z_vids = compiled.all_vids(Variable("z"))
+        assert len(z_vids) == 3
+        chain = copies(compiled)
+        assert len(chain) == 2
+        # One copy targets the mandatory z; the other chains off the
+        # middle surrogate — no direct z_R3 <= z.
+        targets_of_mandatory = {t for t, s in chain if s == mandatory}
+        assert len(targets_of_mandatory) == 1
+        middle = next(iter(targets_of_mandatory))
+        assert any(s == middle for _t, s in chain)
+
+
+class TestXOnlyInOptionals:
+    QUERY = (
+        "SELECT * WHERE { ?y p ?a . OPTIONAL { ?x q ?y . } "
+        "OPTIONAL { ?x r ?y . } }"
+    )
+
+    def test_x_surrogates_independent(self):
+        [compiled] = compile_query(self.QUERY)
+        x_vids = set(compiled.all_vids(Variable("x")))
+        assert len(x_vids) == 2
+        assert compiled.mandatory_vid(Variable("x")) is None
+        # No copy inequality connects the two x surrogates.
+        for target, source in copies(compiled):
+            assert not (target in x_vids and source in x_vids)
+
+    def test_surrogates_solved_independently(self):
+        db = GraphDatabase()
+        db.add_triple("y1", "p", "a1")
+        db.add_triple("q_only", "q", "y1")
+        db.add_triple("r_only", "r", "y1")
+        [compiled] = compile_query(self.QUERY)
+        result = solve(compiled.soi, db)
+        x_candidates = [
+            result.candidates(vid) for vid in compiled.all_vids(Variable("x"))
+        ]
+        # One surrogate sees the q-edge source, the other the r-edge
+        # source — they never contaminate each other.
+        assert {frozenset(c) for c in x_candidates} == {
+            frozenset({"q_only"}), frozenset({"r_only"}),
+        }

@@ -1,0 +1,80 @@
+"""Unit tests for the HHK-style remove-set algorithm."""
+
+from repro.core import (
+    hhk_dual_simulation,
+    is_dual_simulation,
+    largest_dual_simulation_reference,
+    ma_dual_simulation,
+)
+from repro.graph import (
+    Graph,
+    chain_pattern,
+    cycle_pattern,
+    figure4_database,
+    figure4_pattern,
+    grid_database,
+    random_database,
+    random_pattern,
+)
+
+
+class TestHHK:
+    def test_matches_reference_on_figure4(self):
+        p, k = figure4_pattern(), figure4_database()
+        result = hhk_dual_simulation(p, k)
+        assert result.relation == largest_dual_simulation_reference(p, k)
+
+    def test_result_is_dual_simulation(self):
+        p = cycle_pattern(2, "l")
+        d = cycle_pattern(8, "l")
+        result = hhk_dual_simulation(p, d)
+        assert is_dual_simulation(p, d, result.relation)
+
+    def test_agrees_with_ma_on_random_inputs(self):
+        for seed in range(8):
+            p = random_pattern(4, 6, seed=seed)
+            d = random_database(15, 40, seed=seed + 50)
+            hhk = hhk_dual_simulation(p, d)
+            ma = ma_dual_simulation(p, d)
+            assert hhk.relation == ma.relation, f"seed={seed}"
+
+    def test_empty_when_label_missing(self):
+        p = Graph()
+        p.add_edge("a", "missing", "b")
+        d = cycle_pattern(3, "l")
+        result = hhk_dual_simulation(p, d)
+        assert all(not c for c in result.relation.values())
+
+    def test_grid_chain(self):
+        p = chain_pattern(2, "right")
+        d = grid_database(5, 2)
+        result = hhk_dual_simulation(p, d)
+        assert result.relation == largest_dual_simulation_reference(p, d)
+
+    def test_stats_counters(self):
+        p, k = figure4_pattern(), figure4_database()
+        stats = hhk_dual_simulation(p, k).stats
+        assert stats.pops >= 0
+        assert stats.removals >= 0
+
+    def test_multi_label_pattern(self):
+        p = Graph()
+        p.add_edge("a", "x", "b")
+        p.add_edge("b", "y", "c")
+        d = Graph()
+        d.add_edge("n1", "x", "n2")
+        d.add_edge("n2", "y", "n3")
+        d.add_edge("n4", "x", "n5")  # n5 has no y-successor
+        result = hhk_dual_simulation(p, d)
+        assert result.relation == largest_dual_simulation_reference(p, d)
+        assert result.relation["b"] == {"n2"}
+
+    def test_self_loop_pattern(self):
+        p = Graph()
+        p.add_edge("a", "l", "a")
+        d = Graph()
+        d.add_edge("x", "l", "x")
+        d.add_edge("y", "l", "z")  # no loop closure
+        result = hhk_dual_simulation(p, d)
+        assert result.relation == largest_dual_simulation_reference(p, d)
+        assert result.relation["a"] == {"x"}

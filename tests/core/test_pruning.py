@@ -1,0 +1,111 @@
+"""Unit tests for dual simulation pruning."""
+
+import pytest
+
+from repro.core import compile_query, prune, retained_triples, solve
+from repro.graph import GraphDatabase, example_movie_database
+from repro.rdf import Variable
+
+
+def solve_branches(db, query_text):
+    compiled = compile_query(query_text)
+    return [solve(branch.soi, db) for branch in compiled]
+
+
+class TestRetainedTriples:
+    def test_x1_keeps_exactly_relevant_triples(self, movie_db, x1_query):
+        [result] = solve_branches(movie_db, x1_query)
+        kept = retained_triples(result)
+        names = {
+            (movie_db.node_name(s), p, movie_db.node_name(o))
+            for s, p, o in kept
+        }
+        assert names == {
+            ("B. De Palma", "directed", "Mission: Impossible"),
+            ("B. De Palma", "worked_with", "D. Koepp"),
+            ("G. Hamilton", "directed", "Goldfinger"),
+            ("G. Hamilton", "worked_with", "H. Saltzman"),
+        }
+
+    def test_empty_result_keeps_nothing(self, movie_db):
+        [result] = solve_branches(
+            movie_db, "SELECT * WHERE { ?a directed ?b . ?b directed ?a . }"
+        )
+        assert retained_triples(result) == set()
+
+
+class TestPrune:
+    def test_prune_result_counts(self, movie_db, x1_query):
+        results = solve_branches(movie_db, x1_query)
+        outcome = prune(movie_db, results)
+        assert outcome.n_triples_before == 20
+        assert outcome.n_triples_after == 4
+        assert outcome.pruned_fraction == pytest.approx(0.8)
+
+    def test_prune_single_result_accepted(self, movie_db, x1_query):
+        [result] = solve_branches(movie_db, x1_query)
+        outcome = prune(movie_db, result)
+        assert outcome.n_triples_after == 4
+
+    def test_prune_union_takes_union(self, movie_db):
+        query = (
+            "SELECT * WHERE { { ?d directed ?m . ?m genre Action . } "
+            "UNION { ?d awarded ?a . } }"
+        )
+        results = solve_branches(movie_db, query)
+        assert len(results) == 2
+        union_outcome = prune(movie_db, results)
+        separate = set()
+        for r in results:
+            separate |= retained_triples(r)
+        assert union_outcome.triples == separate
+
+    def test_prune_foreign_result_rejected(self, movie_db, x1_query):
+        other_db = example_movie_database()
+        [result] = solve_branches(other_db, x1_query)
+        with pytest.raises(ValueError):
+            prune(movie_db, result)
+
+    def test_to_graph_database(self, movie_db, x1_query):
+        results = solve_branches(movie_db, x1_query)
+        pruned_db = prune(movie_db, results).to_graph_database()
+        assert pruned_db.n_triples == 4
+        assert pruned_db.has_edge("B. De Palma", "directed", "Mission: Impossible")
+
+    def test_to_store(self, movie_db, x1_query):
+        results = solve_branches(movie_db, x1_query)
+        store = prune(movie_db, results).to_store()
+        assert store.n_triples == 4
+
+    def test_empty_database(self):
+        db = GraphDatabase()
+        db.add_node("lonely")
+        results = solve_branches(db, "SELECT * WHERE { ?a p ?b . }")
+        outcome = prune(db, results)
+        assert outcome.n_triples_after == 0
+        assert outcome.pruned_fraction == 0.0  # nothing to prune
+
+    def test_optional_triples_kept_for_optional_matches(self, movie_db, x2_query):
+        results = solve_branches(movie_db, x2_query)
+        names = {
+            (movie_db.node_name(s), p, movie_db.node_name(o))
+            for s, p, o in prune(movie_db, results).triples
+        }
+        # All four directed triples are kept (mandatory part)...
+        assert ("D. Koepp", "directed", "Mortdecai") in names
+        assert ("T. Young", "directed", "From Russia with Love") in names
+        # ...plus the worked_with triples of the optional part.
+        assert ("B. De Palma", "worked_with", "D. Koepp") in names
+
+    def test_constant_query_pruning(self, movie_db):
+        results = solve_branches(
+            movie_db, "SELECT * WHERE { ?m genre Action . }"
+        )
+        names = {
+            (movie_db.node_name(s), p, movie_db.node_name(o))
+            for s, p, o in prune(movie_db, results).triples
+        }
+        assert names == {
+            ("Mission: Impossible", "genre", "Action"),
+            ("Goldfinger", "genre", "Action"),
+        }

@@ -1,0 +1,145 @@
+"""Unit tests for the bisimulation-quotient prefilter (Sect. 6 idea)."""
+
+import pytest
+
+from repro.bitvec import Bitset
+from repro.core import (
+    QuotientIndex,
+    bisimulation_partition,
+    largest_dual_simulation,
+    quotient_graph,
+    quotient_prefilter,
+)
+from repro.graph import (
+    Graph,
+    chain_pattern,
+    cycle_pattern,
+    random_database,
+    random_pattern,
+)
+
+
+class TestPartition:
+    def test_regular_structure_collapses(self):
+        # Two identical chains: corresponding nodes share blocks.
+        data = Graph()
+        for c in ("x", "y"):
+            data.add_edge(f"{c}0", "l", f"{c}1")
+            data.add_edge(f"{c}1", "l", f"{c}2")
+        blocks = bisimulation_partition(data)
+        idx = data.node_index
+        assert blocks[idx("x0")] == blocks[idx("y0")]
+        assert blocks[idx("x1")] == blocks[idx("y1")]
+        assert blocks[idx("x2")] == blocks[idx("y2")]
+        assert blocks[idx("x0")] != blocks[idx("x1")]
+
+    def test_distinguishes_labels(self):
+        data = Graph()
+        data.add_edge("a", "p", "t1")
+        data.add_edge("b", "q", "t2")
+        blocks = bisimulation_partition(data)
+        idx = data.node_index
+        assert blocks[idx("a")] != blocks[idx("b")]
+        assert blocks[idx("t1")] != blocks[idx("t2")]
+
+    def test_max_rounds_truncation_is_coarser(self):
+        data = chain_pattern(6, "l")
+        full = bisimulation_partition(data)
+        truncated = bisimulation_partition(data, max_rounds=1)
+        assert len(set(truncated)) <= len(set(full))
+
+    def test_cycle_collapses_to_one_block(self):
+        data = cycle_pattern(5, "l")
+        blocks = bisimulation_partition(data)
+        assert len(set(blocks)) == 1
+
+
+class TestQuotientGraph:
+    def test_edges_lifted(self):
+        data = Graph()
+        data.add_edge("a1", "p", "b1")
+        data.add_edge("a2", "p", "b2")
+        blocks = bisimulation_partition(data)
+        quotient = quotient_graph(data, blocks)
+        assert quotient.n_nodes == 2
+        assert quotient.n_edges == 1
+
+    def test_index_compression(self):
+        data = cycle_pattern(8, "l")
+        index = QuotientIndex.build(data)
+        assert index.n_blocks == 1
+        assert index.compression == 8.0
+
+
+class TestPrefilterSoundness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_prefilter_superset_of_exact(self, seed):
+        pattern = random_pattern(3, 5, seed=seed)
+        data = random_database(12, 30, seed=seed + 500)
+        index = QuotientIndex.build(data)
+        prefilter = quotient_prefilter(pattern, index)
+        exact = largest_dual_simulation(pattern, data).to_relation()
+        for node in pattern.nodes():
+            exact_bits = Bitset.from_indices(
+                data.n_nodes,
+                (data.node_index(name) for name in exact[node]),
+            )
+            assert exact_bits <= prefilter[node], (seed, node)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_truncated_prefilter_still_sound(self, seed):
+        pattern = random_pattern(3, 4, seed=seed)
+        data = random_database(12, 30, seed=seed + 700)
+        index = QuotientIndex.build(data, max_rounds=1)
+        prefilter = quotient_prefilter(pattern, index)
+        exact = largest_dual_simulation(pattern, data).to_relation()
+        for node in pattern.nodes():
+            for name in exact[node]:
+                assert data.node_index(name) in prefilter[node]
+
+    def test_exact_on_fully_refined_regular_data(self):
+        # Two disjoint copies of the pattern: quotient solve lifts to
+        # exactly the exact candidates.
+        pattern = chain_pattern(2, "l")
+        data = Graph()
+        for c in ("x", "y"):
+            data.add_edge(f"{c}0", "l", f"{c}1")
+            data.add_edge(f"{c}1", "l", f"{c}2")
+        index = QuotientIndex.build(data)
+        prefilter = quotient_prefilter(pattern, index)
+        exact = largest_dual_simulation(pattern, data).to_relation()
+        for node in pattern.nodes():
+            lifted = {
+                data.node_name(int(i)) for i in prefilter[node].iter_ones()
+            }
+            assert lifted == exact[node]
+
+
+class TestSolveWithQuotient:
+    def test_equals_unseeded_solve(self):
+        from repro.core.quotient import solve_with_quotient
+        from repro.graph import random_database, random_pattern
+
+        for seed in range(6):
+            pattern = random_pattern(3, 5, seed=seed)
+            data = random_database(15, 40, seed=seed + 99)
+            index = QuotientIndex.build(data, max_rounds=1)
+            seeded = solve_with_quotient(pattern, index).to_relation()
+            exact = largest_dual_simulation(pattern, data).to_relation()
+            assert seeded == exact, seed
+
+    def test_seeding_reduces_work(self):
+        from repro.core.quotient import solve_with_quotient
+        from repro.core.soi import SystemOfInequalities
+        from repro.core.solver import solve
+        from repro.workloads import generate_lubm
+
+        data = generate_lubm(n_universities=2, seed=5, spiral_length=0)
+        pattern = Graph()
+        pattern.add_edge("s", "advisor", "p")
+        pattern.add_edge("p", "teacherOf", "c")
+        index = QuotientIndex.build(data, max_rounds=1)
+        seeded = solve_with_quotient(pattern, index)
+        plain = solve(SystemOfInequalities.from_pattern_graph(pattern), data)
+        assert seeded.to_relation() == plain.to_relation()
+        assert seeded.report.bits_removed <= plain.report.bits_removed

@@ -1,0 +1,117 @@
+"""Unit tests for match reconstruction from dual simulations."""
+
+import pytest
+
+from repro.core import compile_query, solve
+from repro.core.reconstruct import count_matches, enumerate_matches, has_match
+from repro.errors import QueryError
+from repro.graph import example_movie_database, figure4_database
+from repro.pipeline import PruningPipeline
+from repro.rdf import Variable
+from repro.store import solution_key
+
+
+def reconstruct_set(db, query_text):
+    [compiled] = compile_query(query_text)
+    result = solve(compiled.soi, db)
+    return {
+        tuple(sorted((v.name, str(node)) for v, node in mu.items()))
+        for mu in enumerate_matches(compiled, result)
+    }
+
+
+def engine_set(db, query_text):
+    pipeline = PruningPipeline(db)
+    out = set()
+    for mu in pipeline.evaluate_full(query_text).decoded():
+        out.add(tuple(sorted((v.name, str(node)) for v, node in mu.items())))
+    return out
+
+
+class TestEnumerate:
+    def test_x1_matches_engine(self, movie_db, x1_query):
+        assert reconstruct_set(movie_db, x1_query) == engine_set(
+            movie_db, x1_query
+        )
+
+    def test_figure4_excludes_p4(self):
+        # Dual simulation keeps p4, but reconstruction only emits the
+        # actual homomorphic matches.
+        db = figure4_database()
+        query = "SELECT * WHERE { ?v knows ?w . ?w knows ?v . }"
+        matches = reconstruct_set(db, query)
+        flat = {value for match in matches for _, value in match}
+        assert "p4" in flat  # p3<->p4 is a real 2-cycle
+        # All matches are genuine: compare against the engine.
+        assert matches == engine_set(db, query)
+
+    def test_constant_query(self, movie_db):
+        query = "SELECT * WHERE { ?m genre Action . }"
+        assert reconstruct_set(movie_db, query) == engine_set(movie_db, query)
+
+    def test_cyclic_query(self, movie_db):
+        query = "SELECT * WHERE { ?a worked_with ?b . ?b directed ?m . }"
+        assert reconstruct_set(movie_db, query) == engine_set(movie_db, query)
+
+    def test_empty_result(self, movie_db):
+        query = "SELECT * WHERE { ?a directed ?b . ?b directed ?a . }"
+        assert reconstruct_set(movie_db, query) == set()
+
+    def test_limit(self, movie_db):
+        [compiled] = compile_query("SELECT * WHERE { ?d directed ?m . }")
+        result = solve(compiled.soi, movie_db)
+        limited = list(enumerate_matches(compiled, result, limit=2))
+        assert len(limited) == 2
+
+    def test_self_loop_variable(self):
+        from repro.graph import GraphDatabase
+        db = GraphDatabase()
+        db.add_triple("a", "knows", "a")
+        db.add_triple("a", "knows", "b")
+        query = "SELECT * WHERE { ?x knows ?x . }"
+        assert reconstruct_set(db, query) == {(("x", "a"),)}
+
+    def test_optional_rejected(self, movie_db, x2_query):
+        [compiled] = compile_query(x2_query)
+        result = solve(compiled.soi, movie_db)
+        with pytest.raises(QueryError):
+            list(enumerate_matches(compiled, result))
+
+
+class TestHelpers:
+    def test_count(self, movie_db, x1_query):
+        [compiled] = compile_query(x1_query)
+        result = solve(compiled.soi, movie_db)
+        assert count_matches(compiled, result) == 2
+
+    def test_has_match_true(self, movie_db, x1_query):
+        [compiled] = compile_query(x1_query)
+        result = solve(compiled.soi, movie_db)
+        assert has_match(compiled, result)
+
+    def test_has_match_false_via_empty_simulation(self, movie_db):
+        [compiled] = compile_query(
+            "SELECT * WHERE { ?a nonexistent ?b . }"
+        )
+        result = solve(compiled.soi, movie_db)
+        assert not has_match(compiled, result)
+
+
+class TestAgainstEngineRandom:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_bgps(self, seed):
+        import random
+
+        from repro.graph import random_database
+
+        rng = random.Random(seed)
+        db = random_database(10, 25, seed=seed)
+        variables = ["?x", "?y", "?z"]
+        triples = []
+        for _ in range(rng.randint(1, 3)):
+            s = rng.choice(variables)
+            o = rng.choice(variables)
+            label = rng.choice(["a", "b", "c"])
+            triples.append(f"{s} {label} {o} .")
+        query = "SELECT * WHERE { " + " ".join(triples) + " }"
+        assert reconstruct_set(db, query) == engine_set(db, query), query

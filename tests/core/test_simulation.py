@@ -1,0 +1,162 @@
+"""Unit tests for the Def. 2 foundations (checker, reference fixpoint)."""
+
+import pytest
+
+from repro.core import (
+    dual_simulates,
+    empty_relation,
+    full_relation,
+    is_dual_simulation,
+    is_maximal_dual_simulation,
+    largest_dual_simulation_reference,
+    refine_to_dual_simulation,
+    relation_from_pairs,
+    relation_pairs,
+    relation_size,
+    relation_union,
+)
+from repro.graph import Graph, cycle_pattern, figure4_database, figure4_pattern
+
+
+@pytest.fixture
+def fig2a():
+    """Fig. 2(a): place <-born_in- director1/director2; director1
+    -worked_with-> coworker; director2 -directed-> movie."""
+    g = Graph()
+    g.add_edge("director1", "born_in", "place")
+    g.add_edge("director2", "born_in", "place")
+    g.add_edge("director1", "worked_with", "coworker")
+    g.add_edge("director2", "directed", "movie")
+    return g
+
+
+@pytest.fixture
+def fig2b():
+    """Fig. 2(b): single director with all three edges."""
+    g = Graph()
+    g.add_edge("director", "born_in", "place")
+    g.add_edge("director", "worked_with", "coworker")
+    g.add_edge("director", "directed", "movie")
+    return g
+
+
+class TestIsDualSimulation:
+    def test_empty_relation_is_dual_simulation(self, fig2a, fig2b):
+        assert is_dual_simulation(fig2a, fig2b, empty_relation(fig2a))
+
+    def test_paper_relation_eq1(self, fig2a, fig2b):
+        # Relation (1) from Sect. 2.
+        relation = relation_from_pairs(fig2a, [
+            ("place", "place"),
+            ("director1", "director"),
+            ("director2", "director"),
+            ("movie", "movie"),
+            ("coworker", "coworker"),
+        ])
+        assert is_dual_simulation(fig2a, fig2b, relation)
+
+    def test_wrong_pair_rejected(self, fig2a, fig2b):
+        relation = relation_from_pairs(fig2a, [("place", "movie")])
+        assert not is_dual_simulation(fig2a, fig2b, relation)
+
+    def test_missing_partner_rejected(self, fig2a, fig2b):
+        # director1 -> director needs coworker support in relation.
+        relation = relation_from_pairs(fig2a, [("director1", "director")])
+        assert not is_dual_simulation(fig2a, fig2b, relation)
+
+    def test_unknown_nodes_rejected(self, fig2a, fig2b):
+        assert not is_dual_simulation(
+            fig2a, fig2b, {"ghost": {"director"}}
+        )
+        assert not is_dual_simulation(
+            fig2a, fig2b, {"place": {"ghost"}}
+        )
+
+
+class TestReferenceFixpoint:
+    def test_largest_on_fig2(self, fig2a, fig2b):
+        largest = largest_dual_simulation_reference(fig2a, fig2b)
+        assert largest == {
+            "place": {"place"},
+            "director1": {"director"},
+            "director2": {"director"},
+            "coworker": {"coworker"},
+            "movie": {"movie"},
+        }
+
+    def test_fig2b_not_simulated_by_x1_pattern(self, fig2a):
+        # Fig. 2(a) is neither dual simulated by the X1 pattern
+        # (Sect. 2: born_in edges are unmatched).
+        x1 = Graph()
+        x1.add_edge("director", "directed", "movie")
+        x1.add_edge("director", "worked_with", "coworker")
+        assert not dual_simulates(fig2a, x1)
+
+    def test_figure4_keeps_p4(self):
+        # The documented false positive: p4 stays although it matches
+        # no homomorphic result.
+        largest = largest_dual_simulation_reference(
+            figure4_pattern(), figure4_database()
+        )
+        assert largest["v"] == {"p1", "p2", "p3", "p4"}
+        assert largest["w"] == {"p1", "p2", "p3", "p4"}
+
+    def test_largest_is_dual_simulation_and_maximal(self, fig2a, fig2b):
+        largest = largest_dual_simulation_reference(fig2a, fig2b)
+        assert is_dual_simulation(fig2a, fig2b, largest)
+        assert is_maximal_dual_simulation(fig2a, fig2b, largest)
+
+    def test_non_maximal_detected(self, fig2a, fig2b):
+        # The empty relation is a dual simulation but not maximal.
+        assert is_dual_simulation(fig2a, fig2b, empty_relation(fig2a))
+        assert not is_maximal_dual_simulation(fig2a, fig2b, empty_relation(fig2a))
+
+    def test_refine_respects_bound(self, fig2a, fig2b):
+        bound = full_relation(fig2a, fig2b)
+        bound["director1"] = set()  # forbid director1 entirely
+        refined = refine_to_dual_simulation(fig2a, fig2b, bound)
+        assert refined["director1"] == set()
+        assert refined["coworker"] == set()  # collapses via adjacency
+
+    def test_cycle_in_bigger_cycle(self):
+        # A 2-cycle pattern is dual simulated by a 4-cycle (classic
+        # simulation folds cycles).
+        pattern = cycle_pattern(2, "l")
+        data = cycle_pattern(4, "l")
+        largest = largest_dual_simulation_reference(pattern, data)
+        assert all(len(c) == 4 for c in largest.values())
+
+    def test_cycle_not_simulated_by_chain(self):
+        from repro.graph import chain_pattern
+        pattern = cycle_pattern(3, "l")
+        data = chain_pattern(10, "l")
+        assert not dual_simulates(pattern, data)
+
+
+class TestRelationHelpers:
+    def test_union(self):
+        left = {"a": {1}, "b": set()}
+        right = {"a": {2}, "c": {3}}
+        assert relation_union(left, right) == {"a": {1, 2}, "b": set(), "c": {3}}
+
+    def test_pairs_and_size(self):
+        relation = {"a": {1, 2}, "b": {3}}
+        assert relation_pairs(relation) == {("a", 1), ("a", 2), ("b", 3)}
+        assert relation_size(relation) == 3
+
+    def test_union_of_dual_simulations_is_dual_simulation(self):
+        # Prop. 1 machinery, on a two-component pattern where partial
+        # (per-component) dual simulations exist.
+        pattern = Graph()
+        pattern.add_edge("a", "p", "b")
+        pattern.add_edge("x", "q", "y")
+        data = Graph()
+        data.add_edge("a1", "p", "b1")
+        data.add_edge("x1", "q", "y1")
+        s1 = relation_from_pairs(pattern, [("a", "a1"), ("b", "b1")])
+        s2 = relation_from_pairs(pattern, [("x", "x1"), ("y", "y1")])
+        assert is_dual_simulation(pattern, data, s1)
+        assert is_dual_simulation(pattern, data, s2)
+        union = relation_union(s1, s2)
+        assert is_dual_simulation(pattern, data, union)
+        assert is_maximal_dual_simulation(pattern, data, union)

@@ -1,0 +1,146 @@
+"""Unit tests for the system-of-inequalities data structures,
+including the Fig. 3 SOI of the paper."""
+
+import pytest
+
+from repro.core import (
+    BACKWARD,
+    CopyInequality,
+    EdgeInequality,
+    FORWARD,
+    SystemOfInequalities,
+)
+from repro.errors import SolverError
+from repro.graph import Graph
+
+
+@pytest.fixture
+def fig2a_pattern():
+    g = Graph()
+    g.add_edge("director1", "born_in", "place")
+    g.add_edge("director2", "born_in", "place")
+    g.add_edge("director1", "worked_with", "coworker")
+    g.add_edge("director2", "directed", "movie")
+    return g
+
+
+class TestVariables:
+    def test_new_variable_ids_dense(self):
+        soi = SystemOfInequalities()
+        assert soi.new_variable("a") == 0
+        assert soi.new_variable("b") == 1
+        assert soi.n_variables == 2
+
+    def test_constants(self):
+        soi = SystemOfInequalities()
+        vid = soi.new_constant("Goldfinger")
+        assert soi.variable(vid).has_constant
+        assert soi.variable(vid).constant == "Goldfinger"
+
+    def test_variable_by_origin(self):
+        soi = SystemOfInequalities()
+        vid = soi.new_variable("x", origin="orig")
+        assert soi.variable_by_origin("orig") == vid
+        assert soi.variable_by_origin("nope") is None
+
+
+class TestUnionFind:
+    def test_find_initially_self(self):
+        soi = SystemOfInequalities()
+        a = soi.new_variable("a")
+        assert soi.find(a) == a
+
+    def test_union_merges(self):
+        soi = SystemOfInequalities()
+        a = soi.new_variable("a")
+        b = soi.new_variable("b")
+        root = soi.union(a, b)
+        assert soi.find(a) == soi.find(b) == root == min(a, b)
+
+    def test_union_idempotent(self):
+        soi = SystemOfInequalities()
+        a = soi.new_variable("a")
+        b = soi.new_variable("b")
+        soi.union(a, b)
+        assert soi.union(a, b) == soi.find(a)
+
+    def test_union_propagates_constants(self):
+        soi = SystemOfInequalities()
+        a = soi.new_variable("a")
+        c = soi.new_constant("k")
+        root = soi.union(a, c)
+        assert soi.variable(root).has_constant
+        assert soi.variable(root).constant == "k"
+
+    def test_union_conflicting_constants_rejected(self):
+        soi = SystemOfInequalities()
+        c1 = soi.new_constant("x")
+        c2 = soi.new_constant("y")
+        with pytest.raises(SolverError):
+            soi.union(c1, c2)
+
+    def test_union_same_constant_ok(self):
+        soi = SystemOfInequalities()
+        c1 = soi.new_constant("x")
+        c2 = soi.new_constant("x")
+        soi.union(c1, c2)
+
+    def test_roots(self):
+        soi = SystemOfInequalities()
+        a, b, c = (soi.new_variable(n) for n in "abc")
+        soi.union(a, c)
+        assert soi.roots() == [a, b]
+
+    def test_transitive_union_chain(self):
+        soi = SystemOfInequalities()
+        vids = [soi.new_variable(f"v{i}") for i in range(5)]
+        for i in range(4):
+            soi.union(vids[i], vids[i + 1])
+        assert len({soi.find(v) for v in vids}) == 1
+
+
+class TestConstraints:
+    def test_edge_constraint_adds_two_inequalities(self):
+        soi = SystemOfInequalities()
+        a = soi.new_variable("a")
+        b = soi.new_variable("b")
+        soi.add_edge_constraint(a, "l", b)
+        assert len(soi.inequalities) == 2
+        fwd = soi.inequalities[0]
+        bwd = soi.inequalities[1]
+        assert isinstance(fwd, EdgeInequality) and fwd.matrix == FORWARD
+        assert fwd.target == b and fwd.source == a
+        assert isinstance(bwd, EdgeInequality) and bwd.matrix == BACKWARD
+        assert bwd.target == a and bwd.source == b
+        assert len(soi.edges) == 1
+
+    def test_copy_constraint(self):
+        soi = SystemOfInequalities()
+        a = soi.new_variable("a")
+        b = soi.new_variable("b")
+        soi.add_copy_constraint(b, a)
+        assert isinstance(soi.inequalities[0], CopyInequality)
+
+
+class TestFromPatternGraph:
+    def test_fig3_soi_shape(self, fig2a_pattern):
+        """Fig. 3: 8 inequalities, two per pattern edge."""
+        soi = SystemOfInequalities.from_pattern_graph(fig2a_pattern)
+        assert soi.n_variables == 5
+        assert len(soi.inequalities) == 8
+        assert len(soi.edges) == 4
+        rendered = soi.describe()
+        assert "place <= director1 x F[born_in]" in rendered
+        assert "director1 <= place x B[born_in]" in rendered
+        assert "movie <= director2 x F[directed]" in rendered
+        assert "director2 <= movie x B[directed]" in rendered
+        assert "coworker <= director1 x F[worked_with]" in rendered
+
+    def test_origins_are_pattern_nodes(self, fig2a_pattern):
+        soi = SystemOfInequalities.from_pattern_graph(fig2a_pattern)
+        for node in fig2a_pattern.nodes():
+            assert soi.variable_by_origin(node) is not None
+
+    def test_repr(self, fig2a_pattern):
+        soi = SystemOfInequalities.from_pattern_graph(fig2a_pattern)
+        assert "inequalities=8" in repr(soi)

@@ -1,0 +1,258 @@
+"""Unit tests for the SOI fixpoint solver (SPARQLSIM)."""
+
+import pytest
+
+from repro.core import (
+    SolverOptions,
+    SystemOfInequalities,
+    is_dual_simulation,
+    largest_dual_simulation,
+    largest_dual_simulation_reference,
+    solve,
+)
+from repro.errors import SolverError
+from repro.graph import (
+    Graph,
+    chain_pattern,
+    cycle_pattern,
+    figure4_database,
+    figure4_pattern,
+    random_database,
+    random_pattern,
+)
+
+
+@pytest.fixture
+def fig2_setup():
+    pattern = Graph()
+    pattern.add_edge("director1", "born_in", "place")
+    pattern.add_edge("director2", "born_in", "place")
+    pattern.add_edge("director1", "worked_with", "coworker")
+    pattern.add_edge("director2", "directed", "movie")
+    data = Graph()
+    data.add_edge("director", "born_in", "place")
+    data.add_edge("director", "worked_with", "coworker")
+    data.add_edge("director", "directed", "movie")
+    return pattern, data
+
+
+class TestBasicSolve:
+    def test_fig2_largest_solution_is_relation_1(self, fig2_setup):
+        pattern, data = fig2_setup
+        result = largest_dual_simulation(pattern, data)
+        assert result.to_relation() == {
+            "place": {"place"},
+            "director1": {"director"},
+            "director2": {"director"},
+            "coworker": {"coworker"},
+            "movie": {"movie"},
+        }
+
+    def test_figure4_false_positive_kept(self):
+        result = largest_dual_simulation(figure4_pattern(), figure4_database())
+        assert result.to_relation()["v"] == {"p1", "p2", "p3", "p4"}
+
+    def test_is_dual_simulation_and_maximal(self, fig2_setup):
+        pattern, data = fig2_setup
+        relation = largest_dual_simulation(pattern, data).to_relation()
+        assert is_dual_simulation(pattern, data, relation)
+
+    def test_missing_label_empties(self):
+        pattern = Graph()
+        pattern.add_edge("a", "ghost", "b")
+        data = cycle_pattern(4, "l")
+        result = largest_dual_simulation(pattern, data)
+        assert result.is_empty()
+
+    def test_row_and_candidates_api(self, fig2_setup):
+        pattern, data = fig2_setup
+        result = largest_dual_simulation(pattern, data)
+        soi = result.soi
+        vid = soi.variable_by_origin("place")
+        assert result.candidates(vid) == {"place"}
+        assert result.row(vid).count() == 1
+        assert result.total_bits() == 5
+
+    def test_report_counters(self, fig2_setup):
+        pattern, data = fig2_setup
+        report = largest_dual_simulation(pattern, data).report
+        assert report.rounds >= 1
+        assert report.evaluations >= 8
+        assert report.elapsed >= 0.0
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_inputs_match_reference(self, seed):
+        pattern = random_pattern(4, 6, seed=seed)
+        data = random_database(15, 45, seed=seed + 1000)
+        result = largest_dual_simulation(pattern, data)
+        assert result.to_relation() == largest_dual_simulation_reference(
+            pattern, data
+        ), f"seed={seed}"
+
+    def test_chain_in_cycle(self):
+        pattern = chain_pattern(3, "l")
+        data = cycle_pattern(5, "l")
+        result = largest_dual_simulation(pattern, data)
+        reference = largest_dual_simulation_reference(pattern, data)
+        assert result.to_relation() == reference
+        # Every cycle node simulates every chain node.
+        assert all(len(c) == 5 for c in result.to_relation().values())
+
+
+class TestOptions:
+    @pytest.mark.parametrize("initialization", ["summary", "full"])
+    @pytest.mark.parametrize("product", ["auto", "row", "column"])
+    @pytest.mark.parametrize("ordering", ["sparsity", "fifo", "frequency", "random"])
+    def test_all_strategy_combinations_agree(
+        self, initialization, product, ordering
+    ):
+        pattern = random_pattern(4, 5, seed=3)
+        data = random_database(12, 35, seed=77)
+        options = SolverOptions(
+            initialization=initialization, product=product, ordering=ordering
+        )
+        result = largest_dual_simulation(pattern, data, options)
+        reference = largest_dual_simulation_reference(pattern, data)
+        assert result.to_relation() == reference
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(SolverError):
+            SolverOptions(initialization="bogus")
+        with pytest.raises(SolverError):
+            SolverOptions(product="bogus")
+
+    def test_summary_init_reduces_start_bits(self):
+        """Eq. (13) starts strictly below Eq. (12) on typical data."""
+        pattern = chain_pattern(2, "l")
+        data = Graph()
+        data.add_edge("a", "l", "b")
+        data.add_edge("b", "l", "c")
+        for i in range(10):
+            data.add_node(f"isolated{i}")  # no l-edges at all
+        full = largest_dual_simulation(
+            pattern, data, SolverOptions(initialization="full")
+        )
+        summary = largest_dual_simulation(
+            pattern, data, SolverOptions(initialization="summary")
+        )
+        assert full.to_relation() == summary.to_relation()
+        # Summary init converges with no more update work.
+        assert summary.report.bits_removed <= full.report.bits_removed
+
+
+class TestConstants:
+    def test_constant_restricts_to_singleton(self):
+        soi = SystemOfInequalities()
+        movie = soi.new_constant("m1")
+        director = soi.new_variable("d")
+        soi.add_edge_constraint(director, "directed", movie)
+        data = Graph()
+        data.add_edge("d1", "directed", "m1")
+        data.add_edge("d2", "directed", "m2")
+        result = solve(soi, data)
+        assert result.candidates(movie) == {"m1"}
+        assert result.candidates(director) == {"d1"}
+
+    def test_unknown_constant_empties(self):
+        soi = SystemOfInequalities()
+        movie = soi.new_constant("nonexistent")
+        director = soi.new_variable("d")
+        soi.add_edge_constraint(director, "directed", movie)
+        data = Graph()
+        data.add_edge("d1", "directed", "m1")
+        result = solve(soi, data)
+        assert result.is_empty()
+
+
+class TestCopyInequalities:
+    def test_copy_bounds_surrogate(self):
+        soi = SystemOfInequalities()
+        v = soi.new_variable("v")
+        v_opt = soi.new_variable("v@opt")
+        soi.add_copy_constraint(v_opt, v)
+        other = soi.new_variable("w")
+        soi.add_edge_constraint(v, "l", other)
+        data = Graph()
+        data.add_edge("a", "l", "b")
+        data.add_node("c")
+        result = solve(soi, data)
+        assert result.candidates(v) == {"a"}
+        assert result.candidates(v_opt) <= result.candidates(v)
+
+
+class TestUnifiedVariables:
+    def test_union_solves_on_canonical_rows(self):
+        soi = SystemOfInequalities()
+        a1 = soi.new_variable("a1")
+        a2 = soi.new_variable("a2")
+        b = soi.new_variable("b")
+        c = soi.new_variable("c")
+        soi.add_edge_constraint(a1, "p", b)
+        soi.add_edge_constraint(a2, "q", c)
+        soi.union(a1, a2)  # 'a' must have both p- and q-edges
+        data = Graph()
+        data.add_edge("x", "p", "y")
+        data.add_edge("x", "q", "z")
+        data.add_edge("only_p", "p", "y")
+        result = solve(soi, data)
+        assert result.candidates(a1) == {"x"}
+        assert result.candidates(a2) == {"x"}
+
+
+class TestSpiralConvergence:
+    def test_spiral_needs_many_rounds(self):
+        """The L0 iteration mechanism: an open spiral against a cyclic
+        pattern peels one layer per propagation step."""
+        pattern = Graph()
+        pattern.add_edge("s", "advisor", "p")
+        pattern.add_edge("p", "teacherOf", "c")
+        pattern.add_edge("s", "takesCourse", "c")
+        data = Graph()
+        k = 20
+        for i in range(k):
+            data.add_edge(f"s{i}", "advisor", f"p{i}")
+            data.add_edge(f"p{i}", "teacherOf", f"c{i}")
+            if i + 1 < k:
+                data.add_edge(f"s{i + 1}", "takesCourse", f"c{i}")
+        result = largest_dual_simulation(pattern, data)
+        assert result.is_empty()  # the spiral never closes
+        assert result.report.rounds >= k // 4  # slow peeling
+
+
+class TestDynamicOrdering:
+    """The fully dynamic strategy (run-time analytics, Sect. 3.3)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_dynamic_matches_reference(self, seed):
+        pattern = random_pattern(4, 6, seed=seed)
+        data = random_database(14, 40, seed=seed + 2000)
+        result = largest_dual_simulation(
+            pattern, data, SolverOptions(ordering="dynamic")
+        )
+        assert result.to_relation() == largest_dual_simulation_reference(
+            pattern, data
+        )
+
+    def test_dynamic_reports_rounds(self):
+        pattern = chain_pattern(2, "l")
+        data = chain_pattern(6, "l")
+        result = largest_dual_simulation(
+            pattern, data, SolverOptions(ordering="dynamic")
+        )
+        assert result.report.rounds >= 1
+        assert result.report.evaluations >= len(result.soi.inequalities)
+
+    def test_dynamic_on_compiled_query(self, ):
+        from repro.core import compile_query, solve
+        from repro.graph import example_movie_database
+        db = example_movie_database()
+        [compiled] = compile_query(
+            "SELECT * WHERE { ?d directed ?m . "
+            "OPTIONAL { ?d worked_with ?c . } }"
+        )
+        dynamic = solve(compiled.soi, db, SolverOptions(ordering="dynamic"))
+        static = solve(compiled.soi, db)
+        for vid in range(compiled.soi.n_variables):
+            assert dynamic.candidates(vid) == static.candidates(vid)

@@ -1,0 +1,150 @@
+"""Deeper solver tests: prefilters, degenerate SOIs, empty patterns,
+and interaction of options."""
+
+import pytest
+
+from repro.bitvec import Bitset
+from repro.core import (
+    SolverOptions,
+    SystemOfInequalities,
+    largest_dual_simulation,
+    solve,
+)
+from repro.graph import Graph, chain_pattern, cycle_pattern
+
+
+@pytest.fixture
+def small_data():
+    data = Graph()
+    data.add_edge("a", "l", "b")
+    data.add_edge("b", "l", "c")
+    data.add_edge("x", "m", "y")
+    return data
+
+
+class TestDegenerateSOIs:
+    def test_empty_soi_solves(self, small_data):
+        soi = SystemOfInequalities()
+        result = solve(soi, small_data)
+        assert result.report.rounds == 0
+        assert result.total_bits() == 0
+
+    def test_unconstrained_variable_keeps_everything(self, small_data):
+        soi = SystemOfInequalities()
+        vid = soi.new_variable("free")
+        result = solve(soi, small_data)
+        assert result.row(vid).count() == small_data.n_nodes
+
+    def test_constant_only_soi(self, small_data):
+        soi = SystemOfInequalities()
+        vid = soi.new_constant("b")
+        result = solve(soi, small_data)
+        assert result.candidates(vid) == {"b"}
+
+    def test_copy_chain_propagates(self, small_data):
+        soi = SystemOfInequalities()
+        a = soi.new_constant("a")
+        b = soi.new_variable("b")
+        c = soi.new_variable("c")
+        soi.add_copy_constraint(b, a)
+        soi.add_copy_constraint(c, b)
+        result = solve(soi, small_data)
+        assert result.candidates(c) <= result.candidates(b) <= {
+            "a"
+        }
+
+    def test_contradictory_copies_empty(self, small_data):
+        soi = SystemOfInequalities()
+        a = soi.new_constant("a")
+        b = soi.new_constant("b")
+        x = soi.new_variable("x")
+        soi.add_copy_constraint(x, a)
+        soi.add_copy_constraint(x, b)
+        result = solve(soi, small_data)
+        assert result.candidates(x) == set()
+
+
+class TestPrefilter:
+    def test_prefilter_narrows_start(self, small_data):
+        soi = SystemOfInequalities()
+        vid = soi.new_variable("v")
+        prefilter = {
+            vid: Bitset.singleton(
+                small_data.n_nodes, small_data.node_index("b")
+            )
+        }
+        result = solve(soi, small_data, prefilter=prefilter)
+        assert result.candidates(vid) == {"b"}
+
+    def test_prefilter_respects_union_find(self, small_data):
+        soi = SystemOfInequalities()
+        a = soi.new_variable("a")
+        b = soi.new_variable("b")
+        soi.union(a, b)
+        prefilter = {
+            b: Bitset.singleton(small_data.n_nodes, small_data.node_index("c"))
+        }
+        result = solve(soi, small_data, prefilter=prefilter)
+        assert result.candidates(a) == {"c"}
+
+    def test_over_restrictive_prefilter_loses_candidates(self):
+        # Documented contract: the prefilter MUST over-approximate;
+        # an under-approximation silently loses solutions.
+        data = cycle_pattern(3, "l")
+        pattern = cycle_pattern(3, "l")
+        exact = largest_dual_simulation(pattern, data).to_relation()
+        assert all(len(c) == 3 for c in exact.values())
+        soi = SystemOfInequalities.from_pattern_graph(pattern)
+        vid = soi.variable_by_origin("v0")
+        result = solve(
+            soi, data,
+            prefilter={vid: Bitset.zeros(data.n_nodes)},
+        )
+        assert result.is_empty()
+
+
+class TestOptionInteractions:
+    @pytest.mark.parametrize("ordering", ["sparsity", "fifo", "dynamic"])
+    @pytest.mark.parametrize("initialization", ["summary", "full"])
+    def test_spiral_all_options_same_fixpoint(self, ordering, initialization):
+        pattern = cycle_pattern(3, "l")
+        data = Graph()
+        for i in range(8):
+            data.add_edge(f"s{i}", "l", f"s{i + 1}")
+        options = SolverOptions(
+            ordering=ordering, initialization=initialization
+        )
+        result = largest_dual_simulation(pattern, data, options)
+        assert result.is_empty()  # a chain never closes a cycle
+
+    def test_seeded_random_reproducible(self):
+        pattern = chain_pattern(3, "l")
+        data = cycle_pattern(7, "l")
+        r1 = largest_dual_simulation(
+            pattern, data, SolverOptions(ordering="random", seed=5)
+        )
+        r2 = largest_dual_simulation(
+            pattern, data, SolverOptions(ordering="random", seed=5)
+        )
+        assert r1.report.evaluations == r2.report.evaluations
+
+    def test_reports_differ_between_orderings(self):
+        # Different orderings may do different amounts of work while
+        # agreeing on the fixpoint — the whole point of Sect. 3.3.
+        pattern = cycle_pattern(3, "l")
+        data = Graph()
+        for i in range(12):
+            data.add_edge(f"s{i}", "l", f"s{(i + 1) % 12}")
+        data.add_edge("t0", "l", "t1")  # a dead-end appendix
+        results = {}
+        for ordering in ("sparsity", "fifo", "dynamic"):
+            results[ordering] = largest_dual_simulation(
+                pattern, data, SolverOptions(ordering=ordering)
+            )
+        relations = {
+            ordering: result.to_relation()
+            for ordering, result in results.items()
+        }
+        assert len({str(sorted((str(k), tuple(sorted(map(str, vs))))
+                                for k, vs in rel.items()))
+                    for rel in relations.values()}) == 1

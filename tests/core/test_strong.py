@@ -1,0 +1,115 @@
+"""Unit tests for strong simulation (Ma et al., on top of the SOI
+solver)."""
+
+import pytest
+
+from repro.core import (
+    ball,
+    largest_dual_simulation,
+    pattern_diameter,
+    strong_simulation,
+    strong_simulation_nodes,
+)
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    chain_pattern,
+    cycle_pattern,
+    figure4_database,
+    figure4_pattern,
+    planted_pattern_database,
+)
+
+
+class TestDiameter:
+    def test_chain(self):
+        assert pattern_diameter(chain_pattern(3, "l")) == 3
+
+    def test_cycle_uses_undirected_distance(self):
+        assert pattern_diameter(cycle_pattern(4, "l")) == 2
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node("only")
+        assert pattern_diameter(g) == 0
+
+    def test_disconnected_rejected(self):
+        g = Graph()
+        g.add_edge("a", "l", "b")
+        g.add_node("island")
+        with pytest.raises(GraphError):
+            pattern_diameter(g)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            pattern_diameter(Graph())
+
+
+class TestBall:
+    def test_radius_zero_is_center_only(self):
+        data = chain_pattern(4, "l")
+        b = ball(data, "v2", 0)
+        assert set(b.nodes()) == {"v2"}
+        assert b.n_edges == 0
+
+    def test_radius_one_includes_both_directions(self):
+        data = chain_pattern(4, "l")
+        b = ball(data, "v2", 1)
+        assert set(b.nodes()) == {"v1", "v2", "v3"}
+        assert b.has_edge("v1", "l", "v2")
+        assert b.has_edge("v2", "l", "v3")
+
+    def test_induced_edges_among_members(self):
+        data = cycle_pattern(3, "l")
+        b = ball(data, "v0", 1)
+        # All three nodes are within distance 1; all edges induced.
+        assert b.n_edges == 3
+
+
+class TestStrongSimulation:
+    def test_planted_copies_found(self):
+        pattern = cycle_pattern(3, "l")
+        data = planted_pattern_database(pattern, 2, 6, 8, seed=1)
+        nodes = strong_simulation_nodes(pattern, data)
+        for c in range(2):
+            for v in ("v0", "v1", "v2"):
+                assert f"c{c}:{v}" in nodes
+
+    def test_refines_dual_simulation(self):
+        pattern = cycle_pattern(2, "knows")
+        data = figure4_database()
+        dual = largest_dual_simulation(pattern, data).to_relation()
+        dual_nodes = set().union(*dual.values())
+        strong_nodes = strong_simulation_nodes(pattern, data)
+        assert strong_nodes <= dual_nodes
+
+    def test_empty_when_dual_empty(self):
+        pattern = cycle_pattern(3, "l")
+        data = chain_pattern(6, "l")
+        assert strong_simulation(pattern, data) == []
+
+    def test_locality_rejects_long_range_artifact(self):
+        """A center whose global dual-simulation survival depends on
+        structure outside its ball is rejected by strong simulation."""
+        # Pattern: a -p-> b -q-> c (diameter 2).
+        pattern = Graph()
+        pattern.add_edge("a", "p", "b")
+        pattern.add_edge("b", "q", "c")
+        data = Graph()
+        # A true match.
+        data.add_edge("a1", "p", "b1")
+        data.add_edge("b1", "q", "c1")
+        # Strong match objects carry the center and local relation.
+        matches = strong_simulation(pattern, data)
+        centers = {m.center for m in matches}
+        assert {"a1", "b1", "c1"} <= centers
+        for match in matches:
+            assert match.nodes() == {"a1", "b1", "c1"}
+
+    def test_match_nodes_helper(self):
+        pattern = cycle_pattern(2, "knows")
+        data = figure4_database()
+        matches = strong_simulation(pattern, data)
+        assert matches
+        for match in matches:
+            assert match.center in match.nodes() or match.nodes()

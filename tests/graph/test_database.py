@@ -1,0 +1,80 @@
+"""Unit tests for GraphDatabase and the Fig. 1 example database."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import GraphDatabase, Literal, example_movie_database
+
+
+class TestLiteral:
+    def test_equality_and_hash(self):
+        assert Literal(5) == Literal(5)
+        assert Literal(5) != Literal(6)
+        assert hash(Literal(5)) == hash(Literal(5))
+
+    def test_disjoint_from_raw_values(self):
+        # A literal never equals the raw value (disjoint universes).
+        assert Literal("Paris") != "Paris"
+
+    def test_repr(self):
+        assert repr(Literal(70063)) == "Literal(70063)"
+
+
+class TestGraphDatabase:
+    def test_add_triple(self):
+        db = GraphDatabase()
+        db.add_triple("s", "p", "o")
+        assert db.n_triples == 1
+        assert db.has_edge("s", "p", "o")
+
+    def test_literal_object_allowed(self):
+        db = GraphDatabase()
+        db.add_triple("city", "population", Literal(1000))
+        assert db.n_literals == 1
+        assert list(db.literals()) == [Literal(1000)]
+
+    def test_literal_subject_rejected(self):
+        db = GraphDatabase()
+        with pytest.raises(GraphError):
+            db.add_triple(Literal(1), "p", "o")
+        with pytest.raises(GraphError):
+            db.add_edge(Literal(1), "p", "o")
+
+    def test_from_triples(self):
+        db = GraphDatabase.from_triples([("a", "p", "b"), ("b", "q", "c")])
+        assert db.n_triples == 2
+
+    def test_is_literal(self):
+        db = GraphDatabase()
+        db.add_triple("a", "p", Literal(1))
+        assert db.is_literal(Literal(1))
+        assert not db.is_literal("a")
+
+    def test_repr(self):
+        db = GraphDatabase()
+        db.add_triple("a", "p", "b")
+        assert "triples=1" in repr(db)
+
+
+class TestMovieExample:
+    """Fig. 1(a) invariants used throughout the paper's Sect. 1-4."""
+
+    def test_size(self, movie_db):
+        assert movie_db.n_triples == 20
+        assert movie_db.n_literals == 3
+
+    def test_x1_relevant_edges_present(self, movie_db):
+        assert movie_db.has_edge("B. De Palma", "directed", "Mission: Impossible")
+        assert movie_db.has_edge("B. De Palma", "worked_with", "D. Koepp")
+        assert movie_db.has_edge("G. Hamilton", "directed", "Goldfinger")
+        assert movie_db.has_edge("G. Hamilton", "worked_with", "H. Saltzman")
+
+    def test_x2_only_directors(self, movie_db):
+        # D. Koepp and T. Young direct but have no outgoing worked_with.
+        assert movie_db.has_edge("D. Koepp", "directed", "Mortdecai")
+        assert movie_db.has_edge("T. Young", "directed", "From Russia with Love")
+        assert movie_db.successors("D. Koepp", "worked_with") == set()
+        assert movie_db.successors("T. Young", "worked_with") == set()
+
+    def test_population_literals(self, movie_db):
+        assert movie_db.has_edge("Saint John", "population", Literal(70063))

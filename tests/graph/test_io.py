@@ -1,0 +1,74 @@
+"""Unit tests for N-Triples loading/saving of graph databases."""
+
+import pytest
+
+from repro.graph import GraphDatabase, Literal, example_movie_database
+from repro.graph.io import dump_ntriples, load_ntriples, save_ntriples
+
+
+class TestRoundtrip:
+    def test_movie_database_roundtrips(self, movie_db):
+        # Names with spaces ("B. De Palma") are percent-encoded.
+        text = dump_ntriples(movie_db)
+        again = load_ntriples(text)
+        assert set(again.triples()) == set(movie_db.triples())
+
+    def test_iri_names_stay_iris(self):
+        db = GraphDatabase()
+        db.add_triple("http://e.org/s", "http://e.org/p", "http://e.org/o")
+        text = dump_ntriples(db)
+        assert "<http://e.org/s>" in text
+        assert set(load_ntriples(text).triples()) == set(db.triples())
+
+    def test_literal_values_roundtrip(self):
+        db = GraphDatabase()
+        db.add_triple("c", "population", Literal(70063))
+        db.add_triple("c", "motto", Literal("hello world"))
+        db.add_triple("c", "area", Literal(1.5))
+        again = load_ntriples(dump_ntriples(db))
+        assert set(again.triples()) == set(db.triples())
+
+    def test_boolean_literal_roundtrip(self):
+        db = GraphDatabase()
+        db.add_triple("x", "flag", Literal(True))
+        again = load_ntriples(dump_ntriples(db))
+        assert set(again.triples()) == set(db.triples())
+
+    def test_empty_database(self):
+        assert dump_ntriples(GraphDatabase()) == ""
+        assert load_ntriples("").n_triples == 0
+
+    def test_deterministic_output(self, movie_db):
+        assert dump_ntriples(movie_db) == dump_ntriples(movie_db)
+
+
+class TestFiles:
+    def test_save_and_load_path(self, tmp_path, movie_db):
+        path = tmp_path / "movies.nt"
+        save_ntriples(movie_db, path)
+        again = load_ntriples(path)
+        assert set(again.triples()) == set(movie_db.triples())
+
+    def test_load_from_string_path(self, tmp_path, movie_db):
+        path = tmp_path / "movies.nt"
+        save_ntriples(movie_db, str(path))
+        again = load_ntriples(str(path))
+        assert again.n_triples == movie_db.n_triples
+
+
+class TestPlainNtriples:
+    def test_load_external_text(self):
+        text = (
+            '<urn:a> <urn:p> <urn:b> .\n'
+            '<urn:a> <urn:q> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .\n'
+        )
+        db = load_ntriples(text)
+        assert db.has_edge("urn:a", "urn:p", "urn:b")
+        assert db.has_edge("urn:a", "urn:q", Literal(5))
+
+    def test_queryable_after_load(self, movie_db, x1_query):
+        from repro.pipeline import PruningPipeline
+        loaded = load_ntriples(dump_ntriples(movie_db))
+        report = PruningPipeline(loaded).run(x1_query, name="X1")
+        assert report.result_count == 2
+        assert report.results_equal

@@ -1,0 +1,178 @@
+"""Integration tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import save_ntriples
+from repro.graph import example_movie_database
+
+
+@pytest.fixture
+def movie_nt(tmp_path):
+    path = tmp_path / "movies.nt"
+    save_ntriples(example_movie_database(), path)
+    return str(path)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestGenerate:
+    def test_generate_lubm(self, tmp_path):
+        out_path = tmp_path / "lubm.nt"
+        code, output = run_cli([
+            "generate", "lubm", "--out", str(out_path),
+            "--universities", "2", "--seed", "3",
+        ])
+        assert code == 0
+        assert "wrote" in output
+        assert out_path.exists()
+        from repro.graph.io import load_ntriples
+        db = load_ntriples(out_path)
+        assert db.n_triples > 500
+
+    def test_generate_dbpedia(self, tmp_path):
+        out_path = tmp_path / "dbp.nt"
+        code, output = run_cli([
+            "generate", "dbpedia", "--out", str(out_path),
+            "--scale", "1", "--padding", "1",
+        ])
+        assert code == 0
+        assert out_path.exists()
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.nt", tmp_path / "b.nt"
+        run_cli(["generate", "lubm", "--out", str(a), "--universities", "1"])
+        run_cli(["generate", "lubm", "--out", str(b), "--universities", "1"])
+        assert a.read_text() == b.read_text()
+
+
+class TestQuery:
+    X1 = ("SELECT * WHERE { ?director directed ?movie . "
+          "?director worked_with ?coworker . }")
+
+    def test_plain_query(self, movie_nt):
+        code, output = run_cli(["query", movie_nt, self.X1])
+        assert code == 0
+        assert "2 solutions" in output
+        assert "B. De Palma" in output
+
+    def test_pruned_query(self, movie_nt):
+        code, output = run_cli(["query", movie_nt, self.X1, "--prune"])
+        assert code == 0
+        assert "pruning: 20 -> 4 triples" in output
+        assert "results equal: True" in output
+
+    def test_profile_flag(self, movie_nt):
+        code, output = run_cli([
+            "query", movie_nt, self.X1, "--profile", "rdfox-like",
+        ])
+        assert code == 0
+        assert "2 solutions" in output
+
+    def test_limit(self, movie_nt):
+        code, output = run_cli([
+            "query", movie_nt,
+            "SELECT * WHERE { ?d directed ?m . }", "--limit", "1",
+        ])
+        assert code == 0
+        assert "(3 more)" in output
+
+    def test_query_from_file(self, movie_nt, tmp_path):
+        rq = tmp_path / "q.rq"
+        rq.write_text(self.X1)
+        code, output = run_cli(["query", movie_nt, str(rq)])
+        assert code == 0
+        assert "2 solutions" in output
+
+    def test_missing_data_file(self, tmp_path):
+        code, _output = run_cli([
+            "query", str(tmp_path / "nope.nt"), self.X1,
+        ])
+        assert code == 2
+
+    def test_bad_query_reports_error(self, movie_nt):
+        code, _output = run_cli(["query", movie_nt, "SELECT * WHERE {"])
+        assert code == 1
+
+
+class TestSimulate:
+    def test_shows_soi_and_candidates(self, movie_nt):
+        code, output = run_cli([
+            "simulate", movie_nt,
+            "SELECT * WHERE { ?d directed ?m . }",
+        ])
+        assert code == 0
+        assert "system of inequalities" in output
+        assert "x F[directed]" in output
+        assert "fixpoint:" in output
+        assert "?d:" in output
+
+    def test_union_branches(self, movie_nt):
+        code, output = run_cli([
+            "simulate", movie_nt,
+            "SELECT * WHERE { { ?m genre Action . } UNION "
+            "{ ?m genre Drama . } }",
+        ])
+        assert code == 0
+        assert "union branch 0" in output
+        assert "union branch 1" in output
+
+    def test_candidate_limit(self, movie_nt):
+        code, output = run_cli([
+            "simulate", movie_nt,
+            "SELECT * WHERE { ?s ?p ?o . }",
+        ])
+        # Variable predicates are rejected by the compiler.
+        assert code == 1
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            run_cli([])
+
+    def test_unknown_bench_table(self):
+        with pytest.raises(SystemExit):
+            run_cli(["bench", "table99"])
+
+
+class TestAskCommand:
+    def test_ask_yes(self, movie_nt):
+        code, output = run_cli([
+            "ask", movie_nt, "ASK { ?d directed ?m . }",
+        ])
+        assert code == 0
+        assert output.strip() == "yes"
+
+    def test_ask_no_fast_path(self, movie_nt):
+        code, output = run_cli([
+            "ask", movie_nt, "ASK { ?a zzz ?b . }",
+        ])
+        assert code == 0
+        assert output.strip() == "no"
+
+
+class TestExplainCommand:
+    def test_explain_shows_plan(self, movie_nt):
+        code, output = run_cli([
+            "explain", movie_nt,
+            "SELECT * WHERE { ?d directed ?m . ?d born_in ?c . }",
+        ])
+        assert code == 0
+        assert "profile: virtuoso-like" in output
+        assert "BGP (2 patterns)" in output
+
+    def test_explain_profile_flag(self, movie_nt):
+        code, output = run_cli([
+            "explain", movie_nt,
+            "SELECT * WHERE { ?d directed ?m . }",
+            "--profile", "rdfox-like",
+        ])
+        assert code == 0
+        assert "rdfox-like" in output

@@ -1,0 +1,81 @@
+"""End-to-end tests over the synthetic workloads: every catalog query
+runs through the full pipeline on both engine profiles and returns
+the same results pruned as unpruned."""
+
+import pytest
+
+from repro.pipeline import PruningPipeline
+from repro.store import PROFILES
+from repro.workloads import (
+    CYCLIC_QUERIES,
+    EXPECTED_EMPTY,
+    LUBM_QUERIES,
+    dataset_of,
+    iter_all_queries,
+)
+
+ALL_QUERIES = list(iter_all_queries())
+
+
+@pytest.fixture(scope="module")
+def pipelines(small_lubm, small_dbpedia):
+    return {
+        "lubm": PruningPipeline(small_lubm),
+        "dbpedia": PruningPipeline(small_dbpedia),
+    }
+
+
+@pytest.mark.parametrize(
+    "name,dataset,text",
+    ALL_QUERIES,
+    ids=[name for name, _d, _t in ALL_QUERIES],
+)
+def test_catalog_query_pruning_sound(pipelines, name, dataset, text):
+    report = pipelines[dataset].run(text, name=name)
+    assert report.results_equal, name
+    if name in EXPECTED_EMPTY:
+        assert report.result_count == 0
+        assert report.triples_after_pruning == 0
+    assert report.triples_after_pruning >= report.required_triples
+
+
+class TestProfilesAgree:
+    @pytest.mark.parametrize("name", ["L0", "L4", "D0", "B7", "B19"])
+    def test_both_profiles_same_results(self, small_lubm, small_dbpedia, name):
+        from repro.workloads import get_query
+        db = small_lubm if dataset_of(name) == "lubm" else small_dbpedia
+        results = []
+        for profile in sorted(PROFILES):
+            pipeline = PruningPipeline(db, profile=profile)
+            results.append(pipeline.evaluate_full(get_query(name)).as_set())
+        assert results[0] == results[1]
+
+
+class TestIterationShape:
+    def test_l0_needs_more_rounds_than_l1(self, small_lubm):
+        """Sect. 5.3: L0's fixpoint is slow, L1's is fast."""
+        pipeline = PruningPipeline(small_lubm)
+        l0 = pipeline.prune(LUBM_QUERIES["L0"])
+        l1 = pipeline.prune(LUBM_QUERIES["L1"])
+        assert l0.total_rounds > l1.total_rounds
+
+
+class TestPruningShape:
+    def test_l1_prunes_worst_relative_to_required(self, small_lubm):
+        """Sect. 5.3: L1 keeps far more triples than required."""
+        pipeline = PruningPipeline(small_lubm)
+        overheads = {}
+        for name in ("L0", "L1", "L2"):
+            report = pipeline.run(LUBM_QUERIES[name], name=name)
+            overheads[name] = (
+                report.triples_after_pruning / max(1, report.required_triples)
+            )
+        assert overheads["L1"] >= overheads["L0"]
+        assert overheads["L1"] >= overheads["L2"]
+
+    def test_selective_queries_prune_nearly_everything(self, pipelines):
+        from repro.workloads import get_query
+        for name in ("L5", "B16", "D2"):
+            dataset = dataset_of(name)
+            report = pipelines[dataset].run(get_query(name), name=name)
+            assert report.prune_ratio > 0.99, name

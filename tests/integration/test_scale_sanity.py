@@ -1,0 +1,60 @@
+"""Scale sanity: the full pipeline on bench-scale data stays within
+Python-reasonable bounds and keeps its guarantees.
+
+These are coarse wall-clock ceilings (very generous, to stay robust
+on slow machines) — the point is catching accidental complexity
+regressions (e.g. an O(n^2) slip in the solver), not micro-timing.
+"""
+
+import time
+
+import pytest
+
+from repro.core import compile_query, solve
+from repro.pipeline import PruningPipeline
+from repro.workloads import LUBM_QUERIES, generate_dbpedia, generate_lubm
+
+
+@pytest.fixture(scope="module")
+def big_lubm():
+    return generate_lubm(n_universities=10, seed=7)
+
+
+class TestScale:
+    def test_generation_speed(self):
+        start = time.perf_counter()
+        db = generate_lubm(n_universities=10, seed=3)
+        elapsed = time.perf_counter() - start
+        assert db.n_triples > 10_000
+        assert elapsed < 10.0
+
+    def test_solve_speed_on_l1(self, big_lubm):
+        [compiled] = compile_query(LUBM_QUERIES["L1"])
+        start = time.perf_counter()
+        result = solve(compiled.soi, big_lubm)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0
+        assert not result.is_empty()
+
+    def test_pipeline_l2_end_to_end(self, big_lubm):
+        pipeline = PruningPipeline(big_lubm)
+        start = time.perf_counter()
+        report = pipeline.run(LUBM_QUERIES["L2"], name="L2")
+        elapsed = time.perf_counter() - start
+        assert elapsed < 20.0
+        assert report.results_equal
+        assert report.prune_ratio > 0.9
+
+    def test_dbpedia_generation_scales_linearly_ish(self):
+        small = generate_dbpedia(scale=1, seed=2, padding=2)
+        large = generate_dbpedia(scale=4, seed=2, padding=2)
+        # Entity populations scale by 4; triples should scale by
+        # roughly that factor (within 2x slack for fixed-cost parts).
+        ratio = large.n_triples / small.n_triples
+        assert 2.0 < ratio < 8.0
+
+    def test_matrices_memory_layout(self, big_lubm):
+        matrices = big_lubm.matrices()
+        assert len(matrices) == len(big_lubm.labels)
+        total_edges = sum(pair.n_edges for pair in matrices.values())
+        assert total_edges == big_lubm.n_edges

@@ -1,0 +1,95 @@
+"""Unit tests for the pruning advisor (Sect. 5.3 guideline)."""
+
+import pytest
+
+from repro.graph import example_movie_database
+from repro.pipeline import PruningAdvisor
+from repro.store import TripleStore
+from repro.workloads import generate_lubm
+
+
+@pytest.fixture(scope="module")
+def lubm_advisor():
+    db = generate_lubm(n_universities=4, seed=7)
+    return PruningAdvisor(TripleStore.from_graph_database(db))
+
+
+@pytest.fixture(scope="module")
+def movie_advisor():
+    return PruningAdvisor(
+        TripleStore.from_graph_database(example_movie_database())
+    )
+
+
+class TestAdviceFields:
+    def test_fields_populated(self, lubm_advisor):
+        advice = lubm_advisor.advise(
+            "SELECT * WHERE { ?s takesCourse ?c . ?p teacherOf ?c . }"
+        )
+        assert advice.profile == "rdfox-like"
+        assert advice.estimated_join_work > 0
+        assert advice.estimated_simulation_work > 0
+        assert advice.peak_intermediate > 0
+        assert len(advice.step_estimates) == 2
+        assert advice.work_ratio == pytest.approx(
+            advice.estimated_join_work / advice.estimated_simulation_work
+        )
+
+    def test_unknown_profile_rejected(self, movie_advisor):
+        with pytest.raises(ValueError):
+            movie_advisor.advise("SELECT * WHERE { ?a p ?b . }", "oracle")
+
+    def test_unknown_predicate_zero_extent(self, movie_advisor):
+        advice = movie_advisor.advise("SELECT * WHERE { ?a zzz ?b . }")
+        assert advice.estimated_join_work == 0.0
+        assert not advice.recommended
+
+
+class TestGuideline:
+    def test_tiny_database_never_recommends(self, movie_advisor, x1_query):
+        # 20 triples can never produce "large intermediate results".
+        advice = movie_advisor.advise(x1_query)
+        assert not advice.recommended
+        assert advice.peak_intermediate < PruningAdvisor.DEFAULT_MIN_INTERMEDIATE
+
+    def test_selective_query_not_recommended(self, lubm_advisor):
+        advice = lubm_advisor.advise(
+            "SELECT * WHERE { ?p headOf ?d . ?d subOrganizationOf u0 . }"
+        )
+        assert not advice.recommended
+
+    def test_low_selectivity_star_recommended_at_scale(self):
+        db = generate_lubm(n_universities=10, seed=7)
+        advisor = PruningAdvisor(TripleStore.from_graph_database(db))
+        # The L1 shape: the publication/author/member cycle.
+        from repro.workloads import LUBM_QUERIES
+        advice = advisor.advise(LUBM_QUERIES["L1"], "rdfox-like")
+        assert advice.recommended
+        assert advice.peak_intermediate >= advisor.min_intermediate
+
+    def test_threshold_is_tunable(self, lubm_advisor):
+        from repro.workloads import LUBM_QUERIES
+        strict = PruningAdvisor(
+            lubm_advisor.store, threshold=1e9
+        )
+        advice = strict.advise(LUBM_QUERIES["L1"])
+        assert not advice.recommended
+
+    def test_min_intermediate_is_tunable(self, movie_advisor, x1_query):
+        permissive = PruningAdvisor(
+            movie_advisor.store, min_intermediate=0.0, threshold=0.0
+        )
+        advice = permissive.advise(x1_query)
+        assert advice.recommended  # everything passes with zero bars
+
+
+class TestProfiles:
+    def test_profiles_may_disagree(self):
+        db = generate_lubm(n_universities=10, seed=7)
+        advisor = PruningAdvisor(TripleStore.from_graph_database(db))
+        from repro.workloads import LUBM_QUERIES
+        rdfox = advisor.advise(LUBM_QUERIES["L1"], "rdfox-like")
+        virtuoso = advisor.advise(LUBM_QUERIES["L1"], "virtuoso-like")
+        # The materializing profile sees much larger join work on the
+        # L1 cycle than the binding-propagating profile.
+        assert rdfox.estimated_join_work > virtuoso.estimated_join_work

@@ -1,0 +1,90 @@
+"""Integration-grade unit tests for the pruning pipeline."""
+
+import pytest
+
+from repro.graph import example_movie_database
+from repro.pipeline import PruningPipeline
+from repro.sparql import parse_query
+from repro.store import PROFILES
+
+
+@pytest.fixture(scope="module", params=sorted(PROFILES))
+def pipeline(request):
+    return PruningPipeline(example_movie_database(), profile=request.param)
+
+
+class TestPruneStage:
+    def test_prune_outcome_fields(self, pipeline, x1_query):
+        outcome = pipeline.prune(x1_query)
+        assert outcome.triples_after_pruning == 4
+        assert outcome.pruned_store.n_triples == 4
+        assert outcome.t_simulation > 0.0
+        assert outcome.total_rounds >= 1
+        assert len(outcome.compiled) == 1
+        assert len(outcome.solver_results) == 1
+
+    def test_prune_accepts_parsed_query(self, pipeline, x1_query):
+        outcome = pipeline.prune(parse_query(x1_query))
+        assert outcome.triples_after_pruning == 4
+
+    def test_union_query_branches(self, pipeline):
+        outcome = pipeline.prune(
+            "SELECT * WHERE { { ?m genre Action . } UNION { ?d awarded Oscar . } }"
+        )
+        assert len(outcome.compiled) == 2
+
+
+class TestEvaluation:
+    def test_full_vs_pruned_equal(self, pipeline, x1_query):
+        full = pipeline.evaluate_full(x1_query)
+        pruned, outcome = pipeline.evaluate_pruned(x1_query)
+        assert full.as_set() == pruned.as_set()
+
+    def test_pruned_reuses_outcome(self, pipeline, x1_query):
+        outcome = pipeline.prune(x1_query)
+        result, outcome2 = pipeline.evaluate_pruned(x1_query, outcome)
+        assert outcome2 is outcome
+        assert len(result) == 2
+
+    def test_optional_query_equal(self, pipeline, x2_query):
+        report = pipeline.run(x2_query, name="X2")
+        assert report.results_equal
+        assert report.result_count == 4
+
+    def test_x3_query_equal(self, fig5_db, x3_query):
+        report = PruningPipeline(fig5_db).run(x3_query, name="X3")
+        assert report.results_equal
+        assert report.result_count == 2
+
+
+class TestReport:
+    def test_report_fields(self, pipeline, x1_query):
+        report = pipeline.run(x1_query, name="X1")
+        assert report.name == "X1"
+        assert report.result_count == 2
+        assert report.required_triples == 4
+        assert report.triples_total == 20
+        assert report.triples_after_pruning == 4
+        assert report.prune_ratio == pytest.approx(0.8)
+        assert report.t_pruned_plus_sim == pytest.approx(
+            report.t_db_pruned + report.t_simulation
+        )
+
+    def test_empty_query_report(self, pipeline):
+        report = pipeline.run(
+            "SELECT * WHERE { ?a directed ?b . ?b directed ?a . }",
+            name="empty",
+        )
+        assert report.result_count == 0
+        assert report.triples_after_pruning == 0
+        assert report.prune_ratio == 1.0
+        assert report.results_equal
+
+    def test_filter_query_sound(self, pipeline):
+        # Filters are ignored for pruning; results still equal.
+        report = pipeline.run(
+            "SELECT * WHERE { ?c population ?p . FILTER(?p > 100000) }",
+            name="filter",
+        )
+        assert report.results_equal
+        assert report.result_count == 2

@@ -1,0 +1,166 @@
+"""Property-based tests for the extension modules: plain simulation,
+strong simulation, quotient prefiltering, pruning idempotence, and
+the N-Triples round trip."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    QuotientIndex,
+    compile_query,
+    largest_dual_simulation,
+    largest_simulation,
+    largest_simulation_reference,
+    prune,
+    quotient_prefilter,
+    solve,
+    strong_simulation_nodes,
+)
+from repro.graph import Graph, GraphDatabase, Literal
+from repro.graph.io import dump_ntriples, load_ntriples
+from repro.rdf import Variable
+from repro.sparql.ast import BGP, SelectQuery, TriplePattern
+
+LABELS = ("a", "b")
+
+
+@st.composite
+def graphs(draw, max_nodes=7, max_edges=12):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    g = Graph()
+    for i in range(n):
+        g.add_node(i)
+    for _ in range(n_edges):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        g.add_edge(src, draw(st.sampled_from(LABELS)), dst)
+    return g
+
+
+@st.composite
+def connected_patterns(draw, max_extra=3):
+    """Small connected patterns (strong simulation needs a diameter)."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    g = Graph()
+    g.add_node("v0")
+    for i in range(1, n):
+        anchor = draw(st.integers(min_value=0, max_value=i - 1))
+        label = draw(st.sampled_from(LABELS))
+        if draw(st.booleans()):
+            g.add_edge(f"v{anchor}", label, f"v{i}")
+        else:
+            g.add_edge(f"v{i}", label, f"v{anchor}")
+    for _ in range(draw(st.integers(min_value=0, max_value=max_extra))):
+        s = draw(st.integers(min_value=0, max_value=n - 1))
+        d = draw(st.integers(min_value=0, max_value=n - 1))
+        g.add_edge(f"v{s}", draw(st.sampled_from(LABELS)), f"v{d}")
+    return g
+
+
+@given(connected_patterns(), graphs())
+@settings(max_examples=40, deadline=None)
+def test_plain_simulation_soi_matches_reference(pattern, data):
+    result = largest_simulation(pattern, data)
+    assert result.to_relation() == largest_simulation_reference(pattern, data)
+
+
+@given(connected_patterns(), graphs())
+@settings(max_examples=40, deadline=None)
+def test_dual_subset_of_plain(pattern, data):
+    dual = largest_dual_simulation(pattern, data).to_relation()
+    plain = largest_simulation(pattern, data).to_relation()
+    for node in pattern.nodes():
+        assert dual[node] <= plain[node]
+
+
+@given(connected_patterns(max_extra=1), graphs(max_nodes=6, max_edges=9))
+@settings(max_examples=25, deadline=None)
+def test_strong_subset_of_dual(pattern, data):
+    dual = largest_dual_simulation(pattern, data).to_relation()
+    dual_nodes = set()
+    for candidates in dual.values():
+        dual_nodes |= candidates
+    strong = strong_simulation_nodes(pattern, data)
+    assert strong <= dual_nodes
+
+
+@given(connected_patterns(), graphs(), st.one_of(st.none(), st.integers(1, 2)))
+@settings(max_examples=30, deadline=None)
+def test_quotient_prefilter_sound(pattern, data, max_rounds):
+    index = QuotientIndex.build(data, max_rounds=max_rounds)
+    prefilter = quotient_prefilter(pattern, index)
+    exact = largest_dual_simulation(pattern, data).to_relation()
+    for node in pattern.nodes():
+        for member in exact[node]:
+            assert data.node_index(member) in prefilter[node]
+
+
+@st.composite
+def databases(draw):
+    g = draw(graphs())
+    db = GraphDatabase()
+    for node in g.nodes():
+        db.add_node(f"n{node}")
+    for s, p, o in g.edges():
+        db.add_triple(f"n{s}", p, f"n{o}")
+    return db
+
+
+@st.composite
+def bgps(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    variables = tuple(Variable(v) for v in "xyz")
+    triples = []
+    for _ in range(n):
+        triples.append(TriplePattern(
+            draw(st.sampled_from(variables)),
+            draw(st.sampled_from(LABELS)),
+            draw(st.sampled_from(variables)),
+        ))
+    return BGP(triples)
+
+
+@given(databases(), bgps())
+@settings(max_examples=40, deadline=None)
+def test_pruning_is_idempotent(db, bgp):
+    """Pruning the pruned database again changes nothing: the largest
+    dual simulation is already a fixpoint on the retained triples."""
+    query = SelectQuery(None, bgp)
+    [compiled] = compile_query(query)
+    first = prune(db, solve(compiled.soi, db))
+    pruned_db = first.to_graph_database()
+    [compiled2] = compile_query(query)
+    second = prune(pruned_db, solve(compiled2.soi, pruned_db))
+    assert set(second.name_triples()) == set(first.name_triples())
+
+
+@given(databases())
+@settings(max_examples=40, deadline=None)
+def test_ntriples_roundtrip(db):
+    assert set(load_ntriples(dump_ntriples(db)).triples()) == set(
+        db.triples()
+    )
+
+
+@given(st.lists(
+    st.tuples(
+        st.sampled_from(["s1", "s2", "weird name!", "http://e.org/x"]),
+        st.sampled_from(["p", "has value", "http://e.org/p"]),
+        st.one_of(
+            st.sampled_from(["o1", "o with space"]),
+            st.integers(-5, 5).map(Literal),
+            st.text(
+                alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                max_size=8,
+            ).map(Literal),
+        ),
+    ),
+    max_size=8,
+))
+@settings(max_examples=40, deadline=None)
+def test_ntriples_roundtrip_hostile_names(triples):
+    db = GraphDatabase()
+    for s, p, o in triples:
+        db.add_triple(s, p, o)
+    again = load_ntriples(dump_ntriples(db))
+    assert set(again.triples()) == set(db.triples())

@@ -1,0 +1,80 @@
+"""Property-based tests for the SPARQL parser: generated queries of
+the language S round-trip through rendering + parsing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import Variable
+from repro.sparql import BGP, Join, LeftJoin, parse_query
+from repro.sparql.ast import TriplePattern
+
+VARS = ("a", "b", "c", "d")
+LABELS = ("p", "q", "r")
+
+
+@st.composite
+def bgps(draw):
+    n = draw(st.integers(min_value=1, max_value=3))
+    triples = []
+    for _ in range(n):
+        s = draw(st.sampled_from(VARS))
+        o = draw(st.sampled_from(VARS))
+        label = draw(st.sampled_from(LABELS))
+        triples.append((s, label, o))
+    return triples
+
+
+@st.composite
+def s_patterns(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        return ("bgp", draw(bgps()))
+    kind = draw(st.sampled_from(["and", "optional"]))
+    return (kind, draw(s_patterns(depth - 1)), draw(s_patterns(depth - 1)))
+
+
+def render(tree):
+    kind = tree[0]
+    if kind == "bgp":
+        return " ".join(f"?{s} {p} ?{o} ." for s, p, o in tree[1])
+    if kind == "and":
+        return f"{{ {render(tree[1])} }} {{ {render(tree[2])} }}"
+    return f"{{ {render(tree[1])} }} OPTIONAL {{ {render(tree[2])} }}"
+
+
+def expected_ast(tree):
+    kind = tree[0]
+    if kind == "bgp":
+        return BGP([
+            TriplePattern(Variable(s), p, Variable(o)) for s, p, o in tree[1]
+        ])
+    if kind == "and":
+        return Join(expected_ast(tree[1]), expected_ast(tree[2]))
+    return LeftJoin(expected_ast(tree[1]), expected_ast(tree[2]))
+
+
+def ast_equal(a, b):
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, BGP):
+        return list(a.triples) == list(b.triples)
+    return ast_equal(a.left, b.left) and ast_equal(a.right, b.right)
+
+
+@given(s_patterns())
+@settings(max_examples=80, deadline=None)
+def test_rendered_pattern_parses_to_expected_ast(tree):
+    text = f"SELECT * WHERE {{ {render(tree)} }}"
+    query = parse_query(text)
+    assert ast_equal(query.pattern, expected_ast(tree))
+
+
+@given(bgps())
+@settings(max_examples=50, deadline=None)
+def test_variables_survive_roundtrip(triples):
+    text = "SELECT * WHERE { " + " ".join(
+        f"?{s} {p} ?{o} ." for s, p, o in triples
+    ) + " }"
+    query = parse_query(text)
+    expected = {Variable(s) for s, _p, _o in triples} | {
+        Variable(o) for _s, _p, o in triples
+    }
+    assert query.pattern.variables() == expected

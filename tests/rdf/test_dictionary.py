@@ -1,0 +1,56 @@
+"""Unit tests for dictionary encoding."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.rdf import TermDictionary
+
+
+class TestTermDictionary:
+    def test_encode_assigns_dense_ids(self):
+        d = TermDictionary()
+        assert d.encode("a") == 0
+        assert d.encode("b") == 1
+        assert d.encode("a") == 0
+        assert len(d) == 2
+
+    def test_decode_roundtrip(self):
+        d = TermDictionary()
+        for term in ("x", "y", ("tuple", 1)):
+            assert d.decode(d.encode(term)) == term
+
+    def test_lookup_without_insertion(self):
+        d = TermDictionary()
+        assert d.lookup("missing") is None
+        assert len(d) == 0
+        d.encode("present")
+        assert d.lookup("present") == 0
+
+    def test_require(self):
+        d = TermDictionary()
+        d.encode("a")
+        assert d.require("a") == 0
+        with pytest.raises(StoreError):
+            d.require("b")
+
+    def test_decode_unknown_raises(self):
+        d = TermDictionary()
+        with pytest.raises(StoreError):
+            d.decode(0)
+
+    def test_contains(self):
+        d = TermDictionary()
+        d.encode("a")
+        assert "a" in d
+        assert "b" not in d
+
+    def test_terms_iteration_in_id_order(self):
+        d = TermDictionary()
+        for term in ("c", "a", "b"):
+            d.encode(term)
+        assert list(d.terms()) == ["c", "a", "b"]
+
+    def test_repr(self):
+        d = TermDictionary()
+        d.encode("a")
+        assert "1" in repr(d)

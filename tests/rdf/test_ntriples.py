@@ -1,0 +1,111 @@
+"""Unit tests for the N-Triples reader/writer."""
+
+import io
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import (
+    BLANK_NS,
+    Iri,
+    RdfLiteral,
+    XSD_INTEGER,
+    parse,
+    parse_line,
+    serialize,
+    serialize_triple,
+)
+
+
+class TestParseLine:
+    def test_simple_triple(self):
+        t = parse_line("<a:s> <a:p> <a:o> .")
+        assert t == (Iri("a:s"), Iri("a:p"), Iri("a:o"))
+
+    def test_plain_literal(self):
+        t = parse_line('<a:s> <a:p> "hello" .')
+        assert t[2] == RdfLiteral("hello")
+
+    def test_typed_literal(self):
+        t = parse_line(f'<a:s> <a:p> "5"^^<{XSD_INTEGER}> .')
+        assert t[2] == RdfLiteral("5", XSD_INTEGER)
+        assert t[2].python_value() == 5
+
+    def test_language_literal(self):
+        t = parse_line('<a:s> <a:p> "salut"@fr .')
+        assert t[2].language == "fr"
+
+    def test_escapes(self):
+        t = parse_line('<a:s> <a:p> "tab\\there \\"q\\" \\\\" .')
+        assert t[2].lexical == 'tab\there "q" \\'
+
+    def test_unicode_escapes(self):
+        t = parse_line('<a:s> <a:p> "\\u00e9\\U0001F600" .')
+        assert t[2].lexical == "é\U0001F600"
+
+    def test_blank_nodes_mapped_to_namespace(self):
+        t = parse_line("_:x <a:p> _:y .")
+        assert t[0] == Iri(BLANK_NS + "x")
+        assert t[2] == Iri(BLANK_NS + "y")
+
+    def test_comment_and_blank_lines(self):
+        assert parse_line("# comment") is None
+        assert parse_line("   ") is None
+
+    def test_extra_whitespace_tolerated(self):
+        t = parse_line("  <a:s>   <a:p>\t<a:o>  .  ")
+        assert t is not None
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_line("<a:s> <a:p> <a:o>")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_line("<a:s> <a:p> <a:o> . extra")
+
+    def test_unterminated_iri(self):
+        with pytest.raises(ParseError):
+            parse_line("<a:s <a:p> <a:o> .")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            parse_line('<a:s> <a:p> "oops .')
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ParseError):
+            parse_line('"lit" <a:p> <a:o> .')
+
+    def test_error_carries_location(self):
+        try:
+            parse_line("<a:s> <a:p> <a:o>", line_no=7)
+        except ParseError as error:
+            assert error.line == 7
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestParseStream:
+    def test_multiline_text(self):
+        text = "<a:s> <a:p> <a:o> .\n# c\n\n<a:s2> <a:p> \"v\" .\n"
+        triples = list(parse(text))
+        assert len(triples) == 2
+
+    def test_file_like(self):
+        triples = list(parse(io.StringIO("<a:s> <a:p> <a:o> .\n")))
+        assert len(triples) == 1
+
+
+class TestSerialize:
+    def test_roundtrip(self):
+        triples = [
+            (Iri("a:s"), Iri("a:p"), Iri("a:o")),
+            (Iri("a:s"), Iri("a:q"), RdfLiteral("x y", XSD_INTEGER)),
+            (Iri("a:s"), Iri("a:r"), RdfLiteral("hi", language="en")),
+        ]
+        text = serialize(triples)
+        assert list(parse(text)) == triples
+
+    def test_serialize_triple(self):
+        line = serialize_triple((Iri("a:s"), Iri("a:p"), RdfLiteral("v")))
+        assert line == '<a:s> <a:p> "v" .'

@@ -1,0 +1,100 @@
+"""Unit tests for RDF terms."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.rdf import (
+    Iri,
+    RdfLiteral,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_INTEGER,
+    XSD_STRING,
+    is_constant,
+)
+
+
+class TestIri:
+    def test_value_and_str(self):
+        iri = Iri("http://example.org/x")
+        assert str(iri) == "http://example.org/x"
+        assert iri.n3() == "<http://example.org/x>"
+
+    def test_equality_and_hash(self):
+        assert Iri("a:b") == Iri("a:b")
+        assert Iri("a:b") != Iri("a:c")
+        assert hash(Iri("a:b")) == hash(Iri("a:b"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TermError):
+            Iri("")
+
+    def test_invalid_chars_rejected(self):
+        for bad in ("a b", "a<b", 'a"b', "a\nb"):
+            with pytest.raises(TermError):
+                Iri(bad)
+
+
+class TestRdfLiteral:
+    def test_plain_string(self):
+        lit = RdfLiteral("hello")
+        assert lit.datatype == XSD_STRING
+        assert lit.python_value() == "hello"
+        assert lit.n3() == '"hello"'
+
+    def test_integer(self):
+        lit = RdfLiteral.integer(42)
+        assert lit.datatype == XSD_INTEGER
+        assert lit.python_value() == 42
+        assert lit.n3() == f'"42"^^<{XSD_INTEGER}>'
+
+    def test_boolean(self):
+        assert RdfLiteral.boolean(True).python_value() is True
+        assert RdfLiteral.boolean(False).python_value() is False
+        assert RdfLiteral.boolean(True).datatype == XSD_BOOLEAN
+
+    def test_language_tag(self):
+        lit = RdfLiteral("bonjour", language="fr")
+        assert lit.n3() == '"bonjour"@fr'
+
+    def test_language_only_for_strings(self):
+        with pytest.raises(TermError):
+            RdfLiteral("5", XSD_INTEGER, language="en")
+
+    def test_equality_includes_type(self):
+        assert RdfLiteral("5") != RdfLiteral("5", XSD_INTEGER)
+        assert RdfLiteral("a", language="en") != RdfLiteral("a")
+        assert RdfLiteral("a") == RdfLiteral("a")
+
+    def test_n3_escaping(self):
+        lit = RdfLiteral('say "hi"\n')
+        assert lit.n3() == '"say \\"hi\\"\\n"'
+
+    def test_hashable(self):
+        assert hash(RdfLiteral("x")) == hash(RdfLiteral("x"))
+
+
+class TestVariable:
+    def test_str(self):
+        assert str(Variable("x")) == "?x"
+
+    def test_equality_and_hash(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+        assert hash(Variable("x")) == hash(Variable("x"))
+
+    def test_invalid_names(self):
+        with pytest.raises(TermError):
+            Variable("")
+        with pytest.raises(TermError):
+            Variable("a b")
+
+    def test_underscore_allowed(self):
+        assert Variable("a_b").name == "a_b"
+
+
+class TestIsConstant:
+    def test_classification(self):
+        assert is_constant(Iri("a:b"))
+        assert is_constant(RdfLiteral("x"))
+        assert not is_constant(Variable("v"))

@@ -1,0 +1,123 @@
+"""Unit tests for the query AST: vars, mand, well-designedness."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.rdf import Variable
+from repro.sparql import (
+    BGP,
+    Comparison,
+    Filter,
+    Join,
+    LeftJoin,
+    SelectQuery,
+    TriplePattern,
+    Union,
+    is_well_designed,
+    iter_triple_patterns,
+    parse_query,
+)
+
+
+def v(name):
+    return Variable(name)
+
+
+def bgp(*edges):
+    return BGP([TriplePattern(v(s), p, v(o)) for s, p, o in edges])
+
+
+class TestVariables:
+    def test_triple_pattern_variables(self):
+        t = TriplePattern(v("s"), "p", "const")
+        assert t.variables() == {v("s")}
+        t2 = TriplePattern(v("s"), v("p"), v("o"))
+        assert t2.variables() == {v("s"), v("p"), v("o")}
+
+    def test_bgp_variables(self):
+        assert bgp(("a", "p", "b"), ("b", "q", "c")).variables() == {
+            v("a"), v("b"), v("c"),
+        }
+
+    def test_join_variables(self):
+        j = Join(bgp(("a", "p", "b")), bgp(("b", "q", "c")))
+        assert j.variables() == {v("a"), v("b"), v("c")}
+
+
+class TestMandatory:
+    """The paper's mand function (Sect. 4.3)."""
+
+    def test_mand_bgp_is_vars(self):
+        g = bgp(("a", "p", "b"))
+        assert g.mandatory_variables() == g.variables()
+
+    def test_mand_join_is_union(self):
+        j = Join(bgp(("a", "p", "b")), bgp(("c", "q", "d")))
+        assert j.mandatory_variables() == {v("a"), v("b"), v("c"), v("d")}
+
+    def test_mand_optional_is_left_only(self):
+        lj = LeftJoin(bgp(("a", "p", "b")), bgp(("b", "q", "c")))
+        assert lj.mandatory_variables() == {v("a"), v("b")}
+
+    def test_mand_nested(self):
+        # mand((Q1 OPT Q2) AND Q3) = mand(Q1) | mand(Q3)
+        q = Join(
+            LeftJoin(bgp(("a", "p", "b")), bgp(("c", "q", "b"))),
+            bgp(("c", "r", "d")),
+        )
+        assert q.mandatory_variables() == {v("a"), v("b"), v("c"), v("d")}
+
+    def test_mand_union_is_intersection(self):
+        u = Union(bgp(("a", "p", "b")), bgp(("a", "q", "c")))
+        assert u.mandatory_variables() == {v("a")}
+
+    def test_mand_filter_passthrough(self):
+        f = Filter(Comparison("=", v("a"), v("b")), bgp(("a", "p", "b")))
+        assert f.mandatory_variables() == {v("a"), v("b")}
+
+
+class TestIterTriplePatterns:
+    def test_collects_all(self):
+        q = parse_query(
+            "SELECT * WHERE { ?a p ?b . OPTIONAL { ?b q ?c . } "
+            "{ ?x r ?y } UNION { ?x s ?y } }"
+        )
+        assert len(list(iter_triple_patterns(q.pattern))) == 4
+
+
+class TestWellDesigned:
+    def test_bgp_is_well_designed(self):
+        assert is_well_designed(bgp(("a", "p", "b")))
+
+    def test_simple_optional_well_designed(self):
+        # (X2): ?director shared, occurs in Q1.
+        q = parse_query(
+            "SELECT * WHERE { ?d directed ?m . "
+            "OPTIONAL { ?d worked_with ?c . } }"
+        )
+        assert is_well_designed(q.pattern)
+
+    def test_x3_not_well_designed(self, x3_query):
+        # (X3): v3 occurs optional and outside, but not in Q1.
+        q = parse_query(x3_query)
+        assert not is_well_designed(q.pattern)
+
+    def test_disjoint_optional_well_designed(self):
+        lj = LeftJoin(bgp(("a", "p", "b")), bgp(("x", "q", "y")))
+        assert is_well_designed(lj)
+
+    def test_nested_violation_detected(self):
+        # y in inner optional, also in sibling join, not in inner left.
+        inner = LeftJoin(bgp(("a", "p", "b")), bgp(("y", "q", "b")))
+        outer = Join(inner, bgp(("y", "r", "z")))
+        assert not is_well_designed(outer)
+
+
+class TestSelectQuery:
+    def test_projection_validation(self):
+        with pytest.raises(QueryError):
+            SelectQuery([v("zzz")], bgp(("a", "p", "b")))
+
+    def test_repr(self):
+        q = SelectQuery(None, bgp(("a", "p", "b")))
+        assert "SelectQuery" in repr(q)

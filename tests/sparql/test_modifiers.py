@@ -1,0 +1,140 @@
+"""Unit tests for SELECT modifiers (ORDER BY / LIMIT / OFFSET) and
+ASK queries."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.graph import GraphDatabase, Literal, example_movie_database
+from repro.pipeline import PruningPipeline
+from repro.rdf import Variable
+from repro.sparql import AskQuery, SelectQuery, parse_query
+from repro.store import QueryEngine, TripleStore
+
+
+def v(name):
+    return Variable(name)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return TripleStore.from_graph_database(example_movie_database())
+
+
+class TestParsing:
+    def test_order_by_var(self):
+        q = parse_query("SELECT * WHERE { ?d directed ?m . } ORDER BY ?d")
+        assert q.order_by == ((v("d"), True),)
+
+    def test_order_by_asc_desc(self):
+        q = parse_query(
+            "SELECT * WHERE { ?d directed ?m . } "
+            "ORDER BY DESC(?d) ASC(?m)"
+        )
+        assert q.order_by == ((v("d"), False), (v("m"), True))
+
+    def test_limit_offset_any_order(self):
+        q1 = parse_query("SELECT * WHERE { ?d directed ?m . } LIMIT 3 OFFSET 1")
+        q2 = parse_query("SELECT * WHERE { ?d directed ?m . } OFFSET 1 LIMIT 3")
+        assert (q1.limit, q1.offset) == (q2.limit, q2.offset) == (3, 1)
+
+    def test_order_by_needs_condition(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * WHERE { ?d directed ?m . } ORDER BY")
+
+    def test_limit_integer_only(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * WHERE { ?d directed ?m . } LIMIT 1.5")
+
+    def test_unknown_order_variable_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT * WHERE { ?d directed ?m . } ORDER BY ?zzz")
+
+    def test_negative_limit_rejected(self):
+        from repro.sparql import BGP, TriplePattern
+        pattern = BGP([TriplePattern(v("a"), "p", v("b"))])
+        with pytest.raises(QueryError):
+            SelectQuery(None, pattern, limit=-1)
+
+    def test_ask_parses(self):
+        q = parse_query("ASK { ?d directed ?m . }")
+        assert isinstance(q, AskQuery)
+
+    def test_ask_with_where(self):
+        q = parse_query("ASK WHERE { ?d directed ?m . }")
+        assert isinstance(q, AskQuery)
+
+
+class TestExecution:
+    def test_order_by_ascending(self, store):
+        result = QueryEngine(store).execute(
+            "SELECT DISTINCT ?d WHERE { ?d directed ?m . } ORDER BY ?d"
+        )
+        names = [mu[v("d")] for mu in result.decoded()]
+        assert names == sorted(names)
+
+    def test_order_by_descending(self, store):
+        result = QueryEngine(store).execute(
+            "SELECT DISTINCT ?d WHERE { ?d directed ?m . } ORDER BY DESC(?d)"
+        )
+        names = [mu[v("d")] for mu in result.decoded()]
+        assert names == sorted(names, reverse=True)
+
+    def test_limit_and_offset(self, store):
+        full = QueryEngine(store).execute(
+            "SELECT DISTINCT ?d WHERE { ?d directed ?m . } ORDER BY ?d"
+        )
+        sliced = QueryEngine(store).execute(
+            "SELECT DISTINCT ?d WHERE { ?d directed ?m . } "
+            "ORDER BY ?d LIMIT 2 OFFSET 1"
+        )
+        assert [mu[v("d")] for mu in sliced.decoded()] == [
+            mu[v("d")] for mu in full.decoded()
+        ][1:3]
+
+    def test_numeric_ordering_of_literals(self):
+        db = GraphDatabase()
+        db.add_triple("a", "size", Literal(10))
+        db.add_triple("b", "size", Literal(2))
+        db.add_triple("c", "size", Literal(33))
+        store = TripleStore.from_graph_database(db)
+        result = QueryEngine(store).execute(
+            "SELECT * WHERE { ?x size ?s . } ORDER BY ?s"
+        )
+        values = [mu[v("s")].value for mu in result.decoded()]
+        assert values == [2, 10, 33]  # numeric, not lexicographic
+
+    def test_unbound_sorts_first(self, store):
+        result = QueryEngine(store).execute(
+            "SELECT * WHERE { ?d directed ?m . "
+            "OPTIONAL { ?d worked_with ?c . } } ORDER BY ?c"
+        )
+        bound_flags = [v("c") in mu for mu in result.solutions]
+        # All unbound rows precede all bound rows.
+        assert bound_flags == sorted(bound_flags)
+
+    def test_limit_zero(self, store):
+        result = QueryEngine(store).execute(
+            "SELECT * WHERE { ?d directed ?m . } LIMIT 0"
+        )
+        assert len(result) == 0
+
+
+class TestAsk:
+    def test_engine_ask(self, store):
+        engine = QueryEngine(store)
+        assert engine.ask("ASK { ?d directed ?m . }")
+        assert not engine.ask("ASK { ?a zzz ?b . }")
+        assert not engine.ask("ASK { ?a directed ?b . ?b directed ?a . }")
+
+    def test_pipeline_ask_fast_path(self, movie_db):
+        pipeline = PruningPipeline(movie_db)
+        assert pipeline.ask("ASK { ?d directed ?m . }")
+        # The empty-simulation fast path: no engine evaluation needed.
+        assert not pipeline.ask("ASK { ?a zzz ?b . }")
+        assert not pipeline.ask("ASK { ?a directed ?b . ?b directed ?a . }")
+
+    def test_pipeline_ask_with_optional(self, movie_db):
+        pipeline = PruningPipeline(movie_db)
+        assert pipeline.ask(
+            "ASK { ?d directed ?m . OPTIONAL { ?d awarded ?a . } }"
+        )

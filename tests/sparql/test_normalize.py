@@ -1,0 +1,130 @@
+"""Unit tests for UNION normal form and structural rewrites."""
+
+from repro.rdf import Variable
+from repro.sparql import (
+    BGP,
+    Filter,
+    Join,
+    LeftJoin,
+    TriplePattern,
+    Union,
+    flatten,
+    is_union_free,
+    merge_bgps,
+    normalize,
+    parse_query,
+    strip_filters,
+    strip_optional,
+    to_union_free,
+)
+
+
+def v(name):
+    return Variable(name)
+
+
+def bgp(*edges):
+    return BGP([TriplePattern(v(s), p, v(o)) for s, p, o in edges])
+
+
+class TestIsUnionFree:
+    def test_cases(self):
+        assert is_union_free(bgp(("a", "p", "b")))
+        assert is_union_free(Join(bgp(("a", "p", "b")), bgp(("b", "q", "c"))))
+        assert not is_union_free(Union(bgp(("a", "p", "b")), bgp(("a", "q", "b"))))
+        assert not is_union_free(
+            LeftJoin(bgp(("a", "p", "b")), Union(bgp(("b", "q", "c")), bgp(("b", "r", "c"))))
+        )
+
+
+class TestToUnionFree:
+    def test_bgp_single_branch(self):
+        g = bgp(("a", "p", "b"))
+        assert to_union_free(g) == [g]
+
+    def test_top_level_union(self):
+        branches = to_union_free(Union(bgp(("a", "p", "b")), bgp(("a", "q", "b"))))
+        assert len(branches) == 2
+        assert all(is_union_free(b) for b in branches)
+
+    def test_join_distributes(self):
+        # (P1 U P2) AND P3 -> 2 branches.
+        u = Union(bgp(("a", "p", "b")), bgp(("a", "q", "b")))
+        branches = to_union_free(Join(u, bgp(("b", "r", "c"))))
+        assert len(branches) == 2
+        assert all(isinstance(b, Join) for b in branches)
+
+    def test_double_union_product(self):
+        u1 = Union(bgp(("a", "p", "b")), bgp(("a", "q", "b")))
+        u2 = Union(bgp(("b", "r", "c")), bgp(("b", "s", "c")))
+        assert len(to_union_free(Join(u1, u2))) == 4
+
+    def test_optional_distributes_both_sides(self):
+        u = Union(bgp(("a", "p", "b")), bgp(("a", "q", "b")))
+        left = to_union_free(LeftJoin(u, bgp(("b", "r", "c"))))
+        right = to_union_free(LeftJoin(bgp(("b", "r", "c")), u))
+        assert len(left) == len(right) == 2
+        assert all(isinstance(b, LeftJoin) for b in left + right)
+
+    def test_filter_distributes(self):
+        from repro.sparql import Comparison
+        u = Union(bgp(("a", "p", "b")), bgp(("a", "q", "b")))
+        branches = to_union_free(Filter(Comparison("=", v("a"), v("b")), u))
+        assert len(branches) == 2
+        assert all(isinstance(b, Filter) for b in branches)
+
+
+class TestFlattenMerge:
+    def test_flatten_drops_empty_join_units(self):
+        p = Join(BGP(()), bgp(("a", "p", "b")))
+        assert flatten(p) == bgp(("a", "p", "b"))
+        p2 = Join(bgp(("a", "p", "b")), BGP(()))
+        assert flatten(p2) == bgp(("a", "p", "b"))
+
+    def test_flatten_drops_empty_optional(self):
+        p = LeftJoin(bgp(("a", "p", "b")), BGP(()))
+        assert flatten(p) == bgp(("a", "p", "b"))
+
+    def test_merge_bgps(self):
+        p = Join(bgp(("a", "p", "b")), bgp(("b", "q", "c")))
+        merged = merge_bgps(p)
+        assert isinstance(merged, BGP)
+        assert len(merged.triples) == 2
+
+    def test_merge_respects_optional_boundary(self):
+        p = LeftJoin(bgp(("a", "p", "b")), bgp(("b", "q", "c")))
+        merged = merge_bgps(p)
+        assert isinstance(merged, LeftJoin)
+
+    def test_normalize_pipeline(self):
+        q = parse_query(
+            "SELECT * WHERE { { ?d directed ?m . ?m genre Action . } "
+            "UNION { ?d directed ?m . ?m genre Drama . } }"
+        )
+        branches = normalize(q.pattern)
+        assert len(branches) == 2
+        assert all(isinstance(b, BGP) for b in branches)
+
+
+class TestStrip:
+    def test_strip_optional(self):
+        q = parse_query(
+            "SELECT * WHERE { ?d directed ?m . "
+            "OPTIONAL { ?d worked_with ?c . } }"
+        )
+        core = strip_optional(q.pattern)
+        assert isinstance(core, BGP)
+        assert core.variables() == {v("d"), v("m")}
+
+    def test_strip_nested_optional(self):
+        q = parse_query(
+            "SELECT * WHERE { ?a p ?b . OPTIONAL { ?b q ?c . "
+            "OPTIONAL { ?c r ?d . } } }"
+        )
+        core = merge_bgps(strip_optional(q.pattern))
+        assert core.variables() == {v("a"), v("b")}
+
+    def test_strip_filters(self):
+        q = parse_query("SELECT * WHERE { ?a p ?b . FILTER(?b > 1) }")
+        stripped = strip_filters(q.pattern)
+        assert isinstance(stripped, BGP)

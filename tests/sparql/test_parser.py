@@ -1,0 +1,224 @@
+"""Unit tests for the SPARQL parser."""
+
+import pytest
+
+from repro.errors import ParseError, QueryError
+from repro.rdf import Iri, RdfLiteral, Variable
+from repro.sparql import (
+    BGP,
+    Comparison,
+    Filter,
+    Join,
+    LeftJoin,
+    RDF_TYPE,
+    TriplePattern,
+    Union,
+    parse_pattern,
+    parse_query,
+)
+
+
+def v(name):
+    return Variable(name)
+
+
+class TestSelectClause:
+    def test_select_star(self):
+        q = parse_query("SELECT * WHERE { ?s p ?o . }")
+        assert q.projection is None
+        assert not q.distinct
+
+    def test_select_vars(self):
+        q = parse_query("SELECT ?s ?o WHERE { ?s p ?o . }")
+        assert q.projection == (v("s"), v("o"))
+
+    def test_select_distinct(self):
+        q = parse_query("SELECT DISTINCT ?s WHERE { ?s p ?o . }")
+        assert q.distinct
+
+    def test_where_keyword_optional(self):
+        q = parse_query("SELECT * { ?s p ?o . }")
+        assert isinstance(q.pattern, BGP)
+
+    def test_unknown_projected_variable_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT ?zzz WHERE { ?s p ?o . }")
+
+    def test_missing_projection(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT WHERE { ?s p ?o . }")
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * WHERE { ?s p ?o . } garbage")
+
+
+class TestTriples:
+    def test_single_triple(self):
+        q = parse_query("SELECT * WHERE { ?s directed ?o . }")
+        assert q.pattern == BGP([TriplePattern(v("s"), "directed", v("o"))])
+
+    def test_multiple_triples_one_bgp(self):
+        q = parse_query("SELECT * WHERE { ?a p ?b . ?b q ?c . }")
+        assert isinstance(q.pattern, BGP)
+        assert len(q.pattern.triples) == 2
+
+    def test_final_dot_optional(self):
+        q = parse_query("SELECT * WHERE { ?a p ?b }")
+        assert len(q.pattern.triples) == 1
+
+    def test_semicolon_property_list(self):
+        q = parse_query("SELECT * WHERE { ?a p ?b ; q ?c . }")
+        assert set(q.pattern.triples) == {
+            TriplePattern(v("a"), "p", v("b")),
+            TriplePattern(v("a"), "q", v("c")),
+        }
+
+    def test_comma_object_list(self):
+        q = parse_query("SELECT * WHERE { ?a p ?b , ?c . }")
+        assert set(q.pattern.triples) == {
+            TriplePattern(v("a"), "p", v("b")),
+            TriplePattern(v("a"), "p", v("c")),
+        }
+
+    def test_constants(self):
+        q = parse_query('SELECT * WHERE { ?m genre Action . ?m year "1999" . }')
+        triples = set(q.pattern.triples)
+        assert TriplePattern(v("m"), "genre", "Action") in triples
+        assert TriplePattern(v("m"), "year", RdfLiteral("1999")) in triples
+
+    def test_number_object(self):
+        q = parse_query("SELECT * WHERE { ?m runtime 120 . }")
+        assert q.pattern.triples[0].object == RdfLiteral.integer(120)
+
+    def test_iri_terms(self):
+        q = parse_query("SELECT * WHERE { <e:s> <e:p> <e:o> . }")
+        t = q.pattern.triples[0]
+        assert t.subject == Iri("e:s")
+        assert t.predicate == Iri("e:p")
+        assert t.object == Iri("e:o")
+
+    def test_variable_predicate(self):
+        q = parse_query("SELECT * WHERE { ?s ?p ?o . }")
+        assert q.pattern.triples[0].predicate == v("p")
+
+    def test_a_is_plain_label_by_default(self):
+        q = parse_query("SELECT * WHERE { ?x a ?y . }")
+        assert q.pattern.triples[0].predicate == "a"
+
+    def test_a_as_rdf_type(self):
+        q = parse_query("SELECT * WHERE { ?x a ?y . }", a_is_rdf_type=True)
+        assert q.pattern.triples[0].predicate == Iri(RDF_TYPE)
+
+
+class TestPrefixes:
+    def test_prefix_expansion(self):
+        q = parse_query(
+            "PREFIX ub: <http://u.org#> "
+            "SELECT * WHERE { ?p ub:advisor ?q . }"
+        )
+        assert q.pattern.triples[0].predicate == Iri("http://u.org#advisor")
+
+    def test_unknown_prefix_with_prologue(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                "PREFIX ub: <http://u.org#> "
+                "SELECT * WHERE { ?p xx:advisor ?q . }"
+            )
+
+    def test_pname_opaque_without_prologue(self):
+        # Matches the paper's ub:Publication style usage.
+        q = parse_query("SELECT * WHERE { ?p type ub:Publication . }")
+        assert q.pattern.triples[0].object == "ub:Publication"
+
+
+class TestOperators:
+    def test_optional(self):
+        q = parse_query(
+            "SELECT * WHERE { ?d directed ?m . "
+            "OPTIONAL { ?d worked_with ?c . } }"
+        )
+        assert isinstance(q.pattern, LeftJoin)
+        assert isinstance(q.pattern.left, BGP)
+        assert isinstance(q.pattern.right, BGP)
+
+    def test_nested_optional(self):
+        q = parse_query(
+            "SELECT * WHERE { ?a p ?b . OPTIONAL { ?b q ?c . "
+            "OPTIONAL { ?c r ?d . } } }"
+        )
+        assert isinstance(q.pattern, LeftJoin)
+        assert isinstance(q.pattern.right, LeftJoin)
+
+    def test_union(self):
+        q = parse_query(
+            "SELECT * WHERE { { ?a p ?b . } UNION { ?a q ?b . } }"
+        )
+        assert isinstance(q.pattern, Union)
+
+    def test_union_chain(self):
+        q = parse_query(
+            "SELECT * WHERE { { ?a p ?b } UNION { ?a q ?b } UNION { ?a r ?b } }"
+        )
+        assert isinstance(q.pattern, Union)
+        assert isinstance(q.pattern.left, Union)
+
+    def test_group_join(self):
+        q = parse_query("SELECT * WHERE { { ?a p ?b . } { ?b q ?c . } }")
+        assert isinstance(q.pattern, Join)
+
+    def test_triples_after_optional(self):
+        # The (X3) shape: optional between mandatory parts.
+        q = parse_query(
+            "SELECT * WHERE { ?v1 a ?v2 . OPTIONAL { ?v3 b ?v2 . } "
+            "?v3 c ?v4 . }"
+        )
+        assert isinstance(q.pattern, Join)
+        assert isinstance(q.pattern.left, LeftJoin)
+
+    def test_leading_optional(self):
+        q = parse_query("SELECT * WHERE { OPTIONAL { ?a p ?b . } }")
+        assert isinstance(q.pattern, LeftJoin)
+        assert q.pattern.left == BGP(())
+
+    def test_unterminated_group(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT * WHERE { ?a p ?b .")
+
+
+class TestFilters:
+    def test_comparison_filter(self):
+        q = parse_query(
+            "SELECT * WHERE { ?c population ?p . FILTER(?p > 100000) }"
+        )
+        assert isinstance(q.pattern, Filter)
+        expr = q.pattern.expression
+        assert isinstance(expr, Comparison)
+        assert expr.op == ">"
+
+    def test_boolean_filter(self):
+        q = parse_query(
+            "SELECT * WHERE { ?c p ?x . FILTER(?x > 1 && ?x < 9 || ?x = 0) }"
+        )
+        assert isinstance(q.pattern, Filter)
+
+    def test_bound_filter(self):
+        q = parse_query(
+            "SELECT * WHERE { ?a p ?b . OPTIONAL { ?a q ?c . } "
+            "FILTER(BOUND(?c)) }"
+        )
+        assert isinstance(q.pattern, Filter)
+
+    def test_negation_filter(self):
+        q = parse_query("SELECT * WHERE { ?a p ?b . FILTER(!(?b = 1)) }")
+        assert isinstance(q.pattern, Filter)
+
+
+class TestParsePattern:
+    def test_bare_pattern(self):
+        p = parse_pattern("{ ?a p ?b . }")
+        assert isinstance(p, BGP)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_pattern("{ ?a p ?b . } extra")

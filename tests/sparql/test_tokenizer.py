@@ -1,0 +1,95 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sparql import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select Where OPTIONAL") == [
+            ("KEYWORD", "SELECT"), ("KEYWORD", "WHERE"), ("KEYWORD", "OPTIONAL"),
+        ]
+
+    def test_variables(self):
+        assert kinds("?x $y ?long_name") == [
+            ("VAR", "x"), ("VAR", "y"), ("VAR", "long_name"),
+        ]
+
+    def test_empty_variable_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("? x")
+
+    def test_iri(self):
+        assert kinds("<http://e.org/p>") == [("IRI", "http://e.org/p")]
+
+    def test_pname(self):
+        assert kinds("ub:Publication rdf:type") == [
+            ("PNAME", "ub:Publication"), ("PNAME", "rdf:type"),
+        ]
+
+    def test_bare_names(self):
+        assert kinds("directed worked_with") == [
+            ("NAME", "directed"), ("NAME", "worked_with"),
+        ]
+
+    def test_string_with_escapes(self):
+        assert kinds('"a\\"b\\n"') == [("STRING", 'a"b\n')]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"abc')
+
+    def test_numbers(self):
+        assert kinds("42 -7 3.14") == [
+            ("NUMBER", "42"), ("NUMBER", "-7"), ("NUMBER", "3.14"),
+        ]
+
+    def test_number_then_dot_terminator(self):
+        # "5." is NUMBER 5 followed by the triple terminator.
+        assert kinds("5.") == [("NUMBER", "5"), ("PUNCT", ".")]
+
+    def test_punctuation(self):
+        assert kinds("{ } ( ) . ; , *") == [
+            ("PUNCT", c) for c in ["{", "}", "(", ")", ".", ";", ",", "*"]
+        ]
+
+    def test_comparison_operators(self):
+        assert kinds("= != < > <= >=") == [
+            ("PUNCT", "="), ("PUNCT", "!="), ("PUNCT", "<"),
+            ("PUNCT", ">"), ("PUNCT", "<="), ("PUNCT", ">="),
+        ]
+
+    def test_boolean_operators(self):
+        assert kinds("&& || !") == [
+            ("PUNCT", "&&"), ("PUNCT", "||"), ("PUNCT", "!"),
+        ]
+
+    def test_iri_vs_less_than(self):
+        # "<" followed by spaces/comparison context is punctuation.
+        assert kinds("?x < 5")[1] == ("PUNCT", "<")
+        assert kinds("?x <= 5")[1] == ("PUNCT", "<=")
+
+    def test_comments_skipped(self):
+        assert kinds("?x # comment here\n?y") == [("VAR", "x"), ("VAR", "y")]
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("?x\n  ?y")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("@")
+
+    def test_a_keyword(self):
+        assert kinds("a A") == [("KEYWORD", "A"), ("KEYWORD", "A")]
+
+    def test_eof_token(self):
+        tokens = tokenize("")
+        assert tokens[-1].kind == "EOF"

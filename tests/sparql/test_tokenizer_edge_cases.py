@@ -1,0 +1,105 @@
+"""Tokenizer/parser corner cases beyond the basic suites."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import RdfLiteral, Variable
+from repro.sparql import parse_query, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)][:-1]
+
+
+class TestTokenizerCorners:
+    def test_pname_with_dots(self):
+        assert kinds("dbo:Film.Director")[0][0] == "PNAME"
+
+    def test_name_trailing_dot_split(self):
+        # "directed." = NAME + triple terminator.
+        assert kinds("directed.") == [
+            ("NAME", "directed"), ("PUNCT", "."),
+        ]
+
+    def test_pname_trailing_dot_split(self):
+        assert kinds("ub:Pub.") == [("PNAME", "ub:Pub"), ("PUNCT", ".")]
+
+    def test_negative_decimal(self):
+        assert kinds("-3.5") == [("NUMBER", "-3.5")]
+
+    def test_minus_alone_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize("-x")
+
+    def test_iri_with_newline_is_not_iri(self):
+        # "<" followed by a newline before ">" is a comparison.
+        tokens = kinds("?a < \n ?b")
+        assert ("PUNCT", "<") in tokens
+
+    def test_crlf_handling(self):
+        tokens = kinds("?a\r\n?b")
+        assert [t[1] for t in tokens] == ["a", "b"]
+
+    def test_comment_at_eof(self):
+        assert kinds("?a # trailing") == [("VAR", "a")]
+
+    def test_empty_input(self):
+        assert kinds("") == []
+
+    def test_string_across_tokens(self):
+        assert kinds('?a "x y" ?b') == [
+            ("VAR", "a"), ("STRING", "x y"), ("VAR", "b"),
+        ]
+
+
+class TestParserCorners:
+    def test_filter_with_nested_parens(self):
+        q = parse_query(
+            "SELECT * WHERE { ?a p ?b . FILTER((?b > 1 && ?b < 9)) }"
+        )
+        assert q is not None
+
+    def test_filter_comparing_two_constants(self):
+        q = parse_query("SELECT * WHERE { ?a p ?b . FILTER(1 < 2) }")
+        assert q is not None
+
+    def test_deeply_nested_groups(self):
+        q = parse_query(
+            "SELECT * WHERE { { { { ?a p ?b . } } } }"
+        )
+        assert q.pattern.variables() == {Variable("a"), Variable("b")}
+
+    def test_optional_chain_same_level(self):
+        q = parse_query(
+            "SELECT * WHERE { ?a p ?b . OPTIONAL { ?a q ?c . } "
+            "OPTIONAL { ?a r ?d . } }"
+        )
+        from repro.sparql import LeftJoin
+        assert isinstance(q.pattern, LeftJoin)
+        assert isinstance(q.pattern.left, LeftJoin)
+
+    def test_mixed_semicolon_comma(self):
+        q = parse_query(
+            "SELECT * WHERE { ?a p ?b , ?c ; q ?d . }"
+        )
+        assert len(q.pattern.triples) == 3
+
+    def test_string_object_with_escapes(self):
+        q = parse_query('SELECT * WHERE { ?a p "line\\nbreak" . }')
+        assert q.pattern.triples[0].object == RdfLiteral("line\nbreak")
+
+    def test_numbers_as_subjects_rejected_gracefully(self):
+        # Numbers are literal objects; a literal subject is accepted
+        # by the grammar as a term but the store would reject it —
+        # the parser allows it (subject position takes any term).
+        q = parse_query("SELECT * WHERE { ?s p 42 . }")
+        assert q.pattern.triples[0].object == RdfLiteral.integer(42)
+
+    def test_projection_subset(self):
+        q = parse_query("SELECT ?a WHERE { ?a p ?b . }")
+        assert q.projection == (Variable("a"),)
+
+    def test_duplicate_triple_patterns_preserved(self):
+        q = parse_query("SELECT * WHERE { ?a p ?b . ?a p ?b . }")
+        # Duplicates in the same BGP are harmless (set semantics).
+        assert len(q.pattern.triples) == 2

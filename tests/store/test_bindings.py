@@ -1,0 +1,87 @@
+"""Unit tests for solution mappings and the compatibility predicate."""
+
+from repro.rdf import Variable
+from repro.store import (
+    TripleStore,
+    compatible,
+    decode_all,
+    decode_solution,
+    merge,
+    project,
+    solution_key,
+)
+
+
+def v(name):
+    return Variable(name)
+
+
+class TestCompatible:
+    def test_agree_on_shared(self):
+        assert compatible({v("a"): 1, v("b"): 2}, {v("b"): 2, v("c"): 3})
+
+    def test_disagree_on_shared(self):
+        assert not compatible({v("a"): 1}, {v("a"): 2})
+
+    def test_disjoint_domains_compatible(self):
+        assert compatible({v("a"): 1}, {v("b"): 2})
+
+    def test_empty_compatible_with_anything(self):
+        assert compatible({}, {v("a"): 1})
+
+    def test_symmetric(self):
+        mu1, mu2 = {v("a"): 1, v("b"): 2}, {v("a"): 1}
+        assert compatible(mu1, mu2) == compatible(mu2, mu1) is True
+
+
+class TestMerge:
+    def test_union_of_bindings(self):
+        assert merge({v("a"): 1}, {v("b"): 2}) == {v("a"): 1, v("b"): 2}
+
+    def test_merge_does_not_mutate(self):
+        mu1 = {v("a"): 1}
+        merge(mu1, {v("b"): 2})
+        assert mu1 == {v("a"): 1}
+
+
+class TestSolutionKey:
+    def test_order_independent(self):
+        assert solution_key({v("a"): 1, v("b"): 2}) == solution_key(
+            {v("b"): 2, v("a"): 1}
+        )
+
+    def test_distinguishes(self):
+        assert solution_key({v("a"): 1}) != solution_key({v("a"): 2})
+
+
+class TestProject:
+    def test_star_keeps_all(self):
+        sols = [{v("a"): 1, v("b"): 2}]
+        assert project(sols, None) == sols
+
+    def test_projection_drops_vars(self):
+        sols = [{v("a"): 1, v("b"): 2}]
+        assert project(sols, (v("a"),)) == [{v("a"): 1}]
+
+    def test_distinct(self):
+        sols = [{v("a"): 1, v("b"): 2}, {v("a"): 1, v("b"): 3}]
+        assert len(project(sols, (v("a"),), distinct=True)) == 1
+        assert len(project(sols, (v("a"),), distinct=False)) == 2
+
+    def test_unbound_projected_var_stays_absent(self):
+        sols = [{v("a"): 1}]
+        assert project(sols, (v("a"), v("zz"))) == [{v("a"): 1}]
+
+
+class TestDecode:
+    def test_decode_solution(self):
+        store = TripleStore.from_triples([("x", "p", "y")])
+        x = store.nodes.require("x")
+        assert decode_solution({v("a"): x}, store) == {v("a"): "x"}
+
+    def test_decode_all(self):
+        store = TripleStore.from_triples([("x", "p", "y")])
+        x = store.nodes.require("x")
+        y = store.nodes.require("y")
+        out = decode_all([{v("a"): x}, {v("a"): y}], store)
+        assert out == [{v("a"): "x"}, {v("a"): "y"}]

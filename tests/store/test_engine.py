@@ -1,0 +1,84 @@
+"""Unit tests for the engine facade and QueryResult."""
+
+import pytest
+
+from repro.graph import example_movie_database
+from repro.rdf import Variable
+from repro.store import PROFILES, QueryEngine, TripleStore
+
+
+@pytest.fixture(scope="module")
+def store():
+    return TripleStore.from_graph_database(example_movie_database())
+
+
+class TestProfiles:
+    def test_both_profiles_defined(self):
+        assert set(PROFILES) == {"rdfox-like", "virtuoso-like"}
+
+    def test_unknown_profile_rejected(self, store):
+        with pytest.raises(ValueError):
+            QueryEngine(store, profile="oracle")
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_profiles_agree_on_results(self, store, profile, x1_query):
+        result = QueryEngine(store, profile).execute(x1_query)
+        assert len(result) == 2
+
+
+class TestQueryResult:
+    def test_execute_from_text(self, store, x1_query):
+        result = QueryEngine(store).execute(x1_query)
+        assert result.elapsed >= 0.0
+        assert len(result.solutions) == 2
+
+    def test_decoded(self, store, x1_query):
+        result = QueryEngine(store).execute(x1_query)
+        directors = {mu[Variable("director")] for mu in result.decoded()}
+        assert directors == {"B. De Palma", "G. Hamilton"}
+
+    def test_as_set_is_store_independent(self, store, x1_query):
+        full = QueryEngine(store).execute(x1_query)
+        sub = TripleStore.from_triples(
+            [t for t in store.triples()]
+        )
+        again = QueryEngine(sub).execute(x1_query)
+        assert full.as_set() == again.as_set()
+
+    def test_projection_applied(self, store):
+        result = QueryEngine(store).execute(
+            "SELECT ?director WHERE { ?director directed ?movie . }"
+        )
+        assert all(set(mu) == {Variable("director")} for mu in result.solutions)
+        # Unprojected matches retain ?movie.
+        assert all(Variable("movie") in mu for mu in result.matches)
+
+    def test_distinct(self, store):
+        r1 = QueryEngine(store).execute(
+            "SELECT DISTINCT ?director WHERE { ?director directed ?movie . }"
+        )
+        assert len(r1) == 4
+
+    def test_required_triples_x1(self, store, x1_query):
+        result = QueryEngine(store).execute(x1_query)
+        required = result.required_triples()
+        assert required == {
+            ("B. De Palma", "directed", "Mission: Impossible"),
+            ("B. De Palma", "worked_with", "D. Koepp"),
+            ("G. Hamilton", "directed", "Goldfinger"),
+            ("G. Hamilton", "worked_with", "H. Saltzman"),
+        }
+
+    def test_required_triples_skips_unbound_optional(self, store, x2_query):
+        result = QueryEngine(store).execute(x2_query)
+        required = result.required_triples()
+        # Koepp/Young contribute only their directed triples.
+        assert ("D. Koepp", "directed", "Mortdecai") in required
+        assert all(p != "worked_with" or s in ("B. De Palma", "G. Hamilton")
+                   for s, p, o in required)
+
+    def test_constants_in_required_triples(self, store):
+        result = QueryEngine(store).execute(
+            "SELECT * WHERE { ?d awarded Oscar . }"
+        )
+        assert ("B. De Palma", "awarded", "Oscar") in result.required_triples()

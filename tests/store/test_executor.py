@@ -1,0 +1,218 @@
+"""Unit tests for the query executor: BGP matching, joins, OPTIONAL,
+UNION, FILTER, per the Perez et al. semantics the paper builds on."""
+
+import pytest
+
+from repro.graph import GraphDatabase, Literal, example_movie_database
+from repro.rdf import Variable
+from repro.sparql import parse_pattern, parse_query
+from repro.store import Executor, TripleStore
+
+
+def v(name):
+    return Variable(name)
+
+
+@pytest.fixture(scope="module")
+def movie_store():
+    return TripleStore.from_graph_database(example_movie_database())
+
+
+@pytest.fixture(scope="module", params=["nested", "materialize"])
+def executor(request, movie_store):
+    """Both BGP strategies must produce identical result sets."""
+    return Executor(movie_store, strategy=request.param)
+
+
+def decoded(executor, solutions):
+    store = executor.store
+    return {
+        tuple(sorted((var.name, store.nodes.decode(val)) for var, val in mu.items()))
+        for mu in solutions
+    }
+
+
+class TestBGP:
+    def test_x1(self, executor):
+        pattern = parse_pattern(
+            "{ ?director directed ?movie . ?director worked_with ?coworker . }"
+        )
+        results = decoded(executor, executor.evaluate(pattern))
+        assert results == {
+            (("coworker", "D. Koepp"), ("director", "B. De Palma"),
+             ("movie", "Mission: Impossible")),
+            (("coworker", "H. Saltzman"), ("director", "G. Hamilton"),
+             ("movie", "Goldfinger")),
+        }
+
+    def test_single_triple(self, executor):
+        pattern = parse_pattern("{ ?m genre Action . }")
+        results = decoded(executor, executor.evaluate(pattern))
+        assert results == {
+            (("m", "Goldfinger"),), (("m", "Mission: Impossible"),),
+        }
+
+    def test_constant_subject(self, executor):
+        pattern = parse_pattern('{ "T. Young" directed ?m . }')
+        # String literal constant is an RdfLiteral, not the node name;
+        # bare name matches.
+        pattern2 = parse_pattern("{ ?d awarded Oscar . }")
+        assert len(executor.evaluate(pattern2)) == 2
+
+    def test_unknown_constant_empty(self, executor):
+        pattern = parse_pattern("{ ?m genre Nonexistent . }")
+        assert executor.evaluate(pattern) == []
+
+    def test_unknown_predicate_empty(self, executor):
+        pattern = parse_pattern("{ ?a zzz ?b . }")
+        assert executor.evaluate(pattern) == []
+
+    def test_empty_bgp_has_empty_solution(self, executor):
+        from repro.sparql import BGP
+        assert executor.evaluate(BGP(())) == [{}]
+
+    def test_variable_predicate(self, executor):
+        pattern = parse_pattern("{ ?s ?p Oscar . }")
+        results = executor.evaluate(pattern)
+        assert len(results) == 2  # De Palma and Thunderball awarded Oscar
+
+    def test_same_variable_twice(self, executor):
+        # Self-loops: ?x worked_with ?x — none in the movie graph.
+        pattern = parse_pattern("{ ?x worked_with ?x . }")
+        assert executor.evaluate(pattern) == []
+
+    def test_cycle_pattern(self):
+        store = TripleStore.from_triples([
+            ("a", "knows", "b"), ("b", "knows", "a"), ("b", "knows", "c"),
+        ])
+        ex = Executor(store)
+        pattern = parse_pattern("{ ?x knows ?y . ?y knows ?x . }")
+        assert len(ex.evaluate(pattern)) == 2  # (a,b) and (b,a)
+
+
+class TestJoin:
+    def test_join_via_group(self, executor):
+        pattern = parse_pattern(
+            "{ { ?d directed ?m . } { ?d born_in ?c . } }"
+        )
+        results = decoded(executor, executor.evaluate(pattern))
+        directors = {dict(r)["d"] for r in results}
+        assert directors == {"B. De Palma", "G. Hamilton"}
+
+    def test_join_no_shared_vars_is_cross_product(self, executor):
+        pattern = parse_pattern("{ { ?m genre Action . } { ?d awarded Oscar . } }")
+        assert len(executor.evaluate(pattern)) == 4  # 2 x 2
+
+    def test_join_empty_side(self, executor):
+        pattern = parse_pattern("{ { ?m genre Action . } { ?d zzz ?x . } }")
+        assert executor.evaluate(pattern) == []
+
+
+class TestOptional:
+    def test_x2(self, executor, x2_query):
+        query = parse_query(x2_query)
+        results = decoded(executor, executor.evaluate(query.pattern))
+        directors_with = {
+            dict(r).get("director") for r in results if "coworker" in dict(r)
+        }
+        directors_without = {
+            dict(r).get("director") for r in results if "coworker" not in dict(r)
+        }
+        assert directors_with == {"B. De Palma", "G. Hamilton"}
+        assert directors_without == {"D. Koepp", "T. Young"}
+
+    def test_optional_never_removes(self, executor):
+        base = parse_pattern("{ ?d directed ?m . }")
+        with_opt = parse_pattern(
+            "{ ?d directed ?m . OPTIONAL { ?d zzz ?x . } }"
+        )
+        base_results = executor.evaluate(base)
+        opt_results = executor.evaluate(with_opt)
+        assert len(base_results) == len(opt_results)
+
+    def test_x3_non_well_designed(self, fig5_db, x3_query):
+        # Fig. 5: two matches, one with v3 bound by the optional, one
+        # cross-product match without the optional b-edge.
+        store = TripleStore.from_graph_database(fig5_db)
+        ex = Executor(store)
+        query = parse_query(x3_query)
+        results = ex.evaluate(query.pattern)
+        assert len(results) == 2
+        bound = [r for r in results if v("v2") in r]
+        as_names = {
+            tuple(sorted((var.name, store.nodes.decode(val)) for var, val in mu.items()))
+            for mu in results
+        }
+        assert (("v1", 1), ("v2", 2), ("v3", 4), ("v4", 5)) in as_names
+        assert (("v1", 1), ("v2", 3), ("v3", 4), ("v4", 5)) in as_names
+
+
+class TestUnion:
+    def test_union_concatenates(self, executor):
+        pattern = parse_pattern(
+            "{ { ?m genre Action . } UNION { ?m awarded Oscar . } }"
+        )
+        assert len(executor.evaluate(pattern)) == 4
+
+
+class TestFilter:
+    def test_numeric_filter(self, executor):
+        pattern = parse_pattern(
+            "{ ?c population ?p . FILTER(?p > 100000) }"
+        )
+        results = decoded(executor, executor.evaluate(pattern))
+        cities = {dict(r)["c"] for r in results}
+        assert cities == {"Newark", "Paris"}
+
+    def test_equality_filter_on_node(self, executor):
+        pattern = parse_pattern("{ ?d directed ?m . FILTER(?d = ?d) }")
+        assert len(executor.evaluate(pattern)) == 4
+
+    def test_unbound_comparison_drops_row(self, executor):
+        pattern = parse_pattern(
+            "{ ?d directed ?m . OPTIONAL { ?d awarded ?a . } "
+            "FILTER(?a = Oscar) }"
+        )
+        results = decoded(executor, executor.evaluate(pattern))
+        assert {dict(r)["d"] for r in results} == {"B. De Palma"}
+
+    def test_bound_filter(self, executor):
+        pattern = parse_pattern(
+            "{ ?d directed ?m . OPTIONAL { ?d worked_with ?c . } "
+            "FILTER(BOUND(?c)) }"
+        )
+        results = decoded(executor, executor.evaluate(pattern))
+        assert {dict(r)["d"] for r in results} == {"B. De Palma", "G. Hamilton"}
+
+    def test_negated_bound(self, executor):
+        pattern = parse_pattern(
+            "{ ?d directed ?m . OPTIONAL { ?d worked_with ?c . } "
+            "FILTER(!BOUND(?c)) }"
+        )
+        results = decoded(executor, executor.evaluate(pattern))
+        assert {dict(r)["d"] for r in results} == {"D. Koepp", "T. Young"}
+
+    def test_mixed_type_order_comparison_drops(self, executor):
+        # Ordering a string against a number is a type error -> drop.
+        pattern = parse_pattern("{ ?c population ?p . FILTER(?c > 5) }")
+        assert executor.evaluate(pattern) == []
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("text", [
+        "{ ?d directed ?m . ?d worked_with ?c . }",
+        "{ ?d directed ?m . OPTIONAL { ?d awarded ?a . } }",
+        "{ { ?m genre Action . } UNION { ?m genre Drama . } }",
+        "{ ?m genre ?g . ?m awarded ?a . }",
+    ])
+    def test_nested_equals_materialize(self, movie_store, text):
+        pattern = parse_pattern(text)
+        nested = Executor(movie_store, strategy="nested")
+        mat = Executor(movie_store, strategy="materialize")
+        left = decoded(nested, nested.evaluate(pattern))
+        right = decoded(mat, mat.evaluate(pattern))
+        assert left == right
+
+    def test_unknown_strategy_rejected(self, movie_store):
+        with pytest.raises(ValueError):
+            Executor(movie_store, strategy="quantum")

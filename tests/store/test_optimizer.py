@@ -1,0 +1,82 @@
+"""Unit tests for join ordering."""
+
+import pytest
+
+from repro.rdf import Variable
+from repro.sparql import TriplePattern
+from repro.store import (
+    StoreStatistics,
+    TripleStore,
+    order_bgp,
+    order_greedy,
+    order_static,
+)
+
+
+def v(name):
+    return Variable(name)
+
+
+@pytest.fixture
+def store():
+    triples = [(f"s{i}", "heavy", f"o{i % 4}") for i in range(20)]
+    triples += [("s0", "light", "o0"), ("s1", "light", "o1")]
+    triples += [(f"o{i}", "mid", f"m{i}") for i in range(4)]
+    return TripleStore.from_triples(triples)
+
+
+@pytest.fixture
+def stats(store):
+    return StoreStatistics(store)
+
+
+class TestOrderings:
+    def test_greedy_starts_cheapest(self, store, stats):
+        heavy = TriplePattern(v("a"), "heavy", v("b"))
+        light = TriplePattern(v("a"), "light", v("c"))
+        ordered = order_greedy([heavy, light], stats, store)
+        assert ordered[0] is light
+
+    def test_greedy_prefers_connected(self, store, stats):
+        light = TriplePattern(v("a"), "light", v("c"))
+        mid_connected = TriplePattern(v("c"), "mid", v("d"))
+        heavy_disconnected = TriplePattern(v("x"), "heavy", v("y"))
+        ordered = order_greedy(
+            [heavy_disconnected, mid_connected, light], stats, store
+        )
+        # Disconnected heavy pattern is pushed last despite ties.
+        assert ordered[-1] is heavy_disconnected
+
+    def test_static_base_cardinality(self, store, stats):
+        heavy = TriplePattern(v("a"), "heavy", v("b"))
+        light = TriplePattern(v("a"), "light", v("c"))
+        mid = TriplePattern(v("c"), "mid", v("d"))
+        ordered = order_static([heavy, mid, light], stats, store)
+        assert ordered[0] is light
+
+    def test_static_keeps_connectivity(self, store, stats):
+        light = TriplePattern(v("a"), "light", v("c"))
+        mid = TriplePattern(v("c"), "mid", v("d"))
+        heavy = TriplePattern(v("d"), "heavy", v("e"))
+        ordered = order_static([heavy, mid, light], stats, store)
+        assert [p.predicate for p in ordered] == ["light", "mid", "heavy"]
+
+    def test_order_preserves_multiset(self, store, stats):
+        patterns = [
+            TriplePattern(v("a"), "heavy", v("b")),
+            TriplePattern(v("b"), "mid", v("c")),
+            TriplePattern(v("a"), "light", v("d")),
+        ]
+        for ordering in ("greedy", "static"):
+            ordered = order_bgp(patterns, stats, store, ordering=ordering)
+            assert sorted(id(p) for p in ordered) == sorted(id(p) for p in patterns)
+
+    def test_unknown_ordering(self, store, stats):
+        with pytest.raises(ValueError):
+            order_bgp([], stats, store, ordering="bogus")
+
+    def test_all_disconnected_accepted(self, store, stats):
+        a = TriplePattern(v("a"), "light", v("b"))
+        b = TriplePattern(v("x"), "mid", v("y"))
+        ordered = order_static([a, b], stats, store)
+        assert len(ordered) == 2

@@ -1,0 +1,80 @@
+"""Unit tests for the specification-grade reference evaluator."""
+
+import pytest
+
+from repro.graph import example_movie_database
+from repro.rdf import Variable
+from repro.sparql import parse_pattern, parse_query
+from repro.store import Executor, ReferenceEvaluator, TripleStore
+from repro.store.bindings import solution_key
+
+
+@pytest.fixture(scope="module")
+def store():
+    return TripleStore.from_graph_database(example_movie_database())
+
+
+@pytest.fixture(scope="module")
+def reference(store):
+    return ReferenceEvaluator(store)
+
+
+class TestReferenceSemantics:
+    def test_x1(self, reference, x1_query):
+        query = parse_query(x1_query)
+        assert len(reference.evaluate(query.pattern)) == 2
+
+    def test_x2_left_join(self, reference, x2_query):
+        query = parse_query(x2_query)
+        assert len(reference.evaluate(query.pattern)) == 4
+
+    def test_empty_bgp(self, reference):
+        from repro.sparql import BGP
+        assert reference.evaluate(BGP(())) == [{}]
+
+    def test_matches_production_executor(self, store, reference):
+        for text in (
+            "{ ?m genre Action . }",
+            "{ ?d directed ?m . OPTIONAL { ?d awarded ?a . } }",
+            "{ { ?m genre Action . } UNION { ?m genre Drama . } }",
+            "{ ?c population ?p . FILTER(?p > 100000) }",
+            "{ ?s ?p Oscar . }",
+        ):
+            pattern = parse_pattern(text)
+            expected = reference.as_set(pattern)
+            actual = {
+                solution_key(mu)
+                for mu in Executor(store).evaluate(pattern)
+            }
+            assert actual == expected, text
+
+    def test_conditional_left_join(self, store, reference):
+        # FILTER inside OPTIONAL sees the merged solution.
+        pattern = parse_pattern(
+            "{ ?c population ?p . OPTIONAL { ?c2 population ?p2 . "
+            "FILTER(?p2 > ?p) } }"
+        )
+        expected = reference.as_set(pattern)
+        actual = {
+            solution_key(mu) for mu in Executor(store).evaluate(pattern)
+        }
+        assert actual == expected
+
+    def test_query_level_modifiers(self, store, reference):
+        query = parse_query(
+            "SELECT DISTINCT ?d WHERE { ?d directed ?m . } "
+            "ORDER BY ?d LIMIT 2"
+        )
+        solutions = reference.evaluate_query(query)
+        assert len(solutions) == 2
+        names = [store.nodes.decode(mu[Variable("d")]) for mu in solutions]
+        assert names == sorted(names)
+
+    def test_same_variable_twice_in_pattern(self, reference):
+        pattern = parse_pattern("{ ?x worked_with ?x . }")
+        assert reference.evaluate(pattern) == []
+
+    def test_unknown_pattern_node_raises(self, reference):
+        from repro.errors import QueryError
+        with pytest.raises(QueryError):
+            reference.evaluate(object())

@@ -1,0 +1,119 @@
+"""Unit tests for the indexed triple store."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.graph import GraphDatabase, Literal
+from repro.store import TripleStore
+
+
+@pytest.fixture
+def store():
+    return TripleStore.from_triples([
+        ("a", "p", "b"),
+        ("a", "p", "c"),
+        ("b", "p", "c"),
+        ("a", "q", "b"),
+        ("c", "r", Literal(5)),
+    ])
+
+
+class TestConstruction:
+    def test_add_returns_novelty(self):
+        s = TripleStore()
+        assert s.add("a", "p", "b") is True
+        assert s.add("a", "p", "b") is False
+        assert s.n_triples == 1
+
+    def test_literal_subject_rejected(self):
+        s = TripleStore()
+        with pytest.raises(StoreError):
+            s.add(Literal(1), "p", "o")
+
+    def test_counts(self, store):
+        assert store.n_triples == 5
+        assert len(store) == 5
+        assert store.n_predicates == 3
+        assert store.n_nodes == 4  # a, b, c, Literal(5)
+
+    def test_roundtrip_graph_database(self, store):
+        db = store.to_graph_database()
+        assert db.n_triples == 5
+        again = TripleStore.from_graph_database(db)
+        assert set(again.triples()) == set(store.triples())
+
+
+class TestLookups:
+    def test_contains(self, store):
+        assert store.contains("a", "p", "b")
+        assert not store.contains("b", "p", "a")
+        assert not store.contains("zzz", "p", "b")
+
+    def test_objects_subjects(self, store):
+        a = store.nodes.require("a")
+        b = store.nodes.require("b")
+        c = store.nodes.require("c")
+        p = store.predicates.require("p")
+        assert store.objects(a, p) == {b, c}
+        assert store.subjects(p, c) == {a, b}
+        assert store.objects(c, p) == set()
+
+    def test_pairs(self, store):
+        p = store.predicates.require("p")
+        assert len(list(store.pairs(p))) == 3
+
+    def test_statistics_accessors(self, store):
+        p = store.predicates.require("p")
+        assert store.predicate_count(p) == 3
+        assert store.distinct_subjects(p) == 2  # a, b
+        assert store.distinct_objects(p) == 2  # b, c
+
+
+class TestMatchIds:
+    def _ids(self, store, s=None, p=None, o=None):
+        sid = store.nodes.lookup(s) if s else None
+        pid = store.predicates.lookup(p) if p else None
+        oid = store.nodes.lookup(o) if o else None
+        return set(store.match_ids(sid, pid, oid))
+
+    def test_fully_bound(self, store):
+        assert len(self._ids(store, "a", "p", "b")) == 1
+
+    def test_sp_bound(self, store):
+        assert len(self._ids(store, "a", "p")) == 2
+
+    def test_po_bound(self, store):
+        assert len(self._ids(store, None, "p", "c")) == 2
+
+    def test_p_bound(self, store):
+        assert len(self._ids(store, None, "p")) == 3
+
+    def test_unbound_predicate_scans_all(self, store):
+        a = store.nodes.require("a")
+        matches = set(store.match_ids(a, None, None))
+        assert len(matches) == 3  # a p b, a p c, a q b
+
+    def test_full_scan(self, store):
+        assert len(set(store.match_ids(None, None, None))) == 5
+
+    def test_unknown_predicate_id_empty(self, store):
+        # An id that no triple carries matches nothing (name-level
+        # misses are the executor's responsibility).
+        assert set(store.match_ids(None, 999, None)) == set()
+
+
+class TestSubset:
+    def test_subset_preserves_names(self, store):
+        a = store.nodes.require("a")
+        b = store.nodes.require("b")
+        p = store.predicates.require("p")
+        sub = store.subset([(a, p, b)])
+        assert sub.n_triples == 1
+        assert sub.contains("a", "p", "b")
+
+    def test_empty_subset(self, store):
+        sub = store.subset([])
+        assert sub.n_triples == 0
+
+    def test_repr(self, store):
+        assert "triples=5" in repr(store)

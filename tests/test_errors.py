@@ -1,0 +1,80 @@
+"""Unit tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    DimensionMismatchError,
+    GraphError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SolverError,
+    StoreError,
+    TermError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", [
+        GraphError, DimensionMismatchError, TermError, ParseError,
+        QueryError, StoreError, SolverError, WorkloadError,
+    ])
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_parse_error_location_rendering(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_parse_error_without_location(self):
+        error = ParseError("bad token")
+        assert str(error) == "bad token"
+        assert error.line is None
+
+    def test_parse_error_line_only(self):
+        error = ParseError("bad", line=2)
+        assert "line 2" in str(error)
+        assert "column" not in str(error)
+
+    def test_catch_all_at_api_boundary(self):
+        # A caller catching ReproError sees parser errors.
+        with pytest.raises(ReproError):
+            repro.parse_query("SELECT * WHERE {")
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_exports_resolve(self):
+        import repro.core
+        for name in repro.core.__all__:
+            assert hasattr(repro.core, name), name
+
+    def test_sparql_exports_resolve(self):
+        import repro.sparql
+        for name in repro.sparql.__all__:
+            assert hasattr(repro.sparql, name), name
+
+    def test_store_exports_resolve(self):
+        import repro.store
+        for name in repro.store.__all__:
+            assert hasattr(repro.store, name), name
+
+    def test_workloads_exports_resolve(self):
+        import repro.workloads
+        for name in repro.workloads.__all__:
+            assert hasattr(repro.workloads, name), name
+
+    def test_bench_exports_resolve(self):
+        import repro.bench
+        for name in repro.bench.__all__:
+            assert hasattr(repro.bench, name), name

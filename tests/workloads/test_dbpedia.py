@@ -1,0 +1,96 @@
+"""Unit tests for the DBpedia-like generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import DBpediaConfig, generate_dbpedia
+
+
+class TestSelectivityRegime:
+    def test_many_predicates(self, small_dbpedia):
+        # The defining DBpedia property: a long predicate tail.
+        assert len(small_dbpedia.labels) >= 40
+
+    def test_heavy_tail(self, small_dbpedia):
+        db = small_dbpedia
+        counts = {}
+        for _s, p, _o in db.triples():
+            counts[p] = counts.get(p, 0) + 1
+        rare = [p for p, c in counts.items() if c <= 5]
+        heavy = [p for p, c in counts.items() if c >= 50]
+        assert len(rare) >= 10
+        assert len(heavy) >= 2
+
+    def test_rare_seed_facts_deterministic(self, small_dbpedia):
+        db = small_dbpedia
+        # The D2/B16 anchors exist on every seed.
+        assert any(p == "death_cause" and o == "Illness"
+                   for _s, p, o in db.triples())
+        assert any(p == "narrator" for _s, p, _o in db.triples())
+
+
+class TestDeterminism:
+    def test_same_seed_same_db(self):
+        a = generate_dbpedia(scale=1, seed=4, padding=1)
+        b = generate_dbpedia(scale=1, seed=4, padding=1)
+        assert set(a.triples()) == set(b.triples())
+
+
+class TestStructure:
+    def test_movies_have_directors(self, small_dbpedia):
+        db = small_dbpedia
+        movies = {
+            s for s, p, o in db.triples() if p == "type" and o == "Movie"
+        }
+        assert movies
+        for movie in movies:
+            assert db.predecessors(movie, "directed")
+
+    def test_cities_located_in_countries(self, small_dbpedia):
+        db = small_dbpedia
+        cities = {
+            s for s, p, o in db.triples() if p == "type" and o == "City"
+        }
+        for city in cities:
+            assert db.successors(city, "located_in")
+
+    def test_spouses_symmetric(self, small_dbpedia):
+        db = small_dbpedia
+        for s, p, o in db.triples():
+            if p == "spouse":
+                assert db.has_edge(o, "spouse", s)
+
+    def test_franchise_chains_inverse(self, small_dbpedia):
+        db = small_dbpedia
+        for s, p, o in db.triples():
+            if p == "sequel_of":
+                assert db.has_edge(o, "prequel_of", s)
+
+    def test_literals_present(self, small_dbpedia):
+        assert small_dbpedia.n_literals > 0
+
+
+class TestPadding:
+    def test_padding_adds_unrelated_mass(self):
+        lean = generate_dbpedia(scale=1, seed=0, padding=1)
+        padded = generate_dbpedia(scale=1, seed=0, padding=4)
+        assert padded.n_triples > lean.n_triples
+        # Padding never touches the movie-domain predicates.
+        movie_preds = {"directed", "starring", "genre", "worked_with"}
+        lean_counts = sum(
+            1 for _s, p, _o in lean.triples() if p in movie_preds
+        )
+        padded_counts = sum(
+            1 for _s, p, _o in padded.triples() if p in movie_preds
+        )
+        assert lean_counts == padded_counts
+
+
+class TestConfig:
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            generate_dbpedia(scale=0)
+
+    def test_config_and_overrides_exclusive(self):
+        with pytest.raises(WorkloadError):
+            generate_dbpedia(DBpediaConfig(), seed=3)

@@ -1,0 +1,108 @@
+"""Unit tests for the LUBM-like generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import LUBM_PREDICATES, LUBMConfig, generate_lubm
+
+
+class TestSchema:
+    def test_exactly_18_predicates_available(self):
+        assert len(LUBM_PREDICATES) == 18
+
+    def test_used_predicates_within_schema(self, small_lubm):
+        assert small_lubm.labels <= set(LUBM_PREDICATES)
+
+    def test_low_label_diversity(self, small_lubm):
+        # The defining LUBM property: few labels, many edges.
+        assert len(small_lubm.labels) <= 18
+        assert small_lubm.n_triples / len(small_lubm.labels) > 30
+
+
+class TestDeterminism:
+    def test_same_seed_same_db(self):
+        a = generate_lubm(n_universities=2, seed=9)
+        b = generate_lubm(n_universities=2, seed=9)
+        assert set(a.triples()) == set(b.triples())
+
+    def test_different_seed_differs(self):
+        a = generate_lubm(n_universities=2, seed=1)
+        b = generate_lubm(n_universities=2, seed=2)
+        assert set(a.triples()) != set(b.triples())
+
+
+class TestStructure:
+    def test_every_department_in_a_university(self, small_lubm):
+        db = small_lubm
+        depts = {
+            s for s, p, o in db.triples() if p == "type" and o == "Department"
+        }
+        for dept in depts:
+            assert db.successors(dept, "subOrganizationOf")
+
+    def test_every_grad_has_advisor_in_own_department(self, small_lubm):
+        db = small_lubm
+        grads = {
+            s for s, p, o in db.triples()
+            if p == "type" and o == "GraduateStudent"
+        }
+        assert grads
+        for grad in grads:
+            advisors = db.successors(grad, "advisor")
+            assert len(advisors) == 1
+            dept = next(iter(db.successors(grad, "memberOf")))
+            advisor = next(iter(advisors))
+            assert dept in db.successors(advisor, "worksFor")
+
+    def test_publications_have_authors(self, small_lubm):
+        db = small_lubm
+        pubs = {
+            s for s, p, o in db.triples()
+            if p == "type" and o == "Publication"
+        }
+        assert pubs
+        for pub in pubs:
+            assert db.successors(pub, "author")
+
+    def test_one_head_per_department(self, small_lubm):
+        db = small_lubm
+        heads = [(s, o) for s, p, o in db.triples() if p == "headOf"]
+        depts = {o for _s, o in heads}
+        assert len(heads) == len(depts)
+
+    def test_foreign_degrees_exist(self):
+        db = generate_lubm(n_universities=4, seed=0)
+        foreign = 0
+        for s, p, o in db.triples():
+            if p == "undergraduateDegreeFrom" and s.startswith("u"):
+                home = s.split(":")[0]
+                if o != home:
+                    foreign += 1
+        assert foreign > 0  # the L1 weak-pruning driver
+
+    def test_spiral_present_and_open(self):
+        db = generate_lubm(n_universities=1, seed=0, spiral_length=5)
+        assert db.has_edge("spiral:s0", "advisor", "spiral:p0")
+        assert db.has_edge("spiral:s1", "takesCourse", "spiral:c0")
+        # Open at both ends.
+        assert not db.has_node("spiral:s5")
+        assert db.successors("spiral:s0", "takesCourse") == set()
+
+    def test_spiral_disabled(self):
+        db = generate_lubm(n_universities=1, seed=0, spiral_length=0)
+        assert not db.has_node("spiral:s0")
+
+
+class TestConfig:
+    def test_invalid_university_count(self):
+        with pytest.raises(WorkloadError):
+            generate_lubm(n_universities=0)
+
+    def test_config_and_overrides_exclusive(self):
+        with pytest.raises(WorkloadError):
+            generate_lubm(LUBMConfig(), seed=3)
+
+    def test_scaling(self):
+        small = generate_lubm(n_universities=1, seed=0)
+        large = generate_lubm(n_universities=4, seed=0)
+        assert large.n_triples > 2 * small.n_triples

@@ -1,0 +1,80 @@
+"""Unit tests for the query catalogs."""
+
+import pytest
+
+from repro.core import compile_query
+from repro.sparql import parse_query
+from repro.workloads import (
+    BENCH_QUERIES,
+    CYCLIC_QUERIES,
+    DBPEDIA_QUERIES,
+    EXPECTED_EMPTY,
+    LUBM_QUERIES,
+    dataset_of,
+    get_query,
+    iter_all_queries,
+)
+
+
+class TestCatalogShape:
+    def test_counts_match_paper(self):
+        assert len(LUBM_QUERIES) == 6       # L0-L5
+        assert len(DBPEDIA_QUERIES) == 6    # D0-D5
+        assert len(BENCH_QUERIES) == 20     # B0-B19
+
+    def test_all_queries_parse(self):
+        for name, _ds, text in iter_all_queries():
+            query = parse_query(text)
+            assert query.pattern.variables(), name
+
+    def test_all_queries_compile(self):
+        for name, _ds, text in iter_all_queries():
+            compiled = compile_query(text)
+            assert compiled, name
+
+    def test_optional_queries_present(self):
+        # The paper focuses on time-consuming optional queries.
+        with_optional = [
+            name for name, _ds, text in iter_all_queries()
+            if "OPTIONAL" in text
+        ]
+        assert len(with_optional) >= 10
+
+    def test_union_query_present(self):
+        assert "UNION" in BENCH_QUERIES["B19"]
+
+    def test_l1_matches_fig6b_shape(self):
+        # Fig. 6(b): 7 triple patterns, one constant (ub:Publication
+        # analogue), cyclic.
+        [compiled] = compile_query(LUBM_QUERIES["L1"])
+        assert len(compiled.soi.edges) == 7
+        constants = [v for v in compiled.soi.variables if v.has_constant]
+        assert len(constants) == 1
+
+    def test_l0_matches_fig6a_shape(self):
+        [compiled] = compile_query(LUBM_QUERIES["L0"])
+        assert len(compiled.soi.edges) == 3
+        assert compiled.soi.n_variables == 3  # a triangle
+
+
+class TestHelpers:
+    def test_dataset_of(self):
+        assert dataset_of("L0") == "lubm"
+        assert dataset_of("D3") == "dbpedia"
+        assert dataset_of("B17") == "dbpedia"
+
+    def test_get_query(self):
+        assert get_query("L0") == LUBM_QUERIES["L0"]
+        with pytest.raises(KeyError):
+            get_query("Z9")
+
+    def test_iter_all(self):
+        names = [name for name, _ds, _t in iter_all_queries()]
+        assert len(names) == 32
+        assert len(set(names)) == 32
+
+    def test_expected_empty_members(self):
+        assert EXPECTED_EMPTY == {"B4", "B15", "D1"}
+
+    def test_cyclic_members(self):
+        assert "L0" in CYCLIC_QUERIES and "L1" in CYCLIC_QUERIES

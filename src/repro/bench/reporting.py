@@ -7,11 +7,15 @@ the paper side by side (shape, not absolute numbers).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+import platform
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
 
 from repro.bench.runner import (
     HypothesisRow,
     IterationRow,
+    KernelBenchRow,
     Table2Row,
 )
 from repro.pipeline.pruned_query import PipelineReport
@@ -108,6 +112,123 @@ def render_iterations(rows: List[IterationRow]) -> str:
             for r in rows
         ),
     )
+
+
+def _kernel_pairs(rows: List[KernelBenchRow]) -> Dict[str, Dict[str, KernelBenchRow]]:
+    """Group kernel-bench rows as query -> kernel -> row."""
+    pairs: Dict[str, Dict[str, KernelBenchRow]] = {}
+    for row in rows:
+        pairs.setdefault(row.query, {})[row.kernel] = row
+    return pairs
+
+
+def render_kernel_bench(rows: List[KernelBenchRow]) -> str:
+    """Packed vs reference solver times per query, with speedups."""
+    pairs = _kernel_pairs(rows)
+    body = []
+    for query, by_kernel in pairs.items():
+        packed = by_kernel.get("packed")
+        reference = by_kernel.get("reference")
+        if packed is None or reference is None:
+            continue
+        speedup = (
+            reference.t_solve / packed.t_solve
+            if packed.t_solve > 0 else float("inf")
+        )
+        body.append([
+            query,
+            packed.dataset,
+            _fmt_time(packed.t_solve),
+            _fmt_time(reference.t_solve),
+            f"{speedup:.1f}x",
+            str(packed.evaluations),
+            str(packed.bits_removed),
+            "yes" if packed.total_bits == reference.total_bits else "NO",
+        ])
+    return render_table(
+        ["Query", "Dataset", "t_packed", "t_reference", "speedup",
+         "evals", "bits_rm", "fixpoint="],
+        body,
+    )
+
+
+def kernel_bench_summary(rows: List[KernelBenchRow]) -> Dict:
+    """Aggregate statistics of one kernel-ablation run.
+
+    Only queries measured on *both* kernels count toward
+    ``n_queries`` and ``fixpoints_identical``; queries missing a
+    kernel are reported separately rather than silently passing.
+    """
+    pairs = _kernel_pairs(rows)
+    speedups: List[float] = []
+    identical = True
+    n_paired = 0
+    unpaired: List[str] = []
+    for query, by_kernel in pairs.items():
+        packed = by_kernel.get("packed")
+        reference = by_kernel.get("reference")
+        if packed is None or reference is None:
+            unpaired.append(query)
+            continue
+        n_paired += 1
+        if packed.t_solve > 0:
+            speedups.append(reference.t_solve / packed.t_solve)
+        identical = identical and packed.total_bits == reference.total_bits
+    geomean = 1.0
+    if speedups:
+        product = 1.0
+        for s in speedups:
+            product *= s
+        geomean = product ** (1.0 / len(speedups))
+    return {
+        "n_queries": n_paired,
+        "unpaired_queries": unpaired,
+        "n_speedup_ge_3x": sum(1 for s in speedups if s >= 3.0),
+        "min_speedup": min(speedups) if speedups else None,
+        "max_speedup": max(speedups) if speedups else None,
+        "geomean_speedup": geomean,
+        "fixpoints_identical": identical,
+    }
+
+
+def write_bench_json(
+    path: str | Path,
+    rows: List[KernelBenchRow],
+    lubm_universities: int,
+    dbpedia_scale: int,
+) -> Dict:
+    """Write the machine-readable perf-trajectory record.
+
+    Schema ``repro-bench/v1``: one record per (query, kernel) with
+    wall time, solver work counters, bits removed, and the fixpoint
+    mass, plus an aggregate summary — so future PRs can diff their
+    numbers against this baseline file.
+    """
+    document = {
+        "schema": "repro-bench/v1",
+        "workloads": {
+            "lubm_universities": lubm_universities,
+            "dbpedia_scale": dbpedia_scale,
+        },
+        "python": platform.python_version(),
+        "benches": [
+            {
+                "query": row.query,
+                "dataset": row.dataset,
+                "kernel": row.kernel,
+                "t_solve": row.t_solve,
+                "rounds": row.rounds,
+                "evaluations": row.evaluations,
+                "updates": row.updates,
+                "bits_removed": row.bits_removed,
+                "total_bits": row.total_bits,
+            }
+            for row in rows
+        ],
+        "summary": kernel_bench_summary(rows),
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    return document
 
 
 def render_hypothesis(rows: List[HypothesisRow]) -> str:

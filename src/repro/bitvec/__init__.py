@@ -2,13 +2,27 @@
 
 Public surface:
 
-* :class:`Bitset` — fixed-width mutable bitsets over uint64 words.
-* :class:`AdjacencyMatrix` — one direction of a label's adjacency.
+* :class:`Bitset` — fixed-width mutable bitsets over uint64 words,
+  with cached popcounts.
+* :class:`AdjacencyMatrix` — one direction of a label's adjacency;
+  non-empty rows packed into one contiguous ``(n_rows, n_words)``
+  ``uint64`` block for vectorized products.
 * :class:`LabelMatrixPair` — forward+backward matrices of one label.
 * :func:`build_label_matrices` — construct all label matrices at once.
+* :func:`active_kernel` / :func:`set_kernel` / :func:`use_kernel` —
+  the ``packed`` vs ``reference`` product-kernel switch (also settable
+  via the ``REPRO_KERNEL`` environment variable).
 """
 
 from repro.bitvec.bitset import Bitset
+from repro.bitvec.kernel import (
+    KERNELS,
+    PACKED,
+    REFERENCE,
+    active_kernel,
+    set_kernel,
+    use_kernel,
+)
 from repro.bitvec.matrix import (
     AdjacencyMatrix,
     LabelMatrixPair,
@@ -20,4 +34,10 @@ __all__ = [
     "AdjacencyMatrix",
     "LabelMatrixPair",
     "build_label_matrices",
+    "KERNELS",
+    "PACKED",
+    "REFERENCE",
+    "active_kernel",
+    "set_kernel",
+    "use_kernel",
 ]

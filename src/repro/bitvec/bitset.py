@@ -9,6 +9,17 @@ tests, popcount, set-bit iteration), all vectorized over 64-bit words.
 Bits beyond ``nbits`` (the *tail*) are kept at zero as a class
 invariant, which makes equality, popcount and subset tests plain word
 comparisons.
+
+Popcounts are cached: :meth:`Bitset.count` computes the word-wise
+``bitwise_count`` sum once and remembers it until the next mutating
+operation invalidates it.  The SOI solver reads candidate-row counts
+on every evaluation, so rows that did not change between evaluations
+answer in O(1) instead of rescanning their words (the "popcount tax"
+of the seed implementation).
+
+Mutating ``bitset.words`` directly (rather than through the methods
+here) bypasses the cache; callers that do so must treat the bitset as
+read-only or construct a fresh ``Bitset`` around the words.
 """
 
 from __future__ import annotations
@@ -45,14 +56,16 @@ class Bitset:
     hashable snapshot is needed.
     """
 
-    __slots__ = ("nbits", "words")
+    __slots__ = ("nbits", "words", "_count", "_ones")
 
     def __init__(self, nbits: int, words: np.ndarray | None = None):
         if nbits < 0:
             raise ValueError("nbits must be non-negative")
         self.nbits = nbits
+        self._ones = None
         if words is None:
             self.words = np.zeros(_word_count(nbits), dtype=np.uint64)
+            self._count = 0
         else:
             if words.dtype != np.uint64 or words.shape != (_word_count(nbits),):
                 raise DimensionMismatchError(
@@ -60,6 +73,7 @@ class Bitset:
                     f"{nbits} bits, got {words.shape} of {words.dtype}"
                 )
             self.words = words
+            self._count = -1
 
     # -- constructors -------------------------------------------------
 
@@ -75,23 +89,51 @@ class Bitset:
         out.words.fill(0xFFFFFFFFFFFFFFFF)
         if out.words.size:
             out.words[-1] = np.uint64(_tail_mask(nbits))
+        out._count = nbits
+        out._ones = None
+        return out
+
+    @classmethod
+    def _wrap(cls, nbits: int, words: np.ndarray) -> "Bitset":
+        """Adopt ``words`` without validation (kernel-internal)."""
+        out = object.__new__(cls)
+        out.nbits = nbits
+        out.words = words
+        out._count = -1
+        out._ones = None
         return out
 
     @classmethod
     def from_indices(cls, nbits: int, indices: Iterable[int]) -> "Bitset":
         """Build a bitset from an iterable of member indices."""
-        out = cls(nbits)
-        idx = np.fromiter(indices, dtype=np.int64)
+        if isinstance(indices, np.ndarray):
+            idx = indices.astype(np.int64, copy=False)
+        else:
+            idx = np.fromiter(indices, dtype=np.int64)
         if idx.size == 0:
-            return out
+            return cls(nbits)
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
         if idx.min() < 0 or idx.max() >= nbits:
             raise IndexError(f"index out of range for {nbits}-bit set")
-        np.bitwise_or.at(
-            out.words,
-            idx // _WORD_BITS,
-            np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64),
+        if idx.size * 16 < nbits:
+            # Sparse: per-element scatter, O(len(idx)) — avoids the
+            # O(nbits) mask pass below on the solver's hot path.
+            out = cls(nbits)
+            np.bitwise_or.at(
+                out.words,
+                idx // _WORD_BITS,
+                np.uint64(1) << (idx % _WORD_BITS).astype(np.uint64),
+            )
+            out._count = -1
+            return out
+        # Dense-ish: scatter into a byte mask and pack — faster than
+        # the per-element ufunc.at scatter for everything but tiny sets.
+        mask = np.zeros(_word_count(nbits) * _WORD_BITS, dtype=np.uint8)
+        mask[idx] = 1
+        return cls._wrap(
+            nbits, np.packbits(mask, bitorder=_UINT8_BITORDER).view(np.uint64)
         )
-        return out
 
     @classmethod
     def singleton(cls, nbits: int, index: int) -> "Bitset":
@@ -101,7 +143,10 @@ class Bitset:
         return out
 
     def copy(self) -> "Bitset":
-        return Bitset(self.nbits, self.words.copy())
+        out = Bitset(self.nbits, self.words.copy())
+        out._count = self._count
+        out._ones = self._ones
+        return out
 
     # -- element access -----------------------------------------------
 
@@ -112,12 +157,16 @@ class Bitset:
     def add(self, index: int) -> None:
         self._check_index(index)
         self.words[index // _WORD_BITS] |= np.uint64(1 << (index % _WORD_BITS))
+        self._count = -1
+        self._ones = None
 
     def discard(self, index: int) -> None:
         self._check_index(index)
         self.words[index // _WORD_BITS] &= np.uint64(
             ~(1 << (index % _WORD_BITS)) & 0xFFFFFFFFFFFFFFFF
         )
+        self._count = -1
+        self._ones = None
 
     def __contains__(self, index: int) -> bool:
         if not 0 <= index < self.nbits:
@@ -128,8 +177,10 @@ class Bitset:
     # -- bulk queries ---------------------------------------------------
 
     def count(self) -> int:
-        """Number of set bits (popcount)."""
-        return int(np.bitwise_count(self.words).sum())
+        """Number of set bits (popcount); cached until the next mutation."""
+        if self._count < 0:
+            self._count = int(np.bitwise_count(self.words).sum())
+        return self._count
 
     def __len__(self) -> int:
         return self.count()
@@ -175,38 +226,46 @@ class Bitset:
 
     def __and__(self, other: "Bitset") -> "Bitset":
         self._check_width(other)
-        return Bitset(self.nbits, self.words & other.words)
+        return Bitset._wrap(self.nbits, self.words & other.words)
 
     def __or__(self, other: "Bitset") -> "Bitset":
         self._check_width(other)
-        return Bitset(self.nbits, self.words | other.words)
+        return Bitset._wrap(self.nbits, self.words | other.words)
 
     def __xor__(self, other: "Bitset") -> "Bitset":
         self._check_width(other)
-        return Bitset(self.nbits, self.words ^ other.words)
+        return Bitset._wrap(self.nbits, self.words ^ other.words)
 
     def __sub__(self, other: "Bitset") -> "Bitset":
         self._check_width(other)
-        return Bitset(self.nbits, self.words & ~other.words)
+        return Bitset._wrap(self.nbits, self.words & ~other.words)
 
     def __iand__(self, other: "Bitset") -> "Bitset":
         self._check_width(other)
         self.words &= other.words
+        self._count = -1
+        self._ones = None
         return self
 
     def __ior__(self, other: "Bitset") -> "Bitset":
         self._check_width(other)
         self.words |= other.words
+        self._count = -1
+        self._ones = None
         return self
 
     def __ixor__(self, other: "Bitset") -> "Bitset":
         self._check_width(other)
         self.words ^= other.words
+        self._count = -1
+        self._ones = None
         return self
 
     def __isub__(self, other: "Bitset") -> "Bitset":
         self._check_width(other)
         self.words &= ~other.words
+        self._count = -1
+        self._ones = None
         return self
 
     def __invert__(self) -> "Bitset":
@@ -217,29 +276,64 @@ class Bitset:
 
     def intersection_update(self, other: "Bitset") -> bool:
         """In-place AND; returns True iff ``self`` shrank."""
+        return self.intersection_update_delta(other) > 0
+
+    def intersection_update_delta(self, other: "Bitset") -> int:
+        """In-place AND; returns the number of bits removed.
+
+        Single-pass: the popcount before comes from the cache (or one
+        scan if stale) and the popcount after is computed once and
+        cached, so callers never pay a second scan to learn the delta.
+        """
         self._check_width(other)
-        before = int(np.bitwise_count(self.words).sum())
+        before = self.count()
+        if before == 0:
+            return 0
         self.words &= other.words
-        return int(np.bitwise_count(self.words).sum()) < before
+        after = int(np.bitwise_count(self.words).sum())
+        self._count = after
+        self._ones = None
+        return before - after
 
     def clear(self) -> None:
         self.words.fill(0)
+        self._count = 0
+        self._ones = None
 
     def fill(self) -> None:
         self.words.fill(0xFFFFFFFFFFFFFFFF)
         if self.words.size:
             self.words[-1] = np.uint64(_tail_mask(self.nbits))
+        self._count = self.nbits
+        self._ones = None
 
     # -- iteration / conversion ------------------------------------------
 
     def iter_ones(self) -> np.ndarray:
-        """Indices of set bits, ascending, as an int64 array."""
-        if not self.words.any():
-            return np.empty(0, dtype=np.int64)
-        bits = np.unpackbits(
-            self.words.view(np.uint8), bitorder=_UINT8_BITORDER
-        )
-        return np.flatnonzero(bits).astype(np.int64)
+        """Indices of set bits, ascending, as a read-only int64 array.
+
+        Sparse-aware: only non-zero words are unpacked, so near-empty
+        vectors over huge domains pay O(n/64) for the word scan plus
+        O(64 * nonzero_words) — not O(n) — per call.  The result is
+        cached until the next mutation (the kernel multiplies the same
+        source vector against many matrices between updates) and is
+        therefore marked non-writeable; copy before mutating.
+        """
+        if self._ones is not None:
+            return self._ones
+        nonzero = np.flatnonzero(self.words)
+        if nonzero.size == 0:
+            ones = np.empty(0, dtype=np.int64)
+        else:
+            bits = np.unpackbits(
+                self.words[nonzero].view(np.uint8), bitorder=_UINT8_BITORDER
+            ).reshape(nonzero.size, _WORD_BITS)
+            word_idx, bit_idx = np.nonzero(bits)
+            ones = nonzero[word_idx] * _WORD_BITS + bit_idx
+        ones.setflags(write=False)
+        self._ones = ones
+        self._count = ones.size
+        return ones
 
     def __iter__(self) -> Iterator[int]:
         return iter(self.iter_ones().tolist())

@@ -14,6 +14,13 @@ bits".  This module provides that storage layer:
 * :func:`memory_report` — estimated bytes of the dense-word vs.
   gap-encoded representations of a graph's label matrices, the
   quantity behind the paper's 35 GB / 23 GB discussion.
+
+Gap encoding is the cold-storage format; the solver's hot path runs
+on the packed row blocks of :class:`~repro.bitvec.matrix.AdjacencyMatrix`
+(see :mod:`repro.bitvec.kernel`).  The import path between the two is
+:meth:`GapEncodedMatrix.from_adjacency` (compress a built matrix) and
+:meth:`GapEncodedMatrix.to_adjacency` (decompress all rows and pack
+them into one contiguous block, ready for the vectorized products).
 """
 
 from __future__ import annotations
@@ -55,23 +62,29 @@ def encode(bitset: Bitset) -> np.ndarray:
 
 
 def decode(runs: np.ndarray, nbits: int) -> Bitset:
-    """Inverse of :func:`encode`."""
+    """Inverse of :func:`encode` (vectorized: no per-bit Python loop)."""
     out = Bitset.zeros(nbits)
     if runs.size == 0:
         return out
-    position = 0
-    value = 0
-    ones: list = []
-    for run in runs.tolist():
-        if value:
-            ones.extend(range(position, position + run))
-        position += run
-        value ^= 1
-    if position != nbits:
+    ends = np.cumsum(runs.astype(np.int64))
+    if int(ends[-1]) != nbits:
         raise ValueError(
-            f"run lengths sum to {position}, expected {nbits}"
+            f"run lengths sum to {int(ends[-1])}, expected {nbits}"
         )
-    return Bitset.from_indices(nbits, ones) if ones else out
+    starts = ends - runs
+    # One-runs sit at odd positions (encoding starts with a zero-run).
+    one_starts = starts[1::2]
+    lengths = (ends[1::2] - one_starts).astype(np.int64)
+    keep = lengths > 0
+    one_starts, lengths = one_starts[keep], lengths[keep]
+    if lengths.size == 0:
+        return out
+    # Expand [start, start+length) ranges into flat indices.
+    offsets = np.repeat(lengths.cumsum() - lengths, lengths)
+    ones = np.repeat(one_starts, lengths) + (
+        np.arange(int(lengths.sum()), dtype=np.int64) - offsets
+    )
+    return Bitset.from_indices(nbits, ones)
 
 
 def encoded_bytes(runs: np.ndarray) -> int:
@@ -105,6 +118,33 @@ class GapEncodedMatrix:
         for index, row in rows.items():
             matrix._rows[index] = encode(row)
         return matrix
+
+    @classmethod
+    def from_adjacency(
+        cls, adjacency, cache_rows: int = 64
+    ) -> "GapEncodedMatrix":
+        """Compress a built :class:`~repro.bitvec.matrix.AdjacencyMatrix`."""
+        return cls.from_rows(adjacency.n, adjacency.rows, cache_rows)
+
+    def to_adjacency(self):
+        """Decompress into a packed :class:`AdjacencyMatrix`.
+
+        The import path from cold gap-encoded storage to the hot
+        kernel: every row is decoded once and the result is packed
+        into the contiguous row block the vectorized products run on.
+        """
+        from repro.bitvec.matrix import AdjacencyMatrix
+
+        out = AdjacencyMatrix(self.n)
+        for index in sorted(self._rows):
+            row = decode(self._rows[index], self.n)
+            if row.is_empty():
+                continue  # keep the summary == non-empty-rows invariant
+            out.rows[index] = row
+            out.summary.add(index)
+            out.n_edges += row.count()
+        out.pack()
+        return out
 
     def __contains__(self, index: int) -> bool:
         return index in self._rows

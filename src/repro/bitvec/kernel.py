@@ -1,0 +1,74 @@
+"""Kernel selection for the bit-matrix products (ablation switch).
+
+Two implementations of the Eq. (9) bit-vector x bit-matrix products
+coexist:
+
+* ``"packed"`` (default) — every :class:`~repro.bitvec.matrix.AdjacencyMatrix`
+  lays its non-empty rows out as one contiguous ``(n_rows, n_words)``
+  ``uint64`` array; products are single NumPy reductions over the
+  selected row block (``np.bitwise_or.reduce`` row-wise, a masked
+  any-intersection test column-wise).
+* ``"reference"`` — the seed implementation: one Python-level
+  :class:`~repro.bitvec.bitset.Bitset` per row, products as Python
+  loops.  Kept verbatim so ablation benches can quantify the packed
+  kernel's win and property tests can assert bit-identical results.
+
+The active kernel is read from the ``REPRO_KERNEL`` environment
+variable at import time (unset means packed; any other value must
+name a known kernel — typos raise, so an ablation never silently
+measures the wrong implementation) and can be changed at runtime with
+:func:`set_kernel` or the :func:`use_kernel` context manager.  The
+switch is consulted on every product call, so matrices built under
+one kernel answer correctly under the other — the packed layout is an
+*additional* index, not a replacement for the row dict.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+PACKED = "packed"
+REFERENCE = "reference"
+KERNELS = (PACKED, REFERENCE)
+
+
+def _kernel_from_env() -> str:
+    value = os.environ.get("REPRO_KERNEL")
+    if value is None or value == "":
+        return PACKED
+    if value not in KERNELS:
+        raise ValueError(
+            f"REPRO_KERNEL={value!r} is not a known kernel; "
+            f"choose from {KERNELS}"
+        )
+    return value
+
+
+_active = _kernel_from_env()
+
+
+def active_kernel() -> str:
+    """Name of the kernel the products currently run on."""
+    return _active
+
+
+def set_kernel(name: str) -> str:
+    """Select a kernel; returns the previously active one."""
+    global _active
+    if name not in KERNELS:
+        raise ValueError(f"unknown kernel {name!r}; choose from {KERNELS}")
+    previous = _active
+    _active = name
+    return previous
+
+
+@contextlib.contextmanager
+def use_kernel(name: str) -> Iterator[str]:
+    """Temporarily switch kernels (for tests and ablation benches)."""
+    previous = set_kernel(name)
+    try:
+        yield name
+    finally:
+        set_kernel(previous)

@@ -3,9 +3,21 @@
 For every edge label ``a`` the paper stores two adjacency matrices
 ``F_a`` (forward) and ``B_a`` (backward).  Dense |V|x|V| bit matrices
 are wasteful for sparse graphs, so rows are materialized only for
-nodes that actually have ``a``-labeled edges (a dict from node index
-to a :class:`Bitset` row); absent rows are all-zero.  This mirrors
-the gap-encoded storage the paper's prototype uses.
+nodes that actually have ``a``-labeled edges; absent rows are
+all-zero.  This mirrors the gap-encoded storage the paper's prototype
+uses.
+
+Two physical layouts back the same logical matrix:
+
+* a dict from node index to a :class:`Bitset` row — always present,
+  cheap to build incrementally, and the layout the ``"reference"``
+  kernel loops over;
+* a **packed block** built by :meth:`AdjacencyMatrix.pack`: all
+  non-empty rows stacked into one contiguous ``(n_rows, n_words)``
+  ``uint64`` array plus an int index mapping node -> packed row.
+  After packing, the dict rows are rebound to *views* into the block,
+  so the two layouts share memory.  The summary vector (Eq. (13))
+  falls out of the build as the bitset of indexed nodes.
 
 The core operation is the bit-vector x bit-matrix product (Eq. (9)):
 
@@ -21,14 +33,22 @@ Two evaluation strategies are provided, matching Sect. 3.3:
   matrix) intersects ``chi``; cost is proportional to
   ``popcount(mask)``.
 
-Both return identical results; the solver picks per evaluation.
+Both return identical results; the solver picks per evaluation.  On
+the ``"packed"`` kernel (see :mod:`repro.bitvec.kernel`) the row-wise
+product is a single ``np.bitwise_or.reduce`` over the selected row
+block and the column-wise product is one vectorized masked
+any-intersection test ``(block & vec.words).any(axis=1)`` — no
+Python-level per-row/per-column loop, no allocation per set bit.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Tuple
 
-from repro.bitvec.bitset import Bitset
+import numpy as np
+
+from repro.bitvec.bitset import Bitset, _WORD_BITS, _word_count
+from repro.bitvec.kernel import PACKED, active_kernel
 from repro.errors import DimensionMismatchError
 
 
@@ -41,13 +61,21 @@ class AdjacencyMatrix:
     is non-empty.
     """
 
-    __slots__ = ("n", "rows", "summary", "n_edges")
+    __slots__ = (
+        "n", "rows", "summary", "n_edges",
+        "_packed", "_row_nodes", "_row_index", "_word_idx", "_bit_shift",
+    )
 
     def __init__(self, n: int):
         self.n = n
         self.rows: Dict[int, Bitset] = {}
         self.summary = Bitset.zeros(n)
         self.n_edges = 0
+        self._packed: np.ndarray | None = None
+        self._row_nodes: np.ndarray | None = None
+        self._row_index: np.ndarray | None = None
+        self._word_idx: np.ndarray | None = None
+        self._bit_shift: np.ndarray | None = None
 
     def add(self, src: int, dst: int) -> None:
         """Record an edge src -> dst (in this direction's orientation)."""
@@ -59,6 +87,55 @@ class AdjacencyMatrix:
         if dst not in row:
             row.add(dst)
             self.n_edges += 1
+            self._packed = None  # packed block is stale
+
+    # -- packed layout -------------------------------------------------
+
+    @property
+    def is_packed(self) -> bool:
+        return self._packed is not None
+
+    def pack(self) -> None:
+        """Build the contiguous row block and the node -> row index.
+
+        Idempotent; called once per matrix from ``Graph.matrices()``
+        and lazily from the products.  The dict rows are rebound to
+        views into the block so both layouts share the same words.
+        """
+        if self._packed is not None:
+            return
+        n_words = _word_count(self.n)
+        nodes = np.fromiter(sorted(self.rows), dtype=np.int64,
+                            count=len(self.rows))
+        packed = np.empty((nodes.size, n_words), dtype=np.uint64)
+        for position, node in enumerate(nodes.tolist()):
+            packed[position] = self.rows[node].words
+            self.rows[node] = Bitset(self.n, packed[position])
+        row_index = np.full(self.n, -1, dtype=np.int64)
+        row_index[nodes] = np.arange(nodes.size, dtype=np.int64)
+        self._row_nodes = nodes
+        self._row_index = row_index
+        # Per packed row: which word of a vector holds its node's bit
+        # and how far to shift it down — the dense-vector row test.
+        self._word_idx = nodes // _WORD_BITS
+        self._bit_shift = (nodes % _WORD_BITS).astype(np.uint64)
+        self._packed = packed
+
+    def _selected_block(self, vec: Bitset) -> np.ndarray:
+        """Packed rows whose node's bit is set in ``vec``.
+
+        Sparse vectors go through their cached set-bit list (one
+        gather + one filter, O(popcount)); dense vectors test each
+        indexed node's bit directly (O(n_rows)) — whichever side is
+        smaller decides.
+        """
+        if vec.count() < self._row_nodes.size:
+            positions = self._row_index[vec.iter_ones()]
+            return self._packed[positions[positions >= 0]]
+        selected = (vec.words[self._word_idx] >> self._bit_shift) & np.uint64(1)
+        return self._packed[selected != 0]
+
+    # -- logical accessors ---------------------------------------------
 
     def row(self, i: int) -> Bitset | None:
         """The row of node ``i`` or None when it is all-zero."""
@@ -78,12 +155,20 @@ class AdjacencyMatrix:
             return 0.0
         return self.n_edges / float(self.n * self.n)
 
+    # -- products ------------------------------------------------------
+
     def product_rowwise(self, vec: Bitset) -> Bitset:
         """``vec x_b A`` by OR-ing the rows selected by ``vec``."""
         if vec.nbits != self.n:
             raise DimensionMismatchError(
                 f"vector width {vec.nbits} != matrix size {self.n}"
             )
+        if active_kernel() == PACKED:
+            self.pack()
+            block = self._selected_block(vec)
+            if block.shape[0] == 0:
+                return Bitset.zeros(self.n)
+            return Bitset._wrap(self.n, np.bitwise_or.reduce(block, axis=0))
         out = Bitset.zeros(self.n)
         # Only nodes with a row can contribute; pre-filter via summary.
         if not vec.intersects(self.summary):
@@ -111,6 +196,12 @@ class LabelMatrixPair:
     def add_edge(self, src: int, dst: int) -> None:
         self.forward.add(src, dst)
         self.backward.add(dst, src)
+
+    def pack(self) -> "LabelMatrixPair":
+        """Pack both directions (idempotent); returns self."""
+        self.forward.pack()
+        self.backward.pack()
+        return self
 
     @property
     def n_edges(self) -> int:
@@ -155,8 +246,19 @@ class LabelMatrixPair:
         if strategy == "column":
             if mask is None:
                 raise ValueError("column-wise product requires a mask")
-            out = Bitset.zeros(self.n)
             # result(j) = 1 iff dual.row(j) intersects vec, for j in mask.
+            if active_kernel() == PACKED:
+                dual.pack()
+                candidates = mask.iter_ones()
+                positions = dual._row_index[candidates]
+                with_rows = positions >= 0
+                candidates = candidates[with_rows]
+                if candidates.size == 0:
+                    return Bitset.zeros(self.n)
+                block = dual._packed[positions[with_rows]]
+                hits = np.bitwise_and(block, vec.words).any(axis=1)
+                return Bitset.from_indices(self.n, candidates[hits])
+            out = Bitset.zeros(self.n)
             candidates = mask & dual.summary
             for j in candidates.iter_ones():
                 if dual.rows[int(j)].intersects(vec):

@@ -38,6 +38,7 @@ from repro.workloads import generate_dbpedia, generate_lubm
 
 BENCH_TABLES = (
     "table2", "table3", "table4", "table5", "iterations", "hypothesis",
+    "kernels",
 )
 
 
@@ -92,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="regenerate a paper table")
     bench.add_argument("table", choices=BENCH_TABLES)
+    bench.add_argument("--json", dest="json_out", default=None,
+                       help="kernels only: also write machine-readable "
+                            "results (e.g. BENCH_PR1.json)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="kernels only: timed repetitions per query "
+                            "(default 3)")
 
     return parser
 
@@ -206,6 +213,15 @@ def cmd_explain(args, out) -> int:
 
 
 def cmd_bench(args, out) -> int:
+    if args.table != "kernels" and (
+        args.json_out is not None or args.repeats is not None
+    ):
+        print(
+            "error: --json/--repeats only apply to `bench kernels`",
+            file=sys.stderr,
+        )
+        return 2
+
     from repro.bench import (
         render_engine_table,
         render_hypothesis,
@@ -231,6 +247,37 @@ def cmd_bench(args, out) -> int:
                                   "virtuoso-like"), file=out)
     elif args.table == "iterations":
         print(render_iterations(run_iteration_study()), file=out)
+    elif args.table == "kernels":
+        from repro.bench import (
+            kernel_bench_summary,
+            render_kernel_bench,
+            run_kernel_bench,
+            write_bench_json,
+        )
+        from repro.bench.runner import (
+            DEFAULT_DBPEDIA_SCALE,
+            DEFAULT_LUBM_UNIVERSITIES,
+        )
+
+        rows = run_kernel_bench(
+            repeats=3 if args.repeats is None else args.repeats
+        )
+        print(render_kernel_bench(rows), file=out)
+        summary = kernel_bench_summary(rows)
+        print(
+            f"geomean speedup {summary['geomean_speedup']:.2f}x, "
+            f"{summary['n_speedup_ge_3x']}/{summary['n_queries']} "
+            f"queries >= 3x, fixpoints identical: "
+            f"{summary['fixpoints_identical']}",
+            file=out,
+        )
+        if args.json_out:
+            write_bench_json(
+                args.json_out, rows,
+                lubm_universities=DEFAULT_LUBM_UNIVERSITIES,
+                dbpedia_scale=DEFAULT_DBPEDIA_SCALE,
+            )
+            print(f"wrote {args.json_out}", file=out)
     else:
         print(render_hypothesis(run_hhk_hypothesis()), file=out)
     return 0

@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.bitvec import Bitset
 from repro.core.solver import SolverOptions, largest_dual_simulation
 from repro.graph.graph import Graph
@@ -93,6 +95,11 @@ class QuotientIndex:
     blocks: List[int]
     quotient: Graph
 
+    def __post_init__(self):
+        # Dense block-id array so lift() is one vectorized membership
+        # test instead of a Python loop over every database node.
+        self._blocks_arr = np.asarray(self.blocks, dtype=np.int64)
+
     @classmethod
     def build(
         cls, data: Graph, max_rounds: Optional[int] = None
@@ -113,12 +120,14 @@ class QuotientIndex:
 
     def lift(self, block_candidates) -> Bitset:
         """Node bitset of all members of the candidate blocks."""
-        members = Bitset.zeros(self.data.n_nodes)
-        blocks = set(block_candidates)
-        for idx, block in enumerate(self.blocks):
-            if block in blocks:
-                members.add(idx)
-        return members
+        n = self.data.n_nodes
+        wanted = np.fromiter(
+            set(block_candidates), dtype=np.int64, count=-1
+        )
+        if wanted.size == 0:
+            return Bitset.zeros(n)
+        members = np.isin(self._blocks_arr, wanted)
+        return Bitset.from_indices(n, np.flatnonzero(members))
 
 
 def quotient_prefilter(

@@ -17,6 +17,7 @@ iteration discussion.
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set
@@ -28,7 +29,11 @@ from repro.core.soi import (
     FORWARD,
     SystemOfInequalities,
 )
-from repro.core.strategies import order_inequalities
+from repro.core.strategies import (
+    DYNAMIC_ORDERINGS,
+    ORDERINGS,
+    order_inequalities,
+)
 from repro.errors import SolverError
 from repro.graph.graph import Graph
 
@@ -52,6 +57,8 @@ class SolverOptions:
             )
         if self.product not in PRODUCTS:
             raise SolverError(f"unknown product strategy {self.product!r}")
+        if self.ordering not in ORDERINGS + DYNAMIC_ORDERINGS:
+            raise SolverError(f"unknown ordering {self.ordering!r}")
 
 
 @dataclass
@@ -174,7 +181,13 @@ def solve(
         by_source.setdefault(soi.find(ineq.source), []).append(idx)
 
     def evaluate(idx: int) -> bool:
-        """Evaluate one inequality; True iff the target row shrank."""
+        """Evaluate one inequality; True iff the target row shrank.
+
+        Popcounts come from the Bitset cache: ``before`` is O(1) when
+        the target row did not change since its last evaluation, and
+        each update recounts its row exactly once (no count-before /
+        count-after double scan).
+        """
         ineq = inequalities[idx]
         target = soi.find(ineq.target)
         source = soi.find(ineq.source)
@@ -185,15 +198,16 @@ def solve(
             return False
 
         if isinstance(ineq, CopyInequality):
-            if target_row.issubset(rows[source]):
+            removed = target_row.intersection_update_delta(rows[source])
+            if removed == 0:
                 return False
-            target_row &= rows[source]
-            after = target_row.count()
         else:
             pair = matrices.get(ineq.label)
-            if pair is None:
+            if pair is None or rows[source].count() == 0:
+                # Absent label or empty source: the product is the
+                # zero vector either way — skip the kernel call.
                 target_row.clear()
-                after = 0
+                removed = before
             else:
                 direction = (
                     "forward" if ineq.matrix == FORWARD else "backward"
@@ -208,28 +222,44 @@ def solve(
                 if after == before:
                     return False  # result subset of target & equal size
                 rows[target] = result
+                removed = before - after
 
         report.updates += 1
-        report.bits_removed += before - after
+        report.bits_removed += removed
         return True
 
     if options.ordering == "dynamic":
         # Fully dynamic selection: always evaluate the unstable
         # inequality whose source row currently has the fewest set
         # bits ("shrink the simulation as early as possible" taken to
-        # its run-time-analytics extreme).
+        # its run-time-analytics extreme).  A lazy min-heap keyed on
+        # the cached source popcounts replaces the seed's O(|pending|)
+        # scan per step: entries are (count, idx); a fresh entry is
+        # pushed whenever an inequality (re-)enters the worklist or
+        # its source row shrinks, and stale entries are skipped on
+        # pop, so the pop order equals the exact (count, idx) minimum.
+        source_of = [soi.find(ineq.source) for ineq in inequalities]
         pending: Set[int] = set(range(len(inequalities)))
+        heap: List[tuple] = [
+            (rows[source_of[idx]].count(), idx) for idx in pending
+        ]
+        heapq.heapify(heap)
         while pending:
-            idx = min(
-                pending,
-                key=lambda i: (
-                    rows[soi.find(inequalities[i].source)].count(), i
-                ),
-            )
+            key, idx = heapq.heappop(heap)
+            if idx not in pending:
+                continue  # stale: already evaluated since this push
+            current = rows[source_of[idx]].count()
+            if current < key:
+                # Stale priority: the source shrank after this push.
+                heapq.heappush(heap, (current, idx))
+                continue
             pending.discard(idx)
             if evaluate(idx):
                 target = soi.find(inequalities[idx].target)
-                pending.update(by_source.get(target, ()))
+                new_count = rows[target].count()
+                for dependent in by_source.get(target, ()):
+                    pending.add(dependent)
+                    heapq.heappush(heap, (new_count, dependent))
         if inequalities:
             report.rounds = -(-report.evaluations // len(inequalities))
     else:

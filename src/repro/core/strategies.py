@@ -17,6 +17,14 @@ points exist:
 This module implements the static ordering heuristics; Sect. 5.3's
 finding that "there is not a single heuristic that fits all input
 patterns and databases" is reproduced by the strategy ablation bench.
+
+A further ``"dynamic"`` ordering (handled inside
+:func:`repro.core.solver.solve`, not here) always evaluates the
+unstable inequality with the smallest source row; it is driven by a
+lazy min-heap over the kernel's cached popcounts, so selecting the
+next inequality is O(log |pending|) rather than an O(|pending|) scan.
+The matrix statistics consulted below (``summary.count()``) hit the
+same popcount cache, making repeated ordering computations cheap.
 """
 
 from __future__ import annotations
@@ -33,6 +41,9 @@ from repro.core.soi import (
 )
 
 ORDERINGS = ("fifo", "sparsity", "frequency", "random")
+
+#: Orderings resolved inside the solver loop rather than statically.
+DYNAMIC_ORDERINGS = ("dynamic",)
 
 
 def _empty_columns(

@@ -158,7 +158,12 @@ class Graph:
     # -- bit-matrix view ------------------------------------------------------
 
     def matrices(self) -> Dict[str, LabelMatrixPair]:
-        """Per-label adjacency bit-matrices, built lazily and cached."""
+        """Per-label adjacency bit-matrices, built lazily and cached.
+
+        Each matrix is packed once here (rows laid out contiguously
+        for the vectorized kernel); further edge insertions invalidate
+        this cache, so handing out packed matrices is safe.
+        """
         if self._matrices is None:
             built: Dict[str, LabelMatrixPair] = {}
             n = self.n_nodes
@@ -168,6 +173,8 @@ class Graph:
                     pair = LabelMatrixPair(n)
                     built[label] = pair
                 pair.add_edge(s, d)
+            for pair in built.values():
+                pair.pack()
             self._matrices = built
         return self._matrices
 

@@ -1,0 +1,122 @@
+"""Unit tests for the kernel switch and the packed row layout."""
+
+import numpy as np
+import pytest
+
+from repro.bitvec import (
+    Bitset,
+    KERNELS,
+    LabelMatrixPair,
+    active_kernel,
+    set_kernel,
+    use_kernel,
+)
+from repro.bitvec.gap import GapEncodedMatrix
+from repro.graph import Graph
+
+
+@pytest.fixture
+def pair():
+    p = LabelMatrixPair(6)
+    p.add_edge(0, 1)
+    p.add_edge(0, 2)
+    p.add_edge(3, 2)
+    p.add_edge(5, 0)
+    return p
+
+
+class TestKernelSwitch:
+    def test_default_is_packed(self):
+        assert active_kernel() == "packed"
+
+    def test_set_and_restore(self):
+        previous = set_kernel("reference")
+        assert active_kernel() == "reference"
+        set_kernel(previous)
+        assert active_kernel() == previous
+
+    def test_use_kernel_restores_on_exit(self):
+        before = active_kernel()
+        with use_kernel("reference"):
+            assert active_kernel() == "reference"
+        assert active_kernel() == before
+
+    def test_use_kernel_restores_on_error(self):
+        before = active_kernel()
+        with pytest.raises(RuntimeError):
+            with use_kernel("reference"):
+                raise RuntimeError("boom")
+        assert active_kernel() == before
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            set_kernel("quantum")
+
+    def test_kernels_constant(self):
+        assert set(KERNELS) == {"packed", "reference"}
+
+
+class TestPackedLayout:
+    def test_pack_is_idempotent(self, pair):
+        pair.pack()
+        packed = pair.forward._packed
+        pair.pack()
+        assert pair.forward._packed is packed
+
+    def test_pack_block_shape(self, pair):
+        pair.pack()
+        assert pair.forward._packed.shape == (3, 1)  # rows 0, 3, 5
+        assert pair.backward._packed.shape == (3, 1)  # rows 0, 1, 2
+
+    def test_row_index_maps_nodes_to_rows(self, pair):
+        pair.pack()
+        index = pair.forward._row_index
+        for node in (0, 3, 5):
+            assert index[node] >= 0
+            packed_row = pair.forward._packed[index[node]]
+            assert np.array_equal(packed_row, pair.forward.rows[node].words)
+        for node in (1, 2, 4):
+            assert index[node] == -1
+
+    def test_rows_are_views_into_block(self, pair):
+        pair.pack()
+        row = pair.forward.rows[0]
+        assert row.words.base is pair.forward._packed
+
+    def test_add_after_pack_invalidates(self, pair):
+        pair.pack()
+        pair.forward.add(1, 4)
+        assert not pair.forward.is_packed
+        pair.pack()
+        assert pair.forward.has_edge(1, 4)
+
+    def test_graph_matrices_are_packed(self):
+        g = Graph()
+        g.add_edge("x", "l", "y")
+        for built in g.matrices().values():
+            assert built.forward.is_packed
+            assert built.backward.is_packed
+
+    def test_summary_falls_out_of_build(self, pair):
+        pair.pack()
+        assert set(pair.forward._row_nodes.tolist()) == \
+            pair.forward.summary.to_set()
+
+
+class TestGapImportPath:
+    def test_roundtrip_to_packed_adjacency(self, pair):
+        pair.pack()
+        encoded = GapEncodedMatrix.from_adjacency(pair.forward)
+        decoded = encoded.to_adjacency()
+        assert decoded.is_packed
+        assert decoded.n_edges == pair.forward.n_edges
+        assert decoded.summary == pair.forward.summary
+        for node, row in pair.forward.rows.items():
+            assert decoded.rows[node] == row
+
+    def test_products_agree_after_import(self, pair):
+        pair.pack()
+        restored = GapEncodedMatrix.from_adjacency(pair.forward).to_adjacency()
+        vec = Bitset.from_indices(6, [0, 3])
+        assert restored.product_rowwise(vec) == \
+            pair.forward.product_rowwise(vec)

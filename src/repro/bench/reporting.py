@@ -9,8 +9,11 @@ from __future__ import annotations
 
 import json
 import platform
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ReproError
 
 from repro.bench.runner import (
     HypothesisRow,
@@ -229,6 +232,111 @@ def write_bench_json(
     }
     Path(path).write_text(json.dumps(document, indent=2) + "\n")
     return document
+
+
+#: A run is a regression when it is this much slower than baseline.
+REGRESSION_THRESHOLD = 0.20
+
+
+@dataclass
+class BenchComparison:
+    """One (query, kernel) of the current run vs a baseline file."""
+
+    query: str
+    kernel: str
+    t_baseline: float
+    t_current: float
+    fixpoint_equal: bool  # total_bits agrees with the baseline record
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline: < 1 is faster, > 1 is slower."""
+        if self.t_baseline <= 0:
+            return float("inf") if self.t_current > 0 else 1.0
+        return self.t_current / self.t_baseline
+
+    def is_regression(
+        self, threshold: float = REGRESSION_THRESHOLD
+    ) -> bool:
+        return self.ratio > 1.0 + threshold
+
+
+def compare_with_baseline(
+    rows: List[KernelBenchRow], baseline: Dict
+) -> Tuple[List[BenchComparison], List[str]]:
+    """Diff a fresh kernel-bench run against a ``repro-bench/v1`` doc.
+
+    Returns the per-(query, kernel) comparisons plus the labels
+    (``query/kernel``) present in only one of the two runs, tagged
+    with which side they came from.  Baseline-only labels are the
+    dangerous direction — a renamed or dropped query could otherwise
+    mask a regression — and callers gate on them (see ``cmd_bench``).
+    """
+    schema = baseline.get("schema")
+    if schema != "repro-bench/v1":
+        raise ReproError(
+            f"baseline schema {schema!r} is not repro-bench/v1"
+        )
+    previous = {
+        (b["query"], b["kernel"]): b for b in baseline.get("benches", [])
+    }
+    current = {(r.query, r.kernel): r for r in rows}
+    comparisons: List[BenchComparison] = []
+    for key in sorted(current.keys() & previous.keys()):
+        row, base = current[key], previous[key]
+        comparisons.append(
+            BenchComparison(
+                query=row.query,
+                kernel=row.kernel,
+                t_baseline=float(base["t_solve"]),
+                t_current=row.t_solve,
+                fixpoint_equal=(row.total_bits == base.get("total_bits")),
+            )
+        )
+    unmatched = sorted(
+        [f"{q}/{k} (baseline only)"
+         for q, k in previous.keys() - current.keys()]
+        + [f"{q}/{k} (current only)"
+           for q, k in current.keys() - previous.keys()]
+    )
+    return comparisons, unmatched
+
+
+def render_bench_compare(
+    comparisons: List[BenchComparison],
+    unmatched: List[str],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> str:
+    """Per-query delta table against the baseline file."""
+    body = []
+    for c in comparisons:
+        if c.is_regression(threshold):
+            verdict = "REGRESSION"
+        elif c.ratio < 1.0 - threshold:
+            verdict = "faster"
+        else:
+            verdict = "ok"
+        body.append([
+            c.query,
+            c.kernel,
+            _fmt_time(c.t_baseline),
+            _fmt_time(c.t_current),
+            f"{c.ratio:.2f}x",
+            verdict if c.fixpoint_equal else verdict + " (fixpoint!)",
+        ])
+    table = render_table(
+        ["Query", "Kernel", "t_baseline", "t_current", "cur/base",
+         "verdict"],
+        body,
+    )
+    regressions = [c for c in comparisons if c.is_regression(threshold)]
+    summary = (
+        f"{len(comparisons)} compared, {len(regressions)} regressed "
+        f"(> {100 * threshold:.0f}% slower)"
+    )
+    if unmatched:
+        summary += f", unmatched: {', '.join(unmatched)}"
+    return table + "\n" + summary
 
 
 def render_hypothesis(rows: List[HypothesisRow]) -> str:

@@ -1,0 +1,240 @@
+"""Storage-tier benchmark: snapshot cold open vs rebuild-from-text.
+
+Measures what the snapshot store buys over the seed workflow of
+re-parsing N-Triples and rebuilding every in-memory structure per
+process:
+
+* **open latency** — parse+build from ``.nt`` text vs a cold snapshot
+  open (dictionaries + block table only, adjacency left on disk);
+* **first-query latency** — pruned evaluation of each workload query
+  on both paths, including the cold tier's on-first-touch label
+  promotions;
+* **residency** — bytes actually materialized by the query set vs the
+  snapshot's on-disk bytes (the paper's Sect. 3.3 memory argument).
+
+Both paths must return identical answers; the bench asserts that per
+query rather than trusting it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.bench.reporting import render_table
+from repro.graph.io import load_ntriples, save_ntriples
+from repro.pipeline.pruned_query import PruningPipeline
+from repro.workloads import LUBM_QUERIES, generate_lubm
+
+#: Default scale: big enough that parse-vs-open is visible, small
+#: enough for CI smoke runs.
+DEFAULT_STORAGE_UNIVERSITIES = 4
+
+
+@dataclass
+class StorageQueryRow:
+    """First-query timings of one query on both storage paths."""
+
+    query: str
+    t_text: float           # pruned evaluation over the rebuilt db
+    t_snapshot: float       # pruned evaluation over the tiered view
+    answers_equal: bool
+    promotions_after: int   # cumulative promotions once this query ran
+
+
+@dataclass
+class StorageBenchResult:
+    """One full storage-bench run."""
+
+    lubm_universities: int
+    profile: str
+    nt_bytes: int
+    snapshot_bytes: int
+    t_build_snapshot: float
+    t_text_open: float        # load_ntriples + matrices + store build
+    t_cold_open_view: float   # TieredGraphView open only
+    t_cold_open_pipeline: float  # view + store + engine, query-ready
+    queries: List[StorageQueryRow] = field(default_factory=list)
+    hot_labels: int = 0
+    cold_labels: int = 0
+    promotions: int = 0
+    resident_bytes: int = 0
+
+    @property
+    def answers_all_equal(self) -> bool:
+        return all(q.answers_equal for q in self.queries)
+
+
+def run_storage_bench(
+    lubm_universities: int = DEFAULT_STORAGE_UNIVERSITIES,
+    queries: Optional[Sequence[str]] = None,
+    profile: str = "virtuoso-like",
+    workdir: Optional[Union[str, Path]] = None,
+    seed: int = 7,
+) -> StorageBenchResult:
+    """Build both artifacts, open both ways, run the query set."""
+    from repro.storage import TieredGraphView, write_snapshot
+
+    names = list(queries) if queries is not None else sorted(LUBM_QUERIES)
+    with tempfile.TemporaryDirectory() as scratch:
+        base = Path(workdir) if workdir is not None else Path(scratch)
+        base.mkdir(parents=True, exist_ok=True)
+        nt_path = base / "storage-bench.nt"
+        snap_path = base / "storage-bench.snap"
+
+        db = generate_lubm(n_universities=lubm_universities, seed=seed)
+        save_ntriples(db, nt_path)
+        write_report = write_snapshot(db, snap_path)
+        del db  # both paths below must rebuild from their artifact
+
+        # Baseline: re-parse text, rebuild dictionaries, matrices,
+        # store — the per-process cost the snapshot removes.
+        start = time.perf_counter()
+        text_db = load_ntriples(nt_path)
+        text_pipeline = PruningPipeline(text_db, profile=profile)
+        t_text_open = time.perf_counter() - start
+
+        # Snapshot: cold view open alone, then the query-ready
+        # pipeline (adds the join engine's store fill).
+        start = time.perf_counter()
+        view = TieredGraphView(snap_path)
+        t_cold_open_view = time.perf_counter() - start
+        start = time.perf_counter()
+        snap_pipeline = PruningPipeline.from_snapshot(
+            snap_path, profile=profile
+        )
+        t_cold_open_pipeline = time.perf_counter() - start
+        snap_view = snap_pipeline.db
+
+        rows: List[StorageQueryRow] = []
+        for name in names:
+            query = LUBM_QUERIES[name]
+            start = time.perf_counter()
+            text_result, _ = text_pipeline.evaluate_pruned(query)
+            t_text = time.perf_counter() - start
+            start = time.perf_counter()
+            snap_result, _ = snap_pipeline.evaluate_pruned(query)
+            t_snap = time.perf_counter() - start
+            rows.append(
+                StorageQueryRow(
+                    query=name,
+                    t_text=t_text,
+                    t_snapshot=t_snap,
+                    answers_equal=(
+                        text_result.as_set() == snap_result.as_set()
+                    ),
+                    promotions_after=snap_view.promotions,
+                )
+            )
+
+        residency = snap_view.residency()
+        return StorageBenchResult(
+            lubm_universities=lubm_universities,
+            profile=profile,
+            nt_bytes=nt_path.stat().st_size,
+            snapshot_bytes=write_report.file_bytes,
+            t_build_snapshot=write_report.elapsed,
+            t_text_open=t_text_open,
+            t_cold_open_view=t_cold_open_view,
+            t_cold_open_pipeline=t_cold_open_pipeline,
+            queries=rows,
+            hot_labels=residency.hot_labels,
+            cold_labels=residency.cold_labels,
+            promotions=residency.promotions,
+            resident_bytes=residency.resident_bytes,
+        )
+
+
+def render_storage_bench(result: StorageBenchResult) -> str:
+    """Human-readable report of one storage-bench run."""
+
+    def _t(seconds: float) -> str:
+        return f"{seconds:.4f}s"
+
+    open_speedup = (
+        result.t_text_open / result.t_cold_open_pipeline
+        if result.t_cold_open_pipeline > 0 else float("inf")
+    )
+    lines = [
+        f"storage bench: LUBM({result.lubm_universities}), "
+        f"profile {result.profile}",
+        f"artifacts: {result.nt_bytes} B text, "
+        f"{result.snapshot_bytes} B snapshot "
+        f"(built in {_t(result.t_build_snapshot)})",
+        f"open: text rebuild {_t(result.t_text_open)}, "
+        f"snapshot view {_t(result.t_cold_open_view)}, "
+        f"query-ready {_t(result.t_cold_open_pipeline)} "
+        f"({open_speedup:.1f}x)",
+        f"residency: {result.hot_labels} hot, {result.cold_labels} cold, "
+        f"{result.promotions} promoted; {result.resident_bytes} B resident "
+        f"vs {result.snapshot_bytes} B on disk",
+        render_table(
+            ["Query", "t_text", "t_snapshot", "speedup", "promoted",
+             "equal"],
+            (
+                [
+                    row.query,
+                    f"{row.t_text:.5f}",
+                    f"{row.t_snapshot:.5f}",
+                    (
+                        f"{row.t_text / row.t_snapshot:.1f}x"
+                        if row.t_snapshot > 0 else "inf"
+                    ),
+                    str(row.promotions_after),
+                    "yes" if row.answers_equal else "NO",
+                ]
+                for row in result.queries
+            ),
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def write_storage_bench_json(
+    path: Union[str, Path], result: StorageBenchResult
+) -> Dict:
+    """Machine-readable record (schema ``repro-storage-bench/v1``)."""
+    document = {
+        "schema": "repro-storage-bench/v1",
+        "python": platform.python_version(),
+        "workload": {
+            "dataset": "lubm",
+            "lubm_universities": result.lubm_universities,
+            "profile": result.profile,
+        },
+        "artifacts": {
+            "nt_bytes": result.nt_bytes,
+            "snapshot_bytes": result.snapshot_bytes,
+            "t_build_snapshot": result.t_build_snapshot,
+        },
+        "open": {
+            "t_text_open": result.t_text_open,
+            "t_cold_open_view": result.t_cold_open_view,
+            "t_cold_open_pipeline": result.t_cold_open_pipeline,
+        },
+        "residency": {
+            "hot_labels": result.hot_labels,
+            "cold_labels": result.cold_labels,
+            "promotions": result.promotions,
+            "resident_bytes": result.resident_bytes,
+            "on_disk_bytes": result.snapshot_bytes,
+        },
+        "queries": [
+            {
+                "query": row.query,
+                "t_text": row.t_text,
+                "t_snapshot": row.t_snapshot,
+                "answers_equal": row.answers_equal,
+                "promotions_after": row.promotions_after,
+            }
+            for row in result.queries
+        ],
+        "answers_all_equal": result.answers_all_equal,
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    return document

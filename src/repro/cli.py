@@ -18,10 +18,18 @@ Commands:
 
       python -m repro simulate data.nt "SELECT * WHERE { ?s p ?o . }"
 
+* ``db`` — the on-disk snapshot store: build once, open many::
+
+      python -m repro db build data.nt -o data.snap
+      python -m repro db info data.snap
+      python -m repro db query data.snap "SELECT * WHERE { ?s p ?o . }"
+
 * ``bench`` — regenerate one of the paper's tables::
 
       python -m repro bench table2
       python -m repro bench iterations
+      python -m repro bench kernels --compare BENCH_PR1.json
+      python -m repro bench storage --json storage.json
 """
 
 import argparse
@@ -38,8 +46,11 @@ from repro.workloads import generate_dbpedia, generate_lubm
 
 BENCH_TABLES = (
     "table2", "table3", "table4", "table5", "iterations", "hypothesis",
-    "kernels",
+    "kernels", "storage",
 )
+
+#: Exit code of ``bench kernels --compare`` when a query regressed.
+EXIT_REGRESSION = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,11 +105,46 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate a paper table")
     bench.add_argument("table", choices=BENCH_TABLES)
     bench.add_argument("--json", dest="json_out", default=None,
-                       help="kernels only: also write machine-readable "
+                       help="kernels/storage: also write machine-readable "
                             "results (e.g. BENCH_PR1.json)")
     bench.add_argument("--repeats", type=int, default=None,
                        help="kernels only: timed repetitions per query "
                             "(default 3)")
+    bench.add_argument("--compare", dest="compare_to", default=None,
+                       help="kernels only: diff against a previous "
+                            "repro-bench/v1 JSON baseline; exits "
+                            f"{EXIT_REGRESSION} on a >20%% regression")
+
+    db = sub.add_parser("db", help="on-disk snapshot store")
+    db_sub = db.add_subparsers(dest="db_command", required=True)
+
+    build = db_sub.add_parser(
+        "build", help="serialize an N-Triples file into a snapshot"
+    )
+    build.add_argument("data", help="N-Triples input file")
+    build.add_argument("-o", "--out", required=True,
+                       help="snapshot output path")
+    build.add_argument("--cold-threshold", type=float, default=None,
+                       help="store a label gap-encoded (cold) when its "
+                            "encoded bytes are below this fraction of "
+                            "its dense bytes (default 1.0)")
+
+    info = db_sub.add_parser("info", help="describe a snapshot file")
+    info.add_argument("snapshot", help="snapshot path")
+    info.add_argument("--json", dest="json_out", action="store_true",
+                      help="print machine-readable JSON instead")
+
+    dbq = db_sub.add_parser(
+        "query", help="evaluate a SPARQL query over a snapshot"
+    )
+    dbq.add_argument("snapshot", help="snapshot path")
+    dbq.add_argument("query", help="SPARQL text or a .rq file path")
+    dbq.add_argument("--prune", action="store_true",
+                     help="apply dual simulation pruning first")
+    dbq.add_argument("--profile", choices=sorted(PROFILES),
+                     default="virtuoso-like")
+    dbq.add_argument("--limit", type=int, default=20,
+                     help="max solutions to print (0 = all)")
 
     return parser
 
@@ -126,11 +172,10 @@ def cmd_generate(args, out) -> int:
     return 0
 
 
-def cmd_query(args, out) -> int:
-    db = load_ntriples(Path(args.data))
-    query = _read_query(args.query)
-    pipeline = PruningPipeline(db, profile=args.profile)
-    if args.prune:
+def _run_pipeline_query(pipeline, query: str, prune: bool, limit: int,
+                        out) -> None:
+    """Shared query flow of ``query`` and ``db query``."""
+    if prune:
         report = pipeline.run(query, name="query")
         print(
             f"pruning: {report.triples_total} -> "
@@ -148,7 +193,7 @@ def cmd_query(args, out) -> int:
     result = pipeline.evaluate_full(query)
     solutions = result.decoded()
     print(f"{len(solutions)} solutions", file=out)
-    shown = solutions if args.limit == 0 else solutions[: args.limit]
+    shown = solutions if limit == 0 else solutions[:limit]
     for mu in shown:
         rendered = ", ".join(
             f"{var}={value}" for var, value in sorted(
@@ -156,8 +201,92 @@ def cmd_query(args, out) -> int:
             )
         )
         print(f"  {rendered}", file=out)
-    if args.limit and len(solutions) > args.limit:
-        print(f"  ... ({len(solutions) - args.limit} more)", file=out)
+    if limit and len(solutions) > limit:
+        print(f"  ... ({len(solutions) - limit} more)", file=out)
+
+
+def cmd_query(args, out) -> int:
+    db = load_ntriples(Path(args.data))
+    query = _read_query(args.query)
+    pipeline = PruningPipeline(db, profile=args.profile)
+    _run_pipeline_query(pipeline, query, args.prune, args.limit, out)
+    return 0
+
+
+def cmd_db(args, out) -> int:
+    from repro.storage import SnapshotReader, write_snapshot
+
+    if args.db_command == "build":
+        db = load_ntriples(Path(args.data))
+        kwargs = {}
+        if args.cold_threshold is not None:
+            kwargs["cold_threshold"] = args.cold_threshold
+        report = write_snapshot(db, args.out, **kwargs)
+        print(
+            f"wrote {report.path} ({report.file_bytes} bytes): "
+            f"{report.n_triples} triples, {report.n_nodes} nodes, "
+            f"{report.n_predicates} predicates; "
+            f"{report.n_hot} hot / {report.n_cold} cold labels "
+            f"in {report.elapsed:.3f}s",
+            file=out,
+        )
+        return 0
+
+    if args.db_command == "info":
+        import json as json_module
+
+        with SnapshotReader(Path(args.snapshot)) as reader:
+            info = reader.info()
+            if args.json_out:
+                print(json_module.dumps(info.to_dict(), indent=2),
+                      file=out)
+                return 0
+            from repro.bench import render_table
+
+            print(
+                f"{info.path}: {info.file_bytes} bytes, "
+                f"{info.n_triples} triples, {info.n_nodes} nodes, "
+                f"{info.n_predicates} predicates "
+                f"({info.n_hot} hot / {info.n_cold} cold)",
+                file=out,
+            )
+            print(
+                render_table(
+                    ["Label", "Tier", "Edges", "Disk", "Dense", "Ratio"],
+                    (
+                        [
+                            i.label,
+                            "cold" if i.encoding == "gap" else "hot",
+                            str(i.n_edges),
+                            str(i.payload_bytes),
+                            str(i.dense_bytes),
+                            (
+                                f"{i.payload_bytes / i.dense_bytes:.2f}"
+                                if i.dense_bytes else "1.00"
+                            ),
+                        ]
+                        for i in info.labels
+                    ),
+                ),
+                file=out,
+            )
+        return 0
+
+    # db query
+    query = _read_query(args.query)
+    pipeline = PruningPipeline.from_snapshot(
+        Path(args.snapshot), profile=args.profile
+    )
+    _run_pipeline_query(pipeline, query, args.prune, args.limit, out)
+    residency = pipeline.db.residency()
+    print(
+        f"residency: {residency.hot_labels} hot, "
+        f"{residency.cold_labels} cold, "
+        f"{residency.promotions} promoted "
+        f"({residency.resident_bytes} B resident vs "
+        f"{residency.on_disk_bytes} B on disk)",
+        file=out,
+    )
     return 0
 
 
@@ -213,11 +342,17 @@ def cmd_explain(args, out) -> int:
 
 
 def cmd_bench(args, out) -> int:
+    if args.json_out is not None and args.table not in ("kernels", "storage"):
+        print(
+            "error: --json only applies to `bench kernels`/`bench storage`",
+            file=sys.stderr,
+        )
+        return 2
     if args.table != "kernels" and (
-        args.json_out is not None or args.repeats is not None
+        args.repeats is not None or args.compare_to is not None
     ):
         print(
-            "error: --json/--repeats only apply to `bench kernels`",
+            "error: --repeats/--compare only apply to `bench kernels`",
             file=sys.stderr,
         )
         return 2
@@ -259,6 +394,32 @@ def cmd_bench(args, out) -> int:
             DEFAULT_LUBM_UNIVERSITIES,
         )
 
+        baseline = None
+        if args.compare_to:
+            # Load and sanity-check the baseline *before* the
+            # multi-minute benchmark run, so a typo'd path or mangled
+            # file fails in milliseconds, not after the bench.
+            import json as json_module
+
+            try:
+                baseline = json_module.loads(
+                    Path(args.compare_to).read_text()
+                )
+            except json_module.JSONDecodeError as error:
+                print(
+                    f"error: baseline {args.compare_to} is not valid "
+                    f"JSON: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            if baseline.get("schema") != "repro-bench/v1":
+                print(
+                    f"error: baseline schema "
+                    f"{baseline.get('schema')!r} is not repro-bench/v1",
+                    file=sys.stderr,
+                )
+                return 2
+
         rows = run_kernel_bench(
             repeats=3 if args.repeats is None else args.repeats
         )
@@ -278,6 +439,55 @@ def cmd_bench(args, out) -> int:
                 dbpedia_scale=DEFAULT_DBPEDIA_SCALE,
             )
             print(f"wrote {args.json_out}", file=out)
+        if baseline is not None:
+            from repro.bench import (
+                compare_with_baseline,
+                render_bench_compare,
+            )
+
+            comparisons, unmatched = compare_with_baseline(rows, baseline)
+            print(f"baseline: {args.compare_to}", file=out)
+            print(render_bench_compare(comparisons, unmatched), file=out)
+            diverged = [c for c in comparisons if not c.fixpoint_equal]
+            if diverged:
+                # A changed fixpoint is a correctness break, strictly
+                # worse than any slowdown — always gate on it.
+                print(
+                    "error: fixpoint mass diverged from baseline for "
+                    + ", ".join(f"{c.query}/{c.kernel}" for c in diverged),
+                    file=sys.stderr,
+                )
+                return EXIT_REGRESSION
+            dropped = [u for u in unmatched if "(baseline only)" in u]
+            if dropped:
+                # A query the baseline measured but this run did not:
+                # a rename/removal must not silently hide its numbers.
+                print(
+                    "error: baseline queries missing from this run: "
+                    + ", ".join(dropped),
+                    file=sys.stderr,
+                )
+                return EXIT_REGRESSION
+            if any(c.is_regression() for c in comparisons):
+                return EXIT_REGRESSION
+    elif args.table == "storage":
+        from repro.bench import (
+            render_storage_bench,
+            run_storage_bench,
+            write_storage_bench_json,
+        )
+
+        result = run_storage_bench()
+        print(render_storage_bench(result), file=out)
+        if args.json_out:
+            write_storage_bench_json(args.json_out, result)
+            print(f"wrote {args.json_out}", file=out)
+        if not result.answers_all_equal:
+            print(
+                "error: snapshot answers differ from in-memory answers",
+                file=sys.stderr,
+            )
+            return 1
     else:
         print(render_hypothesis(run_hhk_hypothesis()), file=out)
     return 0
@@ -294,6 +504,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "ask": cmd_ask,
         "explain": cmd_explain,
         "bench": cmd_bench,
+        "db": cmd_db,
     }
     try:
         return handlers[args.command](args, out)

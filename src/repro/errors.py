@@ -43,6 +43,10 @@ class StoreError(ReproError):
     """Triple-store level failure (unknown term, bad index access)."""
 
 
+class SnapshotError(StoreError):
+    """Malformed, truncated, or incompatible on-disk snapshot."""
+
+
 class SolverError(ReproError):
     """SOI construction or fixpoint-solver failure."""
 

@@ -72,6 +72,30 @@ class GraphDatabase(Graph):
             db.add_triple(s, p, o)
         return db
 
+    @classmethod
+    def from_snapshot(cls, source) -> "GraphDatabase":
+        """Materialize a snapshot file (or open reader) fully in memory.
+
+        Decodes the snapshot's dictionaries and adjacency blocks
+        directly — no N-Triples parsing.  For a residency-aware view
+        that keeps cold labels compressed, use
+        :class:`repro.storage.TieredGraphView` instead.
+        """
+        from repro.storage.reader import SnapshotReader
+
+        reader = (
+            source if isinstance(source, SnapshotReader)
+            else SnapshotReader(source)
+        )
+        db = cls()
+        for name in reader.node_terms():
+            db.add_node(name)
+            if isinstance(name, Literal):
+                db._literal_indices.add(db.node_index(name))
+        for s, p, o in reader.iter_triples():
+            db.add_triple(s, p, o)
+        return db
+
     # -- literal bookkeeping ------------------------------------------------
 
     def is_literal(self, name: Hashable) -> bool:

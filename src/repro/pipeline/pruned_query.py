@@ -96,16 +96,47 @@ class PruningPipeline:
         db: GraphDatabase,
         profile: str = "rdfox-like",
         solver_options: Optional[SolverOptions] = None,
+        store: Optional[TripleStore] = None,
     ):
         self.db = db
         self.profile = profile
         self.solver_options = solver_options or SolverOptions()
-        self.store = TripleStore.from_graph_database(db)
+        self.store = (
+            store if store is not None
+            else TripleStore.from_graph_database(db)
+        )
         self.engine = QueryEngine(self.store, profile)
         # The paper's tool keeps the adjacency matrices in memory as
         # part of the database (Sect. 3.3); build them at load time so
-        # per-query timings do not pay one-off construction.
+        # per-query timings do not pay one-off construction.  For a
+        # TieredGraphView this is a no-op handle: cold labels stay
+        # gap-encoded until a query touches them.
         db.matrices()
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        profile: str = "rdfox-like",
+        solver_options: Optional[SolverOptions] = None,
+    ) -> "PruningPipeline":
+        """Open a snapshot store instead of ingesting a database.
+
+        The solver side runs over a
+        :class:`~repro.storage.TieredGraphView` (hot labels resident,
+        cold labels promoted on first touch); the join engine gets a
+        :class:`TripleStore` filled straight from the snapshot's
+        dictionary-encoded blocks.
+        """
+        from repro.storage import SnapshotReader, TieredGraphView
+
+        reader = SnapshotReader(path)
+        view = TieredGraphView(reader)
+        store = TripleStore.from_snapshot(reader)
+        return cls(
+            view, profile=profile, solver_options=solver_options,
+            store=store,
+        )
 
     # -- stages -----------------------------------------------------------
 

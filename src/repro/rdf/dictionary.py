@@ -9,7 +9,7 @@ predicates, matching the paper's node set vs. alphabet split).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
 
 from repro.errors import StoreError
 
@@ -22,6 +22,26 @@ class TermDictionary:
     def __init__(self):
         self._by_term: Dict[Hashable, int] = {}
         self._by_id: List[Hashable] = []
+
+    @classmethod
+    def from_terms(cls, terms: Iterable[Hashable]) -> "TermDictionary":
+        """Rebuild a dictionary from its id-ordered term sequence.
+
+        The inverse of :meth:`items`: term ``i`` of the sequence gets
+        id ``i``, which is what snapshot deserialization relies on.
+        A repeated term would silently remap every later id by one
+        slot, so duplicates raise :class:`StoreError` instead.
+        """
+        out = cls()
+        for idx, term in enumerate(terms):
+            if term in out._by_term:
+                raise StoreError(
+                    f"duplicate term at id {idx}: {term!r} already has "
+                    f"id {out._by_term[term]}"
+                )
+            out._by_term[term] = idx
+            out._by_id.append(term)
+        return out
 
     def __len__(self) -> int:
         return len(self._by_id)
@@ -56,6 +76,10 @@ class TermDictionary:
 
     def terms(self) -> Iterator[Hashable]:
         return iter(self._by_id)
+
+    def items(self) -> Iterator[Tuple[int, Hashable]]:
+        """(id, term) pairs in id order — the serialization order."""
+        return enumerate(self._by_id)
 
     def __repr__(self) -> str:
         return f"TermDictionary(|terms|={len(self)})"

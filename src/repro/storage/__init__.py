@@ -1,0 +1,52 @@
+"""On-disk snapshot store (binary format + tiered residency).
+
+The persistence layer of the reproduction: build a snapshot once
+(``repro db build``), then open it in any number of processes without
+re-parsing N-Triples text.  Hot labels arrive as zero-copy packed
+blocks; cold labels stay gap-encoded on disk until first touch
+(see :mod:`repro.storage.tiered`).
+
+Public surface:
+
+* :func:`write_snapshot` / :class:`SnapshotWriter` — serialize a
+  graph database (density heuristic decides each label's tier);
+* :class:`SnapshotReader` — mmap a snapshot, decode dictionaries and
+  the block table, serve matrix views;
+* :class:`TieredGraphView` — the solver-facing adjacency view with
+  lazy label promotion and residency counters;
+* :class:`SnapshotInfo` / :class:`WriteReport` /
+  :class:`ResidencyReport` — reporting structures.
+"""
+
+from repro.storage.format import MAGIC, VERSION
+from repro.storage.reader import (
+    LabelBlockInfo,
+    SnapshotInfo,
+    SnapshotReader,
+)
+from repro.storage.tiered import (
+    ResidencyReport,
+    TieredGraphView,
+    TieredMatrices,
+)
+from repro.storage.writer import (
+    DEFAULT_COLD_THRESHOLD,
+    SnapshotWriter,
+    WriteReport,
+    write_snapshot,
+)
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "SnapshotWriter",
+    "SnapshotReader",
+    "SnapshotInfo",
+    "LabelBlockInfo",
+    "WriteReport",
+    "write_snapshot",
+    "DEFAULT_COLD_THRESHOLD",
+    "TieredGraphView",
+    "TieredMatrices",
+    "ResidencyReport",
+]

@@ -1,0 +1,238 @@
+"""Binary layout of the on-disk snapshot format (``repro-snap`` v1).
+
+A snapshot is a single file holding a dictionary-encoded graph
+database in an mmap-friendly layout: a fixed header, the two term
+dictionaries (nodes and predicates), and one payload *block* per
+(label, direction) adjacency matrix.  Every block is stored in one of
+two encodings, chosen per label by the writer's density heuristic:
+
+* ``dense``  — the packed ``(n_rows, n_words)`` ``uint64`` row block
+  of :class:`~repro.bitvec.matrix.AdjacencyMatrix`, preceded by the
+  ``int64`` node ids of its rows.  A reader can wrap these bytes into
+  NumPy views with zero copies, which is what makes dense labels
+  "hot": they are solver-ready the moment the file is open.
+* ``gap``    — per-row gap-length runs (:mod:`repro.bitvec.gap`):
+  row node ids, a ``uint64`` offsets array (in run elements), and the
+  concatenated ``uint32`` runs.  Gap labels are "cold": they cost a
+  decode (:meth:`GapEncodedMatrix.to_adjacency`) on first touch but
+  occupy only their compressed bytes until then — the paper's
+  35 GB vs 23 GB residency discussion (Sect. 3.3).
+
+File layout (all sections and payloads 8-byte aligned)::
+
+    header | nodes dictionary | predicates dictionary | block table | payloads
+
+Integers are little-endian.  The header is::
+
+    magic     8s   b"REPROSNP"
+    version   u32  1
+    flags     u32  reserved, 0
+    n_nodes, n_predicates, n_triples, n_blocks          4 x u64
+    nodes_off, nodes_len, preds_off, preds_len          4 x u64
+    block_table_off                                     u64
+
+Each block-table entry is 40 bytes::
+
+    label_id  u32   index into the predicate dictionary
+    direction u8    0 = forward, 1 = backward
+    encoding  u8    0 = dense, 1 = gap
+    reserved  u16   0
+    n_rows, n_edges, payload_off, payload_len           4 x u64
+
+Terms are serialized as a tag byte, a ``u32`` byte length, and a
+UTF-8 payload.  The tag records whether the term is a plain node name
+or a :class:`~repro.graph.database.Literal` (and the literal's Python
+type), so literal-ness survives the round trip without a separate
+bitmap.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Hashable, List, Tuple
+
+from repro.errors import SnapshotError
+from repro.graph.database import Literal
+
+MAGIC = b"REPROSNP"
+VERSION = 1
+
+HEADER = struct.Struct("<8sII9Q")
+BLOCK_ENTRY = struct.Struct("<IBBHQQQQ")
+
+DIRECTION_FORWARD = 0
+DIRECTION_BACKWARD = 1
+DIRECTIONS = ("forward", "backward")
+
+ENCODING_DENSE = 0
+ENCODING_GAP = 1
+ENCODINGS = ("dense", "gap")
+
+_TAG_STR = 0
+_TAG_LIT_STR = 1
+_TAG_LIT_INT = 2
+_TAG_LIT_FLOAT = 3
+_TAG_LIT_BOOL = 4
+
+_ALIGN = 8
+
+
+def pad8(n: int) -> int:
+    """Bytes needed to round ``n`` up to the next 8-byte boundary."""
+    return (-n) % _ALIGN
+
+
+@dataclass(frozen=True)
+class Header:
+    """Decoded fixed header of a snapshot file."""
+
+    n_nodes: int
+    n_predicates: int
+    n_triples: int
+    n_blocks: int
+    nodes_off: int
+    nodes_len: int
+    preds_off: int
+    preds_len: int
+    block_table_off: int
+
+    def pack(self) -> bytes:
+        return HEADER.pack(
+            MAGIC, VERSION, 0,
+            self.n_nodes, self.n_predicates, self.n_triples, self.n_blocks,
+            self.nodes_off, self.nodes_len, self.preds_off, self.preds_len,
+            self.block_table_off,
+        )
+
+    @classmethod
+    def unpack(cls, buffer) -> "Header":
+        if len(buffer) < HEADER.size:
+            raise SnapshotError(
+                f"truncated snapshot: {len(buffer)} bytes, "
+                f"header needs {HEADER.size}"
+            )
+        (magic, version, _flags, n_nodes, n_predicates, n_triples,
+         n_blocks, nodes_off, nodes_len, preds_off, preds_len,
+         block_table_off) = HEADER.unpack_from(buffer, 0)
+        if magic != MAGIC:
+            raise SnapshotError(
+                f"not a repro snapshot (bad magic {magic!r})"
+            )
+        if version != VERSION:
+            raise SnapshotError(
+                f"unsupported snapshot version {version} "
+                f"(this build reads version {VERSION})"
+            )
+        return cls(
+            n_nodes=n_nodes, n_predicates=n_predicates,
+            n_triples=n_triples, n_blocks=n_blocks,
+            nodes_off=nodes_off, nodes_len=nodes_len,
+            preds_off=preds_off, preds_len=preds_len,
+            block_table_off=block_table_off,
+        )
+
+
+@dataclass(frozen=True)
+class BlockEntry:
+    """One block-table row: where one (label, direction) matrix lives."""
+
+    label_id: int
+    direction: int   # DIRECTION_FORWARD / DIRECTION_BACKWARD
+    encoding: int    # ENCODING_DENSE / ENCODING_GAP
+    n_rows: int
+    n_edges: int
+    payload_off: int
+    payload_len: int
+
+    def pack(self) -> bytes:
+        return BLOCK_ENTRY.pack(
+            self.label_id, self.direction, self.encoding, 0,
+            self.n_rows, self.n_edges, self.payload_off, self.payload_len,
+        )
+
+    @classmethod
+    def unpack_from(cls, buffer, offset: int) -> "BlockEntry":
+        (label_id, direction, encoding, _reserved,
+         n_rows, n_edges, payload_off, payload_len) = BLOCK_ENTRY.unpack_from(
+            buffer, offset
+        )
+        if direction not in (DIRECTION_FORWARD, DIRECTION_BACKWARD):
+            raise SnapshotError(f"bad block direction {direction}")
+        if encoding not in (ENCODING_DENSE, ENCODING_GAP):
+            raise SnapshotError(f"bad block encoding {encoding}")
+        return cls(
+            label_id=label_id, direction=direction, encoding=encoding,
+            n_rows=n_rows, n_edges=n_edges,
+            payload_off=payload_off, payload_len=payload_len,
+        )
+
+
+# -- term (de)serialization -------------------------------------------------
+
+
+def encode_term(term: Hashable) -> bytes:
+    """Serialize one node/predicate term (tag, u32 length, UTF-8)."""
+    if isinstance(term, Literal):
+        value = term.value
+        if isinstance(value, bool):      # before int: bool is an int
+            tag, payload = _TAG_LIT_BOOL, (b"1" if value else b"0")
+        elif isinstance(value, int):
+            tag, payload = _TAG_LIT_INT, str(value).encode("utf-8")
+        elif isinstance(value, float):
+            tag, payload = _TAG_LIT_FLOAT, repr(value).encode("utf-8")
+        elif isinstance(value, str):
+            tag, payload = _TAG_LIT_STR, value.encode("utf-8")
+        else:
+            raise SnapshotError(
+                f"cannot serialize literal of type "
+                f"{type(value).__name__}: {value!r}"
+            )
+    elif isinstance(term, str):
+        tag, payload = _TAG_STR, term.encode("utf-8")
+    else:
+        raise SnapshotError(
+            f"cannot serialize node name of type "
+            f"{type(term).__name__}: {term!r} (use str or Literal)"
+        )
+    return struct.pack("<BI", tag, len(payload)) + payload
+
+
+def decode_terms(buffer: bytes, count: int) -> List[Hashable]:
+    """Inverse of a sequence of :func:`encode_term` calls."""
+    terms: List[Hashable] = []
+    offset = 0
+    for _ in range(count):
+        if offset + 5 > len(buffer):
+            raise SnapshotError("truncated term dictionary")
+        tag, length = struct.unpack_from("<BI", buffer, offset)
+        offset += 5
+        if offset + length > len(buffer):
+            raise SnapshotError("truncated term dictionary payload")
+        payload = bytes(buffer[offset:offset + length])
+        offset += length
+        text = payload.decode("utf-8")
+        if tag == _TAG_STR:
+            terms.append(text)
+        elif tag == _TAG_LIT_STR:
+            terms.append(Literal(text))
+        elif tag == _TAG_LIT_INT:
+            terms.append(Literal(int(text)))
+        elif tag == _TAG_LIT_FLOAT:
+            terms.append(Literal(float(text)))
+        elif tag == _TAG_LIT_BOOL:
+            terms.append(Literal(payload == b"1"))
+        else:
+            raise SnapshotError(f"unknown term tag {tag}")
+    return terms
+
+
+def encode_term_section(terms) -> bytes:
+    """Serialize a whole dictionary section (padded to 8 bytes)."""
+    body = b"".join(encode_term(t) for t in terms)
+    return body + b"\x00" * pad8(len(body))
+
+
+def pack_block_table(entries: Tuple[BlockEntry, ...] | List[BlockEntry]) -> bytes:
+    body = b"".join(entry.pack() for entry in entries)
+    return body + b"\x00" * pad8(len(body))

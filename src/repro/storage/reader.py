@@ -1,0 +1,356 @@
+"""Snapshot reader: mmap a snapshot file and hand out matrix views.
+
+The reader memory-maps the file and parses only the header, the two
+term dictionaries, and the block table — O(dictionary) work, not
+O(edges).  Adjacency payloads stay untouched until asked for:
+
+* :meth:`SnapshotReader.dense_matrix` wraps a dense block's bytes
+  into an :class:`~repro.bitvec.matrix.AdjacencyMatrix` whose packed
+  row block is a **zero-copy read-only view** into the mapping;
+* :meth:`SnapshotReader.gap_matrix` wraps a gap block into a
+  :class:`~repro.bitvec.gap.GapEncodedMatrix` whose per-row run
+  arrays are likewise views — decoding happens only when rows are
+  touched (or all at once via ``to_adjacency`` on promotion).
+
+Matrices served from a snapshot are read-only: attempting to ``add``
+edges to them raises, by NumPy's write protection on the mapped
+buffer.  That is deliberate — a snapshot is an immutable artifact;
+mutate a :class:`GraphDatabase` and re-export instead.
+"""
+
+from __future__ import annotations
+
+import mmap
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Hashable, Iterator, List, Tuple, Union
+
+import numpy as np
+
+from repro.bitvec.bitset import Bitset, _word_count
+from repro.bitvec.gap import GapEncodedMatrix, decode as gap_decode
+from repro.bitvec.matrix import AdjacencyMatrix
+from repro.errors import SnapshotError
+from repro.storage.format import (
+    BLOCK_ENTRY,
+    BlockEntry,
+    DIRECTION_FORWARD,
+    DIRECTIONS,
+    ENCODING_DENSE,
+    ENCODING_GAP,
+    ENCODINGS,
+    Header,
+    decode_terms,
+)
+
+
+@dataclass
+class LabelBlockInfo:
+    """Per-label summary for ``repro db info`` and the residency math."""
+
+    label: str
+    encoding: str          # "dense" or "gap"
+    n_edges: int           # forward-direction edge count
+    payload_bytes: int     # on-disk bytes of both directions
+    dense_bytes: int       # bytes both directions would occupy dense
+
+
+@dataclass
+class SnapshotInfo:
+    """Header-level summary of an open snapshot."""
+
+    path: Path
+    file_bytes: int
+    n_nodes: int
+    n_predicates: int
+    n_triples: int
+    n_blocks: int
+    labels: List[LabelBlockInfo]
+
+    @property
+    def n_hot(self) -> int:
+        return sum(1 for i in self.labels if i.encoding == "dense")
+
+    @property
+    def n_cold(self) -> int:
+        return sum(1 for i in self.labels if i.encoding == "gap")
+
+    def to_dict(self) -> Dict:
+        return {
+            "path": str(self.path),
+            "file_bytes": self.file_bytes,
+            "n_nodes": self.n_nodes,
+            "n_predicates": self.n_predicates,
+            "n_triples": self.n_triples,
+            "n_blocks": self.n_blocks,
+            "n_hot": self.n_hot,
+            "n_cold": self.n_cold,
+            "labels": [
+                {
+                    "label": i.label,
+                    "encoding": i.encoding,
+                    "n_edges": i.n_edges,
+                    "payload_bytes": i.payload_bytes,
+                    "dense_bytes": i.dense_bytes,
+                }
+                for i in self.labels
+            ],
+        }
+
+
+class SnapshotReader:
+    """An open, memory-mapped snapshot file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        if not self.path.exists():
+            raise SnapshotError(f"snapshot not found: {self.path}")
+        self._file = self.path.open("rb")
+        try:
+            self._mm = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except ValueError as error:
+            self._file.close()
+            raise SnapshotError(
+                f"cannot map snapshot {self.path}: {error}"
+            ) from None
+        try:
+            self._header = Header.unpack(self._mm)
+            header = self._header
+            self._node_terms: List[Hashable] = decode_terms(
+                self._mm[header.nodes_off:header.nodes_off + header.nodes_len],
+                header.n_nodes,
+            )
+            pred_bytes = self._mm[
+                header.preds_off:header.preds_off + header.preds_len
+            ]
+            self._predicate_terms: List[str] = [
+                str(t) for t in decode_terms(pred_bytes, header.n_predicates)
+            ]
+            self._blocks: Dict[Tuple[str, str], BlockEntry] = {}
+            offset = header.block_table_off
+            for _ in range(header.n_blocks):
+                entry = BlockEntry.unpack_from(self._mm, offset)
+                offset += BLOCK_ENTRY.size
+                if entry.label_id >= len(self._predicate_terms):
+                    raise SnapshotError(
+                        f"block references unknown predicate id "
+                        f"{entry.label_id}"
+                    )
+                label = self._predicate_terms[entry.label_id]
+                self._blocks[(label, DIRECTIONS[entry.direction])] = entry
+        except Exception:
+            self._mm.close()
+            self._file.close()
+            raise
+        self._n_words = _word_count(header.n_nodes)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the mapping.  Safe to skip: dropping the reader (and
+        every matrix view served from it) releases the file as well."""
+        try:
+            self._mm.close()
+        except BufferError:
+            # NumPy views into the mapping are still alive; the map is
+            # released when they are garbage collected.
+            pass
+        # The descriptor is independent of the mapping's lifetime:
+        # close it either way so live views never pin an fd.
+        self._file.close()
+
+    def __enter__(self) -> "SnapshotReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- header accessors ------------------------------------------------
+
+    @property
+    def file_bytes(self) -> int:
+        return len(self._mm)
+
+    @property
+    def n_nodes(self) -> int:
+        return self._header.n_nodes
+
+    @property
+    def n_predicates(self) -> int:
+        return self._header.n_predicates
+
+    @property
+    def n_triples(self) -> int:
+        return self._header.n_triples
+
+    def node_terms(self) -> List[Hashable]:
+        return self._node_terms
+
+    def predicate_terms(self) -> List[str]:
+        return self._predicate_terms
+
+    def labels(self) -> List[str]:
+        return list(self._predicate_terms)
+
+    def encoding_of(self, label: str) -> str:
+        entry = self._entry(label, "forward")
+        return ENCODINGS[entry.encoding]
+
+    # -- block access ------------------------------------------------------
+
+    def _entry(self, label: str, direction: str) -> BlockEntry:
+        try:
+            return self._blocks[(label, direction)]
+        except KeyError:
+            raise SnapshotError(
+                f"no {direction} block for label {label!r}"
+            ) from None
+
+    def _array(self, dtype, count: int, offset: int) -> np.ndarray:
+        end = offset + np.dtype(dtype).itemsize * count
+        if end > len(self._mm):
+            raise SnapshotError(
+                f"block payload extends past end of file "
+                f"({end} > {len(self._mm)})"
+            )
+        return np.frombuffer(self._mm, dtype=dtype, count=count,
+                             offset=offset)
+
+    def _row_nodes(self, entry: BlockEntry) -> np.ndarray:
+        """The block's row node ids, range-checked against the header.
+
+        An id outside ``[0, n_nodes)`` would otherwise index silently
+        (negative wrap-around) or raise a bare NumPy error; corrupt
+        files must fail as :class:`SnapshotError` like every other
+        malformed-file path."""
+        nodes = self._array(np.int64, entry.n_rows, entry.payload_off)
+        if nodes.size and (
+            int(nodes.min()) < 0 or int(nodes.max()) >= self.n_nodes
+        ):
+            raise SnapshotError(
+                f"block row node ids out of range [0, {self.n_nodes})"
+            )
+        return nodes
+
+    def dense_matrix(self, label: str, direction: str) -> AdjacencyMatrix:
+        """Zero-copy :class:`AdjacencyMatrix` over a dense block."""
+        entry = self._entry(label, direction)
+        if entry.encoding != ENCODING_DENSE:
+            raise SnapshotError(
+                f"label {label!r} is gap-encoded; use gap_matrix()"
+            )
+        n = self.n_nodes
+        nodes = self._row_nodes(entry)
+        packed = self._array(
+            np.uint64, entry.n_rows * self._n_words,
+            entry.payload_off + 8 * entry.n_rows,
+        ).reshape(entry.n_rows, self._n_words)
+        out = AdjacencyMatrix(n)
+        for position, node in enumerate(nodes.tolist()):
+            out.rows[node] = Bitset._wrap(n, packed[position])
+        out.summary = Bitset.from_indices(n, nodes)
+        out.n_edges = entry.n_edges
+        row_index = np.full(n, -1, dtype=np.int64)
+        row_index[nodes] = np.arange(nodes.size, dtype=np.int64)
+        out._row_nodes = nodes
+        out._row_index = row_index
+        out._word_idx = nodes // 64
+        out._bit_shift = (nodes % 64).astype(np.uint64)
+        out._packed = packed
+        return out
+
+    def gap_matrix(self, label: str, direction: str) -> GapEncodedMatrix:
+        """View-backed :class:`GapEncodedMatrix` over a gap block."""
+        entry = self._entry(label, direction)
+        if entry.encoding != ENCODING_GAP:
+            raise SnapshotError(
+                f"label {label!r} is dense; use dense_matrix()"
+            )
+        n = self.n_nodes
+        nodes = self._row_nodes(entry)
+        offsets = self._array(
+            np.uint64, entry.n_rows + 1,
+            entry.payload_off + 8 * entry.n_rows,
+        )
+        runs = self._array(
+            np.uint32, int(offsets[-1]) if entry.n_rows else 0,
+            entry.payload_off + 8 * entry.n_rows + 8 * (entry.n_rows + 1),
+        )
+        out = GapEncodedMatrix(n)
+        bounds = offsets.astype(np.int64)
+        for position, node in enumerate(nodes.tolist()):
+            out._rows[node] = runs[bounds[position]:bounds[position + 1]]
+        return out
+
+    def payload_bytes(self, label: str) -> int:
+        """On-disk payload bytes of both directions of one label."""
+        return sum(
+            self._entry(label, d).payload_len for d in DIRECTIONS
+        )
+
+    def n_label_edges(self, label: str) -> int:
+        return self._entry(label, "forward").n_edges
+
+    # -- whole-graph iteration ----------------------------------------------
+
+    def iter_id_triples(self) -> Iterator[Tuple[int, int, int]]:
+        """All (subject, predicate, object) id triples, decoded from
+        the forward blocks (labels in id order, subjects ascending)."""
+        for label_id, label in enumerate(self._predicate_terms):
+            entry = self._entry(label, "forward")
+            n = self.n_nodes
+            if entry.encoding == ENCODING_DENSE:
+                matrix = self.dense_matrix(label, "forward")
+                for node in matrix._row_nodes.tolist():
+                    for obj in matrix.rows[node].iter_ones().tolist():
+                        yield (node, label_id, obj)
+            else:
+                matrix = self.gap_matrix(label, "forward")
+                for node in sorted(matrix._rows):
+                    row = gap_decode(matrix._rows[node], n)
+                    for obj in row.iter_ones().tolist():
+                        yield (node, label_id, obj)
+
+    def iter_triples(self) -> Iterator[Tuple[Hashable, str, Hashable]]:
+        """All name triples (decoded through the dictionaries)."""
+        nodes = self._node_terms
+        preds = self._predicate_terms
+        for s, p, o in self.iter_id_triples():
+            yield (nodes[s], preds[p], nodes[o])
+
+    # -- info -----------------------------------------------------------------
+
+    def info(self) -> SnapshotInfo:
+        n_words = self._n_words
+        labels: List[LabelBlockInfo] = []
+        for label in self._predicate_terms:
+            dense_total = 0
+            for direction in DIRECTIONS:
+                entry = self._entry(label, direction)
+                dense_total += 8 * entry.n_rows * (1 + n_words)
+            labels.append(
+                LabelBlockInfo(
+                    label=label,
+                    encoding=self.encoding_of(label),
+                    n_edges=self.n_label_edges(label),
+                    payload_bytes=self.payload_bytes(label),
+                    dense_bytes=dense_total,
+                )
+            )
+        return SnapshotInfo(
+            path=self.path,
+            file_bytes=self.file_bytes,
+            n_nodes=self.n_nodes,
+            n_predicates=self.n_predicates,
+            n_triples=self.n_triples,
+            n_blocks=self._header.n_blocks,
+            labels=labels,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotReader({self.path.name}, |O|={self.n_nodes}, "
+            f"triples={self.n_triples}, labels={self.n_predicates})"
+        )

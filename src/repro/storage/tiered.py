@@ -1,0 +1,267 @@
+"""Tiered graph view: hot packed blocks + cold gap blocks, promoted lazily.
+
+:class:`TieredGraphView` opens a snapshot and satisfies the adjacency
+interface the SOI solver and the pruning stage consume from
+:class:`~repro.graph.graph.Graph`:
+
+* ``n_nodes`` / ``n_edges`` / ``labels`` / ``node_name`` /
+  ``node_index`` / ``has_node`` / ``nodes_bitset``
+* ``matrices()`` returning a mapping ``label -> LabelMatrixPair``
+
+The mapping is where the tiering lives.  *Hot* labels (stored dense)
+are wrapped into packed :class:`AdjacencyMatrix` views at open time —
+zero copies, solver-ready.  *Cold* labels (stored gap-encoded) occupy
+only their compressed bytes until a query first asks for them; the
+first ``matrices().get(label)`` **promotes** the label by decoding
+both directions through :meth:`GapEncodedMatrix.to_adjacency` into
+packed blocks, which are then cached like any hot label.  Residency
+counters (:meth:`residency`) expose how much of the database is
+actually materialized — the quantity behind the paper's 35 GB fully
+dense vs 23 GB mixed-residency comparison (Sect. 3.3).
+
+A view is read-only; it intentionally does **not** implement the
+mutation or set-based traversal surface of :class:`Graph` (``add_edge``,
+``successors`` over Python sets, ...).  Materialize via
+:meth:`to_graph_database` when that surface is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple, Union
+
+from repro.bitvec import Bitset, LabelMatrixPair
+from repro.bitvec.gap import GapEncodedMatrix
+from repro.errors import GraphError
+from repro.storage.reader import SnapshotReader
+
+
+@dataclass
+class ResidencyReport:
+    """How much of an open snapshot is materialized in memory."""
+
+    n_labels: int
+    hot_labels: int          # stored dense, resident since open
+    cold_labels: int         # still gap-encoded on disk
+    promotions: int          # cold labels decoded so far
+    promoted_labels: Tuple[str, ...]
+    resident_bytes: int      # packed blocks currently materialized
+    on_disk_bytes: int       # snapshot file size
+
+    @property
+    def resident_ratio(self) -> float:
+        if self.on_disk_bytes == 0:
+            return 0.0
+        return self.resident_bytes / self.on_disk_bytes
+
+
+class TieredMatrices:
+    """Mapping ``label -> LabelMatrixPair`` with promote-on-first-touch.
+
+    Lookups of hot or already-promoted labels are dict hits; the first
+    lookup of a cold label decodes it.  Iteration (``keys`` / ``len`` /
+    ``in``) never promotes.
+    """
+
+    def __init__(self, view: "TieredGraphView"):
+        self._view = view
+
+    def __getitem__(self, label: str) -> LabelMatrixPair:
+        pair = self._view._pair(label)
+        if pair is None:
+            raise KeyError(label)
+        return pair
+
+    def get(self, label: str, default=None):
+        pair = self._view._pair(label)
+        return default if pair is None else pair
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._view._label_set
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._view._labels)
+
+    def __len__(self) -> int:
+        return len(self._view._labels)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._view._labels)
+
+    def values(self) -> Iterator[LabelMatrixPair]:
+        for label in self._view._labels:
+            yield self[label]
+
+    def items(self) -> Iterator[Tuple[str, LabelMatrixPair]]:
+        for label in self._view._labels:
+            yield (label, self[label])
+
+
+def _pair_resident_bytes(pair: LabelMatrixPair) -> int:
+    total = 0
+    for matrix in (pair.forward, pair.backward):
+        if matrix._packed is not None:
+            total += matrix._packed.nbytes
+            total += matrix._row_nodes.nbytes + matrix._row_index.nbytes
+    return total
+
+
+class TieredGraphView:
+    """A graph database served from a snapshot, tiered hot/cold."""
+
+    def __init__(self, source: Union[str, Path, SnapshotReader]):
+        if isinstance(source, SnapshotReader):
+            self.reader = source
+        else:
+            self.reader = SnapshotReader(source)
+        reader = self.reader
+        self._names: List[Hashable] = reader.node_terms()
+        self._index: Dict[Hashable, int] = {
+            name: i for i, name in enumerate(self._names)
+        }
+        self._labels: List[str] = reader.labels()
+        self._label_set: Set[str] = set(self._labels)
+        self._pairs: Dict[str, LabelMatrixPair] = {}
+        self._cold: Dict[str, Tuple[GapEncodedMatrix, GapEncodedMatrix]] = {}
+        self._hot_labels: Set[str] = set()
+        self._promoted: List[str] = []
+        for label in self._labels:
+            if reader.encoding_of(label) == "dense":
+                pair = LabelMatrixPair(reader.n_nodes)
+                pair.forward = reader.dense_matrix(label, "forward")
+                pair.backward = reader.dense_matrix(label, "backward")
+                self._pairs[label] = pair
+                self._hot_labels.add(label)
+            else:
+                self._cold[label] = (
+                    reader.gap_matrix(label, "forward"),
+                    reader.gap_matrix(label, "backward"),
+                )
+        self._matrices = TieredMatrices(self)
+
+    # -- tier mechanics ---------------------------------------------------
+
+    def _pair(self, label: str) -> LabelMatrixPair | None:
+        pair = self._pairs.get(label)
+        if pair is not None:
+            return pair
+        cold = self._cold.get(label)
+        if cold is None:
+            return None
+        return self.promote(label)
+
+    def promote(self, label: str) -> LabelMatrixPair:
+        """Decode a cold label into packed matrices (idempotent)."""
+        pair = self._pairs.get(label)
+        if pair is not None:
+            return pair
+        try:
+            forward, backward = self._cold.pop(label)
+        except KeyError:
+            raise GraphError(f"unknown label: {label!r}") from None
+        pair = LabelMatrixPair(self.reader.n_nodes)
+        pair.forward = forward.to_adjacency()
+        pair.backward = backward.to_adjacency()
+        self._pairs[label] = pair
+        self._promoted.append(label)
+        return pair
+
+    def promote_all(self) -> None:
+        """Force-decode every cold label (benchmarks, warm-up)."""
+        for label in list(self._cold):
+            self.promote(label)
+
+    @property
+    def promotions(self) -> int:
+        return len(self._promoted)
+
+    def is_resident(self, label: str) -> bool:
+        return label in self._pairs
+
+    def residency(self) -> ResidencyReport:
+        resident = sum(
+            _pair_resident_bytes(pair) for pair in self._pairs.values()
+        )
+        return ResidencyReport(
+            n_labels=len(self._labels),
+            hot_labels=len(self._hot_labels),
+            cold_labels=len(self._cold),
+            promotions=len(self._promoted),
+            promoted_labels=tuple(self._promoted),
+            resident_bytes=resident,
+            on_disk_bytes=self.reader.file_bytes,
+        )
+
+    # -- Graph adjacency interface ------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self.reader.n_nodes
+
+    @property
+    def n_edges(self) -> int:
+        return self.reader.n_triples
+
+    @property
+    def n_triples(self) -> int:
+        return self.reader.n_triples
+
+    @property
+    def labels(self) -> Set[str]:
+        return set(self._labels)
+
+    def matrices(self) -> TieredMatrices:
+        return self._matrices
+
+    def label_matrix(self, label: str) -> LabelMatrixPair | None:
+        return self._pair(label)
+
+    def nodes(self) -> Iterator[Hashable]:
+        return iter(self._names)
+
+    def node_name(self, index: int) -> Hashable:
+        return self._names[index]
+
+    def node_index(self, name: Hashable) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise GraphError(f"unknown node: {name!r}") from None
+
+    def has_node(self, name: Hashable) -> bool:
+        return name in self._index
+
+    def nodes_bitset(self, names: Iterable[Hashable]) -> Bitset:
+        return Bitset.from_indices(
+            self.n_nodes, (self.node_index(n) for n in names)
+        )
+
+    # -- materialization ---------------------------------------------------
+
+    def triples(self) -> Iterator[Tuple[Hashable, str, Hashable]]:
+        """Iterate all name triples (decodes cold blocks row by row
+        without promoting them into the resident tier)."""
+        return self.reader.iter_triples()
+
+    def to_graph_database(self):
+        """Fully materialize into a :class:`GraphDatabase`."""
+        from repro.graph.database import GraphDatabase
+
+        db = GraphDatabase()
+        for s, p, o in self.triples():
+            db.add_triple(s, p, o)
+        return db
+
+    def close(self) -> None:
+        self.reader.close()
+
+    def __repr__(self) -> str:
+        report = (
+            f"hot={len(self._hot_labels)}, cold={len(self._cold)}, "
+            f"promoted={len(self._promoted)}"
+        )
+        return (
+            f"TieredGraphView(|O|={self.n_nodes}, "
+            f"triples={self.n_triples}, {report})"
+        )

@@ -1,0 +1,244 @@
+"""Snapshot writer: serialize a graph database to the binary format.
+
+The writer materializes the per-label adjacency matrices once (they
+are what the solver runs on anyway), gap-encodes every row, and then
+decides **per label** which encoding reaches the disk:
+
+* labels whose gap-encoded bytes undercut their dense packed bytes
+  (``encoded < cold_threshold * dense``) are stored ``gap`` — they
+  become the *cold tier*, staying compressed in the open snapshot
+  until a query first touches them;
+* all other labels are stored ``dense`` — the *hot tier*, loadable as
+  zero-copy NumPy views straight into the packed kernel.
+
+Output is deterministic: node ids follow the database's insertion
+order, predicate ids are the sorted label order, rows are sorted by
+node id, so the same database always produces byte-identical files.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.bitvec.gap import encode as gap_encode
+from repro.errors import SnapshotError
+from repro.storage.format import (
+    BlockEntry,
+    DIRECTION_BACKWARD,
+    DIRECTION_FORWARD,
+    ENCODING_DENSE,
+    ENCODING_GAP,
+    HEADER,
+    Header,
+    encode_term_section,
+    pack_block_table,
+    pad8,
+)
+
+#: Default tier heuristic: a label goes cold when its gap-encoded
+#: payload is strictly smaller than its dense payload.
+DEFAULT_COLD_THRESHOLD = 1.0
+
+
+@dataclass
+class WriteReport:
+    """What one :func:`write_snapshot` call produced."""
+
+    path: Path
+    file_bytes: int
+    n_nodes: int
+    n_predicates: int
+    n_triples: int
+    elapsed: float
+    #: label -> "hot" (dense) or "cold" (gap)
+    tiers: Dict[str, str] = field(default_factory=dict)
+    #: label -> on-disk payload bytes of the chosen encoding
+    payload_bytes: Dict[str, int] = field(default_factory=dict)
+    #: label -> payload bytes had the label been stored dense
+    dense_bytes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_hot(self) -> int:
+        return sum(1 for t in self.tiers.values() if t == "hot")
+
+    @property
+    def n_cold(self) -> int:
+        return sum(1 for t in self.tiers.values() if t == "cold")
+
+
+def _dense_payload(matrix) -> bytes:
+    """Row node ids + the packed row block, as stored on disk."""
+    matrix.pack()
+    nodes = matrix._row_nodes
+    if nodes.size == 0:
+        return b""
+    return nodes.tobytes() + matrix._packed.tobytes()
+
+
+def _gap_payload(matrix) -> bytes:
+    """Row node ids + run offsets + concatenated gap runs."""
+    matrix.pack()
+    nodes = matrix._row_nodes
+    runs: List[np.ndarray] = [
+        gap_encode(matrix.rows[int(node)]) for node in nodes
+    ]
+    lengths = np.fromiter(
+        (r.size for r in runs), dtype=np.uint64, count=len(runs)
+    )
+    offsets = np.zeros(len(runs) + 1, dtype=np.uint64)
+    np.cumsum(lengths, out=offsets[1:])
+    body = (
+        nodes.tobytes()
+        + offsets.tobytes()
+        + (np.concatenate(runs).astype(np.uint32).tobytes() if runs else b"")
+    )
+    return body + b"\x00" * pad8(len(body))
+
+
+class SnapshotWriter:
+    """Serialize a :class:`~repro.graph.database.GraphDatabase` (or any
+    graph exposing ``matrices()``) into one snapshot file."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        cold_threshold: float = DEFAULT_COLD_THRESHOLD,
+    ):
+        if cold_threshold < 0:
+            raise SnapshotError(
+                f"cold_threshold must be non-negative, got {cold_threshold}"
+            )
+        self.path = Path(path)
+        self.cold_threshold = cold_threshold
+
+    def write(self, db) -> WriteReport:
+        start = time.perf_counter()
+        n = db.n_nodes
+        names = [db.node_name(i) for i in range(n)]
+        labels = sorted(db.labels)
+        matrices = db.matrices()
+
+        # Per label: build both candidate payloads, keep the smaller
+        # side per the threshold.  40-byte block entries are per
+        # direction; the tier decision is per label so a query never
+        # finds one direction hot and its transpose cold.
+        entries: List[BlockEntry] = []
+        payloads: List[bytes] = []
+        tiers: Dict[str, str] = {}
+        payload_bytes: Dict[str, int] = {}
+        dense_sizes: Dict[str, int] = {}
+        for label_id, label in enumerate(labels):
+            pair = matrices[label]
+            sides = (
+                (DIRECTION_FORWARD, pair.forward),
+                (DIRECTION_BACKWARD, pair.backward),
+            )
+            dense = {d: _dense_payload(m) for d, m in sides}
+            gap = {d: _gap_payload(m) for d, m in sides}
+            dense_total = sum(len(p) for p in dense.values())
+            gap_total = sum(len(p) for p in gap.values())
+            cold = gap_total < self.cold_threshold * dense_total
+            tiers[label] = "cold" if cold else "hot"
+            chosen = gap if cold else dense
+            payload_bytes[label] = sum(len(p) for p in chosen.values())
+            dense_sizes[label] = dense_total
+            for direction, matrix in sides:
+                entries.append(
+                    BlockEntry(
+                        label_id=label_id,
+                        direction=direction,
+                        encoding=ENCODING_GAP if cold else ENCODING_DENSE,
+                        n_rows=int(matrix._row_nodes.size),
+                        n_edges=matrix.n_edges,
+                        payload_off=0,  # patched below
+                        payload_len=len(chosen[direction]),
+                    )
+                )
+                payloads.append(chosen[direction])
+
+        nodes_section = encode_term_section(names)
+        preds_section = encode_term_section(labels)
+        nodes_off = HEADER.size
+        preds_off = nodes_off + len(nodes_section)
+        block_table_off = preds_off + len(preds_section)
+        table_len = len(pack_block_table(entries))
+
+        # Patch absolute payload offsets (payloads are 8-aligned by
+        # construction: dense payloads are whole uint64/int64 arrays
+        # and gap payloads are padded explicitly).
+        cursor = block_table_off + table_len
+        placed: List[BlockEntry] = []
+        for entry, payload in zip(entries, payloads):
+            if len(payload) % 8:
+                raise SnapshotError("internal: unaligned payload")
+            placed.append(
+                BlockEntry(
+                    label_id=entry.label_id,
+                    direction=entry.direction,
+                    encoding=entry.encoding,
+                    n_rows=entry.n_rows,
+                    n_edges=entry.n_edges,
+                    payload_off=cursor,
+                    payload_len=entry.payload_len,
+                )
+            )
+            cursor += len(payload)
+
+        header = Header(
+            n_nodes=n,
+            n_predicates=len(labels),
+            n_triples=db.n_edges,
+            n_blocks=len(placed),
+            nodes_off=nodes_off,
+            nodes_len=len(nodes_section),
+            preds_off=preds_off,
+            preds_len=len(preds_section),
+            block_table_off=block_table_off,
+        )
+        blob = b"".join(
+            [header.pack(), nodes_section, preds_section,
+             pack_block_table(placed)] + payloads
+        )
+        # Atomic publish: snapshot paths double as build-once cache
+        # keys (path.exists() gates regeneration), so a crash mid-write
+        # must never leave a truncated file at the final path.
+        fd, staging = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(staging, self.path)
+        except BaseException:
+            try:
+                os.unlink(staging)
+            except OSError:
+                pass
+            raise
+        return WriteReport(
+            path=self.path,
+            file_bytes=len(blob),
+            n_nodes=n,
+            n_predicates=len(labels),
+            n_triples=db.n_edges,
+            elapsed=time.perf_counter() - start,
+            tiers=tiers,
+            payload_bytes=payload_bytes,
+            dense_bytes=dense_sizes,
+        )
+
+
+def write_snapshot(
+    db,
+    path: Union[str, Path],
+    cold_threshold: float = DEFAULT_COLD_THRESHOLD,
+) -> WriteReport:
+    """Convenience wrapper: ``SnapshotWriter(path, ...).write(db)``."""
+    return SnapshotWriter(path, cold_threshold=cold_threshold).write(db)

@@ -67,6 +67,31 @@ class TripleStore:
     def from_graph_database(cls, db: GraphDatabase) -> "TripleStore":
         return cls.from_triples(db.triples())
 
+    @classmethod
+    def from_snapshot(cls, source) -> "TripleStore":
+        """Open a snapshot file (or reader) as a triple store.
+
+        The snapshot's dictionaries are adopted verbatim — node and
+        predicate ids in the store equal the snapshot's ids — and the
+        indexes are filled from the decoded forward blocks, skipping
+        N-Triples parsing and re-encoding entirely.
+        """
+        from repro.rdf.dictionary import TermDictionary
+        from repro.storage.reader import SnapshotReader
+
+        reader = (
+            source if isinstance(source, SnapshotReader)
+            else SnapshotReader(source)
+        )
+        store = cls()
+        store.nodes = TermDictionary.from_terms(reader.node_terms())
+        store.predicates = TermDictionary.from_terms(
+            reader.predicate_terms()
+        )
+        for s, p, o in reader.iter_id_triples():
+            store._add_ids(s, p, o)
+        return store
+
     def to_graph_database(self) -> GraphDatabase:
         db = GraphDatabase()
         for s, p, o in self.triples():

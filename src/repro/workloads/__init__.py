@@ -2,7 +2,14 @@
 (LUBM(10000) and DBpedia 2016-10) plus the query catalogs."""
 
 from repro.workloads.dbpedia import DBpediaConfig, generate_dbpedia
-from repro.workloads.lubm import LUBM_PREDICATES, LUBMConfig, generate_lubm
+from repro.workloads.lubm import (
+    LUBM_PREDICATES,
+    LUBMConfig,
+    build_lubm_snapshot,
+    generate_lubm,
+    lubm_snapshot_path,
+    open_lubm,
+)
 from repro.workloads.queries import (
     BENCH_QUERIES,
     CYCLIC_QUERIES,
@@ -16,6 +23,9 @@ from repro.workloads.queries import (
 
 __all__ = [
     "generate_lubm",
+    "build_lubm_snapshot",
+    "lubm_snapshot_path",
+    "open_lubm",
     "LUBMConfig",
     "LUBM_PREDICATES",
     "generate_dbpedia",

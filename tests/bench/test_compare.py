@@ -1,0 +1,100 @@
+"""Baseline comparison (`bench kernels --compare`): delta computation
+and the regression verdict."""
+
+import pytest
+
+from repro.bench import (
+    BenchComparison,
+    compare_with_baseline,
+    render_bench_compare,
+)
+from repro.bench.runner import KernelBenchRow
+from repro.errors import ReproError
+
+
+def _row(query="B0", kernel="packed", t_solve=0.01, total_bits=100):
+    return KernelBenchRow(
+        query=query, dataset="dbpedia", kernel=kernel, t_solve=t_solve,
+        rounds=2, evaluations=10, updates=5, bits_removed=50,
+        total_bits=total_bits,
+    )
+
+
+def _baseline(benches):
+    return {"schema": "repro-bench/v1", "benches": benches}
+
+
+def _bench(query="B0", kernel="packed", t_solve=0.01, total_bits=100):
+    return {
+        "query": query, "kernel": kernel, "t_solve": t_solve,
+        "total_bits": total_bits,
+    }
+
+
+class TestCompareWithBaseline:
+    def test_matched_pair(self):
+        comps, unmatched = compare_with_baseline(
+            [_row(t_solve=0.011)], _baseline([_bench(t_solve=0.01)])
+        )
+        assert unmatched == []
+        (c,) = comps
+        assert c.ratio == pytest.approx(1.1)
+        assert not c.is_regression()
+        assert c.fixpoint_equal
+
+    def test_regression_flagged_above_20_percent(self):
+        comps, _ = compare_with_baseline(
+            [_row(t_solve=0.0121)], _baseline([_bench(t_solve=0.01)])
+        )
+        assert comps[0].is_regression()
+
+    def test_exactly_20_percent_is_not_regression(self):
+        comps, _ = compare_with_baseline(
+            [_row(t_solve=0.012)], _baseline([_bench(t_solve=0.01)])
+        )
+        assert not comps[0].is_regression()
+
+    def test_unmatched_reported_both_directions(self):
+        comps, unmatched = compare_with_baseline(
+            [_row(query="NEW")], _baseline([_bench(query="OLD")])
+        )
+        assert comps == []
+        assert unmatched == [
+            "NEW/packed (current only)",
+            "OLD/packed (baseline only)",
+        ]
+
+    def test_fixpoint_divergence_detected(self):
+        comps, _ = compare_with_baseline(
+            [_row(total_bits=99)], _baseline([_bench(total_bits=100)])
+        )
+        assert not comps[0].fixpoint_equal
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ReproError, match="schema"):
+            compare_with_baseline([], {"schema": "something/v9"})
+
+    def test_zero_baseline_time(self):
+        comps, _ = compare_with_baseline(
+            [_row(t_solve=0.01)], _baseline([_bench(t_solve=0.0)])
+        )
+        assert comps[0].ratio == float("inf")
+        assert comps[0].is_regression()
+
+
+class TestRender:
+    def test_verdict_column(self):
+        comps = [
+            BenchComparison("B0", "packed", 0.01, 0.02, True),
+            BenchComparison("B1", "packed", 0.01, 0.005, True),
+            BenchComparison("B2", "packed", 0.01, 0.010, False),
+        ]
+        text = render_bench_compare(comps, [])
+        assert "REGRESSION" in text
+        assert "faster" in text
+        assert "fixpoint!" in text
+        assert "1 regressed" in text
+
+    def test_unmatched_in_summary(self):
+        text = render_bench_compare([], ["B9/packed"])
+        assert "unmatched: B9/packed" in text

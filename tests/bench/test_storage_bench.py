@@ -1,0 +1,63 @@
+"""Storage bench: cold open vs rebuild-from-text, with JSON output."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    render_storage_bench,
+    run_storage_bench,
+    write_storage_bench_json,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_storage_bench(lubm_universities=1, queries=["L0", "L3"])
+
+
+class TestRunStorageBench:
+    def test_answers_identical_on_both_paths(self, result):
+        assert result.answers_all_equal
+        assert [row.query for row in result.queries] == ["L0", "L3"]
+
+    def test_timings_positive(self, result):
+        assert result.t_text_open > 0
+        assert result.t_cold_open_view > 0
+        assert result.t_cold_open_pipeline > 0
+        assert result.t_build_snapshot > 0
+        for row in result.queries:
+            assert row.t_text > 0 and row.t_snapshot > 0
+
+    def test_artifact_sizes(self, result):
+        assert result.nt_bytes > 0
+        assert result.snapshot_bytes > 0
+
+    def test_residency_counters(self, result):
+        assert result.hot_labels + result.cold_labels + \
+            result.promotions == 18  # the LUBM predicate count
+        assert result.promotions > 0  # L0 touched cold labels
+        assert result.resident_bytes > 0
+
+    def test_promotions_monotone_across_queries(self, result):
+        counts = [row.promotions_after for row in result.queries]
+        assert counts == sorted(counts)
+
+
+class TestRendering:
+    def test_render_contains_sections(self, result):
+        text = render_storage_bench(result)
+        assert "storage bench" in text
+        assert "residency:" in text
+        assert "t_snapshot" in text
+        assert "L0" in text
+
+    def test_json_document(self, result, tmp_path):
+        path = tmp_path / "storage.json"
+        doc = write_storage_bench_json(path, result)
+        assert doc["schema"] == "repro-storage-bench/v1"
+        assert doc["answers_all_equal"] is True
+        assert doc["residency"]["promotions"] == result.promotions
+        assert doc["residency"]["on_disk_bytes"] == result.snapshot_bytes
+        reloaded = json.loads(path.read_text())
+        assert reloaded == doc

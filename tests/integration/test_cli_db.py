@@ -1,0 +1,137 @@
+"""Integration tests for the `repro db` snapshot-store subcommands."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph import example_movie_database
+from repro.graph.io import save_ntriples
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def movie_nt(tmp_path):
+    path = tmp_path / "movies.nt"
+    save_ntriples(example_movie_database(), path)
+    return str(path)
+
+
+@pytest.fixture
+def movie_snap(movie_nt, tmp_path):
+    path = tmp_path / "movies.snap"
+    code, _ = run_cli(["db", "build", movie_nt, "-o", str(path)])
+    assert code == 0
+    return str(path)
+
+
+class TestDbBuild:
+    def test_build_reports_counts(self, movie_nt, tmp_path):
+        out_path = tmp_path / "m.snap"
+        code, output = run_cli(["db", "build", movie_nt, "-o", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        assert "20 triples" in output
+        assert "hot" in output and "cold" in output
+
+    def test_build_cold_threshold_flag(self, movie_nt, tmp_path):
+        out_path = tmp_path / "cold.snap"
+        code, output = run_cli([
+            "db", "build", movie_nt, "-o", str(out_path),
+            "--cold-threshold", "1e9",
+        ])
+        assert code == 0
+        assert "0 hot / 8 cold" in output
+
+    def test_build_missing_input(self, tmp_path):
+        code, _ = run_cli([
+            "db", "build", str(tmp_path / "nope.nt"),
+            "-o", str(tmp_path / "out.snap"),
+        ])
+        assert code == 2
+
+
+class TestDbInfo:
+    def test_info_table(self, movie_snap):
+        code, output = run_cli(["db", "info", movie_snap])
+        assert code == 0
+        assert "20 triples" in output
+        assert "directed" in output
+        assert "Tier" in output
+
+    def test_info_json(self, movie_snap):
+        code, output = run_cli(["db", "info", movie_snap, "--json"])
+        assert code == 0
+        doc = json.loads(output)
+        assert doc["n_triples"] == 20
+        assert doc["n_hot"] + doc["n_cold"] == doc["n_predicates"]
+        assert {l["label"] for l in doc["labels"]} >= {"directed", "genre"}
+
+    def test_info_on_garbage_errors(self, tmp_path):
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(b"x" * 200)
+        code, _ = run_cli(["db", "info", str(bad)])
+        assert code == 1
+
+
+class TestDbQuery:
+    X1 = ("SELECT * WHERE { ?director directed ?movie . "
+          "?director worked_with ?coworker . }")
+
+    def test_query_matches_text_path(self, movie_nt, movie_snap):
+        code_text, out_text = run_cli(["query", movie_nt, self.X1])
+        code_snap, out_snap = run_cli(["db", "query", movie_snap, self.X1])
+        assert code_text == code_snap == 0
+        assert "2 solutions" in out_text
+        assert "2 solutions" in out_snap
+        assert "B. De Palma" in out_snap
+
+    def test_query_reports_residency(self, movie_snap):
+        code, output = run_cli(["db", "query", movie_snap, self.X1])
+        assert code == 0
+        assert "residency:" in output
+        assert "on disk" in output
+
+    def test_query_with_pruning(self, movie_snap):
+        code, output = run_cli([
+            "db", "query", movie_snap, self.X1, "--prune",
+        ])
+        assert code == 0
+        assert "pruning: 20 -> 4 triples" in output
+        assert "results equal: True" in output
+
+    def test_query_cold_snapshot_promotes(self, movie_nt, tmp_path):
+        snap = tmp_path / "cold.snap"
+        code, _ = run_cli([
+            "db", "build", movie_nt, "-o", str(snap),
+            "--cold-threshold", "1e9",
+        ])
+        assert code == 0
+        # --prune routes through the SOI solver, which touches (and
+        # promotes) exactly the two query labels; the engine-only path
+        # leaves every label cold.
+        code, output = run_cli(["db", "query", str(snap), self.X1])
+        assert code == 0
+        assert "0 promoted" in output
+        code, output = run_cli([
+            "db", "query", str(snap), self.X1, "--prune",
+        ])
+        assert code == 0
+        assert "2 solutions" in output
+        assert "2 promoted" in output
+
+    def test_query_missing_snapshot(self, tmp_path):
+        code, _ = run_cli([
+            "db", "query", str(tmp_path / "nope.snap"), self.X1,
+        ])
+        assert code == 1
+
+    def test_bad_query_reports_error(self, movie_snap):
+        code, _ = run_cli(["db", "query", movie_snap, "SELECT * WHERE {"])
+        assert code == 1

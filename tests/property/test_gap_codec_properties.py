@@ -1,0 +1,103 @@
+"""Gap codec edge cases: empty/full vectors, word-boundary bits, and
+encode->decode->encode idempotence (satellite of the storage PR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitvec import Bitset
+from repro.bitvec.gap import decode, encode
+
+WIDTHS = [1, 63, 64, 65, 128, 129, 192]
+
+
+class TestEmptyBitset:
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_empty_roundtrip(self, width):
+        bs = Bitset.zeros(width)
+        runs = encode(bs)
+        assert runs.tolist() == [width]  # one zero-run
+        assert decode(runs, width) == bs
+
+    def test_zero_width(self):
+        bs = Bitset.zeros(0)
+        runs = encode(bs)
+        assert runs.size == 0
+        assert decode(runs, 0) == bs
+
+
+class TestAllOnesRow:
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_full_roundtrip(self, width):
+        bs = Bitset.ones(width)
+        runs = encode(bs)
+        # empty leading zero-run, then one all-ones run
+        assert runs.tolist() == [0, width]
+        assert decode(runs, width) == bs
+        assert decode(runs, width).count() == width
+
+
+class TestWordBoundaryBits:
+    BOUNDARY_BITS = [0, 1, 62, 63, 64, 65, 126, 127, 128, 191]
+
+    @pytest.mark.parametrize("bit", BOUNDARY_BITS)
+    def test_single_bit_roundtrip(self, bit):
+        width = 192
+        bs = Bitset.singleton(width, bit)
+        runs = encode(bs)
+        assert decode(runs, width) == bs
+        # structure: [zeros-before, 1] (+ trailing zeros if any)
+        expected = [bit, 1]
+        if bit < width - 1:
+            expected.append(width - bit - 1)
+        assert runs.tolist() == expected
+
+    def test_adjacent_bits_across_word_boundary(self):
+        width = 192
+        bs = Bitset.from_indices(width, [63, 64])
+        runs = encode(bs)
+        assert runs.tolist() == [63, 2, 127]
+        assert decode(runs, width) == bs
+
+    def test_last_bit_of_exact_word_width(self):
+        bs = Bitset.singleton(128, 127)
+        assert encode(bs).tolist() == [127, 1]
+        assert decode(encode(bs), 128) == bs
+
+
+# -- property: encode -> decode -> encode is the identity on runs -----------
+
+_widths = st.integers(min_value=0, max_value=300)
+
+
+@st.composite
+def bitsets(draw):
+    width = draw(_widths)
+    if width == 0:
+        return Bitset.zeros(0)
+    members = draw(st.sets(st.integers(0, width - 1)))
+    return Bitset.from_indices(width, members)
+
+
+@given(bitsets())
+@settings(max_examples=120, deadline=None)
+def test_encode_decode_encode_idempotent(bs):
+    runs = encode(bs)
+    again = encode(decode(runs, bs.nbits))
+    assert np.array_equal(runs, again)
+    assert runs.dtype == again.dtype == np.uint32
+
+
+@given(bitsets())
+@settings(max_examples=120, deadline=None)
+def test_decode_is_left_inverse(bs):
+    assert decode(encode(bs), bs.nbits) == bs
+
+
+@given(bitsets())
+@settings(max_examples=120, deadline=None)
+def test_runs_partition_the_width(bs):
+    runs = encode(bs)
+    assert int(runs.sum()) == bs.nbits
+    # all runs positive except a possibly-empty leading zero-run
+    assert all(r > 0 for r in runs.tolist()[1:])

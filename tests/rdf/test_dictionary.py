@@ -54,3 +54,32 @@ class TestTermDictionary:
         d = TermDictionary()
         d.encode("a")
         assert "1" in repr(d)
+
+    def test_items_in_id_order(self):
+        d = TermDictionary()
+        for term in ("c", "a", "b"):
+            d.encode(term)
+        assert list(d.items()) == [(0, "c"), (1, "a"), (2, "b")]
+
+
+class TestFromTerms:
+    def test_roundtrip_through_items(self):
+        d = TermDictionary()
+        for term in ("x", "y", "z"):
+            d.encode(term)
+        rebuilt = TermDictionary.from_terms(t for _, t in d.items())
+        assert list(rebuilt.terms()) == list(d.terms())
+        for term in ("x", "y", "z"):
+            assert rebuilt.require(term) == d.require(term)
+
+    def test_empty(self):
+        d = TermDictionary.from_terms(())
+        assert len(d) == 0
+
+    def test_duplicate_term_raises_clear_error(self):
+        with pytest.raises(StoreError, match="duplicate term"):
+            TermDictionary.from_terms(["a", "b", "a"])
+
+    def test_duplicate_error_names_both_ids(self):
+        with pytest.raises(StoreError, match="id 2.*id 0"):
+            TermDictionary.from_terms(["a", "b", "a"])

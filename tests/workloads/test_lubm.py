@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.workloads import LUBM_PREDICATES, LUBMConfig, generate_lubm
+from repro.workloads import (
+    LUBM_PREDICATES,
+    LUBMConfig,
+    build_lubm_snapshot,
+    generate_lubm,
+    lubm_snapshot_path,
+    open_lubm,
+)
 
 
 class TestSchema:
@@ -106,3 +113,51 @@ class TestConfig:
         small = generate_lubm(n_universities=1, seed=0)
         large = generate_lubm(n_universities=4, seed=0)
         assert large.n_triples > 2 * small.n_triples
+
+
+class TestBuildOnceOpenMany:
+    CONFIG = dict(n_universities=1, seed=3, spiral_length=4)
+
+    def test_snapshot_path_is_deterministic(self, tmp_path):
+        a = lubm_snapshot_path(tmp_path, LUBMConfig(**self.CONFIG))
+        b = lubm_snapshot_path(tmp_path, LUBMConfig(**self.CONFIG))
+        assert a == b
+        other = lubm_snapshot_path(
+            tmp_path, LUBMConfig(n_universities=2, seed=3, spiral_length=4)
+        )
+        assert other != a
+
+    def test_snapshot_path_keys_on_every_config_field(self, tmp_path):
+        base = lubm_snapshot_path(tmp_path, LUBMConfig(**self.CONFIG))
+        tweaked = lubm_snapshot_path(
+            tmp_path,
+            LUBMConfig(advisor_course_probability=0.0, **self.CONFIG),
+        )
+        assert tweaked != base  # non-headline knobs must not collide
+
+    def test_build_once(self, tmp_path):
+        path = build_lubm_snapshot(tmp_path, **self.CONFIG)
+        assert path.exists()
+        stamp = path.stat().st_mtime_ns
+        again = build_lubm_snapshot(tmp_path, **self.CONFIG)
+        assert again == path
+        assert path.stat().st_mtime_ns == stamp  # not regenerated
+
+    def test_force_rebuilds(self, tmp_path):
+        path = build_lubm_snapshot(tmp_path, **self.CONFIG)
+        content = path.read_bytes()
+        rebuilt = build_lubm_snapshot(tmp_path, force=True, **self.CONFIG)
+        assert rebuilt.read_bytes() == content  # deterministic output
+
+    def test_open_many_matches_generator(self, tmp_path):
+        db = generate_lubm(**self.CONFIG)
+        view = open_lubm(tmp_path, **self.CONFIG)
+        assert view.n_triples == db.n_triples
+        assert set(view.triples()) == set(db.triples())
+        # second open reuses the snapshot file
+        view2 = open_lubm(tmp_path, **self.CONFIG)
+        assert view2.n_triples == db.n_triples
+
+    def test_config_and_overrides_exclusive(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            build_lubm_snapshot(tmp_path, LUBMConfig(), seed=3)

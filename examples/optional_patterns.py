@@ -15,8 +15,7 @@ Walks through the paper's (X2) and (X3) examples:
 Run:  python examples/optional_patterns.py
 """
 
-from repro import PruningPipeline, example_movie_database
-from repro.core import compile_query
+from repro import Database
 from repro.graph import figure5_database
 from repro.sparql import is_well_designed, parse_query
 
@@ -35,38 +34,32 @@ X3 = """
 """
 
 
-def show(title: str, query_text: str, db, db_name: str) -> None:
+def show(title: str, query_text: str, db: Database, db_name: str) -> None:
     print(f"=== {title} ===")
     query = parse_query(query_text)
     print(f"well-designed: {is_well_designed(query.pattern)}")
 
-    [compiled] = compile_query(query_text)
+    [branch] = db.simulate(query_text).branches
     print("system of inequalities:")
-    for line in compiled.soi.describe().splitlines():
+    for line in branch.soi.splitlines():
         print(f"  {line}")
 
-    pipeline = PruningPipeline(db)
-    report = pipeline.run(query_text, name=title)
+    report = db.benchmark(query_text, name=title)
     print(
         f"on {db_name}: {report.result_count} results, "
         f"{report.triples_after_pruning}/{report.triples_total} triples "
         f"kept, pruned == full: {report.results_equal}"
     )
-    for solution in pipeline.evaluate_full(query_text).decoded():
-        rendered = ", ".join(
-            f"{var}={value}" for var, value in sorted(
-                solution.items(), key=lambda kv: kv[0].name
-            )
-        )
-        print(f"  {rendered}")
+    for row in db.query(query_text, mode="full"):
+        print("  " + ", ".join(f"?{k}={v}" for k, v in row.items()))
     print()
 
 
 def main() -> None:
     show("(X2) well-designed OPTIONAL", X2,
-         example_movie_database(), "Fig. 1(a)")
+         Database.from_workload("movies"), "Fig. 1(a)")
     show("(X3) non-well-designed pattern", X3,
-         figure5_database(), "Fig. 5(a)")
+         Database.in_memory(figure5_database()), "Fig. 5(a)")
 
     print("Note how (X3)'s second match binds ?v3/?v4 through the")
     print("mandatory c-edge while the optional b-edge stays unbound —")

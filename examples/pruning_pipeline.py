@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Dual simulation as a per-query pruning mechanism (paper Sect. 5).
 
-Generates an LUBM-like database, then runs the cyclic queries L0-L2
-and the selective queries L3-L5 through the pruning pipeline on both
-engine profiles, printing a Table-3/4-style report.  Reproduces the
-paper's two headline observations at laptop scale:
+Generates an LUBM-like workload session, then runs the cyclic queries
+L0-L2 and the selective queries L3-L5 through
+``Database.benchmark()`` on both engine profiles, printing a
+Table-3/4-style report.  Reproduces the paper's two headline
+observations at laptop scale:
 
 * L1 prunes *least* effectively (dual-simulation false positives from
   students whose degree university differs from their department's),
@@ -16,24 +17,28 @@ paper's two headline observations at laptop scale:
 Run:  python examples/pruning_pipeline.py
 """
 
-from repro import PruningPipeline
+from repro import Database, ExecutionProfile
 from repro.workloads import LUBM_QUERIES, generate_lubm
+
+UNIVERSITIES = 4
 
 
 def main() -> None:
-    db = generate_lubm(n_universities=8, seed=7)
-    print(f"LUBM-like database: {db}\n")
-
-    for profile in ("rdfox-like", "virtuoso-like"):
-        pipeline = PruningPipeline(db, profile=profile)
-        print(f"--- engine profile: {profile} ---")
+    graph = generate_lubm(n_universities=UNIVERSITIES, seed=7)
+    for engine in ("rdfox-like", "virtuoso-like"):
+        db = Database.in_memory(
+            graph, profile=ExecutionProfile(engine=engine)
+        )
+        if engine == "rdfox-like":
+            print(f"LUBM-like session: {db}\n")
+        print(f"--- engine profile: {engine} ---")
         header = (
             f"{'query':6s} {'results':>8s} {'kept':>7s} {'ratio':>7s} "
             f"{'rounds':>6s} {'t_sim':>8s} {'t_full':>8s} {'t_pruned':>9s}"
         )
         print(header)
         for name in sorted(LUBM_QUERIES):
-            report = pipeline.run(LUBM_QUERIES[name], name=name)
+            report = db.benchmark(LUBM_QUERIES[name], name=name)
             assert report.results_equal, name
             print(
                 f"{name:6s} {report.result_count:8d} "

@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's running example, end to end.
+"""Quickstart: the paper's running example through `repro.Database`.
 
-Builds the Fig. 1(a) movie database, runs query (X1) through the
-dual-simulation pruning pipeline, and shows every stage: the system
-of inequalities, the largest dual simulation, the pruned database,
-and the (identical) query answers on the full and pruned stores.
+Five lines get you from nothing to answers::
+
+    from repro import Database
+
+    db = Database.from_workload("movies")
+    for row in db.query("SELECT * WHERE { ?d directed ?m . }"):
+        print(row)
+
+The rest of this script opens the hood on the same session: the
+largest dual simulation behind the pruning (`simulate`), the pruning
+numbers (`query(mode="pruned")`), and the full per-query experiment
+of the paper's tables (`benchmark`).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import PruningPipeline, Variable, example_movie_database
-from repro.core import compile_query, solve
+from repro import Database
 
 X1 = """
     SELECT * WHERE {
@@ -21,40 +28,36 @@ X1 = """
 
 
 def main() -> None:
-    db = example_movie_database()
-    print(f"database: {db}\n")
+    db = Database.from_workload("movies")  # Fig. 1(a), verbatim
+    print(f"session: {db}\n")
 
-    # Stage 1: compile the query to a system of inequalities (Sect. 3).
-    [compiled] = compile_query(X1)
+    # Stage 1+2: compile the query to a system of inequalities and
+    # solve it — the largest dual simulation (Sect. 3, Prop. 2).
+    [branch] = db.simulate(X1).branches
     print("system of inequalities (cf. Fig. 3 of the paper):")
-    print(compiled.soi.describe(), "\n")
+    print(branch.soi)
+    print("\nlargest dual simulation (relation (2) of the paper):")
+    for variable in ("director", "movie", "coworker"):
+        print(f"  ?{variable:9s} -> {list(branch.candidates[variable])}")
+    print(f"  fixpoint: {branch.report.rounds} rounds, "
+          f"{branch.report.evaluations} inequality evaluations\n")
 
-    # Stage 2: solve it — the largest dual simulation (Prop. 2).
-    result = solve(compiled.soi, db)
-    print("largest dual simulation (relation (2) of the paper):")
-    for var_name in ("director", "movie", "coworker"):
-        vid = compiled.mandatory_vid(Variable(var_name))
-        print(f"  ?{var_name:9s} -> {sorted(result.candidates(vid))}")
-    print(f"  fixpoint: {result.report.rounds} rounds, "
-          f"{result.report.evaluations} inequality evaluations\n")
+    # Stage 3: prune and evaluate (Sect. 5).  mode="pruned" runs the
+    # dual-simulation pruning stage in front of the join engine.
+    result = db.query(X1, mode="pruned")
+    summary = result.pruning
+    print(f"pruning: {summary.triples_total} triples -> "
+          f"{summary.triples_after} "
+          f"({100 * summary.ratio:.0f}% disqualified)")
 
-    # Stage 3: prune and evaluate (Sect. 5).
-    pipeline = PruningPipeline(db)
-    report = pipeline.run(X1, name="X1")
-    print(f"pruning: {report.triples_total} triples -> "
-          f"{report.triples_after_pruning} "
-          f"({100 * report.prune_ratio:.0f}% disqualified)")
+    # Theorem 2: pruning preserves the answers.
+    report = db.benchmark(X1, name="X1")
     print(f"results: {report.result_count} matches; "
           f"pruned evaluation identical to full: {report.results_equal}\n")
 
     print("answers:")
-    for solution in pipeline.evaluate_full(X1).decoded():
-        rendered = ", ".join(
-            f"{var}={value}" for var, value in sorted(
-                solution.items(), key=lambda kv: kv[0].name
-            )
-        )
-        print(f"  {rendered}")
+    for row in result:
+        print("  " + ", ".join(f"?{k}={v}" for k, v in row.items()))
 
 
 if __name__ == "__main__":

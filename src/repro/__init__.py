@@ -9,19 +9,33 @@ and the LUBM-like / DBpedia-like workloads of the evaluation.
 
 Quickstart::
 
-    from repro import (
-        example_movie_database, parse_query, PruningPipeline,
-    )
+    from repro import Database
 
-    db = example_movie_database()
-    pipeline = PruningPipeline(db)
-    report = pipeline.run(
+    db = Database.from_workload("movies")
+    for row in db.query(
         "SELECT * WHERE { ?director directed ?movie . "
         "?director worked_with ?coworker . }"
-    )
-    print(report.result_count, report.triples_after_pruning)
+    ):
+        print(row)
+
+:class:`Database` is the session façade: construct it over any
+storage backend (``in_memory``, ``open`` a snapshot, ``from_triples``,
+``from_ntriples``, ``from_workload``), tune execution via
+:class:`ExecutionProfile`, and stream answers from a lazily-decoded
+:class:`ResultSet`.  The component classes (solver, pipeline, engine,
+stores) remain importable for paper-level experiments.
 """
 
+from repro.api import (
+    Database,
+    DatabaseStats,
+    ExecutionProfile,
+    GraphBackend,
+    InMemoryBackend,
+    ResultSet,
+    SimulationOutcome,
+    SnapshotBackend,
+)
 from repro.bitvec import Bitset, LabelMatrixPair
 from repro.core import (
     SolverOptions,
@@ -51,6 +65,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # session façade
+    "Database",
+    "DatabaseStats",
+    "ExecutionProfile",
+    "ResultSet",
+    "SimulationOutcome",
+    "GraphBackend",
+    "InMemoryBackend",
+    "SnapshotBackend",
     # graphs
     "Graph",
     "GraphDatabase",

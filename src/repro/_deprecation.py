@@ -1,0 +1,31 @@
+"""Warn-once registry for the pre-``repro.Database`` entry points.
+
+Every deprecated constructor funnels through :func:`deprecated_call`
+with a stable key, so a long-running process (a server, a bench loop,
+a test session) sees each migration hint exactly once instead of once
+per call.  The registry is process-global on purpose: the warning is
+advice to a human, not a per-call-site diagnostic.
+
+This module must stay dependency-free — it is imported by the graph,
+store, and pipeline layers, which :mod:`repro.api` sits on top of.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_WARNED: Set[str] = set()
+
+
+def deprecated_call(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` the first time only."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_registry() -> None:
+    """Forget which warnings fired (test isolation helper)."""
+    _WARNED.clear()

@@ -1,0 +1,48 @@
+"""Public session API: the `Database` façade over pluggable backends.
+
+Entry points::
+
+    Database.open("data.snap")              # snapshot store session
+    Database.in_memory(graph_db)            # in-memory session
+    Database.from_triples([...])            # build from triples
+    Database.from_ntriples("data.nt")       # parse N-Triples
+    Database.from_workload("lubm", scale=2) # synthetic workloads
+
+Sessions expose ``query()`` / ``ask()`` / ``explain()`` /
+``simulate()`` / ``stats()``; execution knobs travel in an
+:class:`ExecutionProfile`; storage connectors implement the
+:class:`GraphBackend` protocol.
+"""
+
+from repro.api.backend import (
+    GraphBackend,
+    InMemoryBackend,
+    SnapshotBackend,
+)
+from repro.api.database import (
+    Database,
+    DatabaseStats,
+    clear_open_cache,
+)
+from repro.api.profile import PRUNING_MODES, ExecutionProfile
+from repro.api.result import (
+    BranchSimulation,
+    PruneSummary,
+    ResultSet,
+    SimulationOutcome,
+)
+
+__all__ = [
+    "Database",
+    "DatabaseStats",
+    "ExecutionProfile",
+    "PRUNING_MODES",
+    "GraphBackend",
+    "InMemoryBackend",
+    "SnapshotBackend",
+    "ResultSet",
+    "PruneSummary",
+    "SimulationOutcome",
+    "BranchSimulation",
+    "clear_open_cache",
+]

@@ -1,0 +1,224 @@
+"""The storage contract behind a :class:`~repro.api.database.Database`.
+
+:class:`GraphBackend` is the single protocol the query layers consume:
+
+* the SOI solver and the pruning stage read adjacency through
+  :attr:`GraphBackend.graph` (``matrices()`` / ``n_nodes`` /
+  ``node_name`` / ``nodes_bitset`` ...);
+* the join engine reads dictionary-encoded indexes through
+  :meth:`GraphBackend.triple_store`;
+* reporting reads :meth:`GraphBackend.residency` and
+  :meth:`GraphBackend.stats`.
+
+Two implementations cover the reproduction's storage modes —
+:class:`InMemoryBackend` over a :class:`~repro.graph.database.GraphDatabase`
+and :class:`SnapshotBackend` over the on-disk snapshot store
+(:class:`~repro.storage.SnapshotReader` + tiered residency).  Because
+both satisfy the same contract, :class:`~repro.pipeline.PruningPipeline`
+and :class:`~repro.store.engine.QueryEngine` no longer special-case
+memory vs snapshot, and future connectors (sharded snapshots, a
+mutable overlay, a remote store) slot in without touching the query
+layers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import (
+    Dict,
+    Hashable,
+    Iterator,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+from repro.graph.database import GraphDatabase
+from repro.storage.reader import SnapshotReader
+from repro.storage.tiered import ResidencyReport, TieredGraphView
+from repro.store.triple_store import TripleStore
+
+NameTriple = Tuple[Hashable, str, Hashable]
+
+
+@runtime_checkable
+class GraphBackend(Protocol):
+    """What a storage connector must provide to power a session."""
+
+    #: Stable connector kind (``"memory"``, ``"snapshot"``, ...).
+    kind: str
+
+    @property
+    def graph(self):
+        """Solver-facing adjacency view: an object with the
+        :class:`~repro.graph.graph.Graph` read interface
+        (``n_nodes``, ``labels``, ``matrices()``, ``node_name``,
+        ``node_index``, ``has_node``, ``nodes_bitset``)."""
+        ...
+
+    def triple_store(self) -> TripleStore:
+        """Dictionary-encoded indexes for the join engine (may be
+        built lazily on first call)."""
+        ...
+
+    @property
+    def n_nodes(self) -> int: ...
+
+    @property
+    def n_triples(self) -> int: ...
+
+    @property
+    def labels(self) -> Set[str]: ...
+
+    def triples(self) -> Iterator[NameTriple]:
+        """Iterate all name-level triples (no residency side effects)."""
+        ...
+
+    def residency(self) -> Optional[ResidencyReport]:
+        """Hot/cold residency of the backing storage, or ``None`` when
+        the notion does not apply (fully in-memory)."""
+        ...
+
+    def stats(self) -> Dict[str, object]:
+        """Flat, JSON-friendly description of the backend."""
+        ...
+
+    def close(self) -> None: ...
+
+
+class InMemoryBackend:
+    """Backend over a fully materialized :class:`GraphDatabase`.
+
+    The join-engine store is built lazily on first
+    :meth:`triple_store` call, so solver-only sessions (``simulate``)
+    never pay for the dictionary-encoded indexes.  ``graph_db`` may be
+    any object with the :class:`~repro.graph.graph.Graph` read
+    interface and ``triples()`` (a :class:`GraphDatabase`, a
+    :class:`~repro.storage.TieredGraphView`, ...).
+    """
+
+    kind = "memory"
+
+    def __init__(self, graph_db=None, store: Optional[TripleStore] = None):
+        if graph_db is None:
+            graph_db = (
+                store.to_graph_database()
+                if store is not None else GraphDatabase()
+            )
+        self._graph = graph_db
+        self._store = store
+
+    @property
+    def graph(self):
+        return self._graph
+
+    def triple_store(self) -> TripleStore:
+        if self._store is None:
+            self._store = TripleStore.from_graph_database(self._graph)
+        return self._store
+
+    @property
+    def n_nodes(self) -> int:
+        return self._graph.n_nodes
+
+    @property
+    def n_triples(self) -> int:
+        return self._graph.n_triples
+
+    @property
+    def labels(self) -> Set[str]:
+        return set(self._graph.labels)
+
+    def triples(self) -> Iterator[NameTriple]:
+        return self._graph.triples()
+
+    def residency(self) -> Optional[ResidencyReport]:
+        return None
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "n_triples": self.n_triples,
+            "n_nodes": self.n_nodes,
+            "n_labels": len(self.labels),
+        }
+
+    def close(self) -> None:  # nothing to release
+        return None
+
+    def __repr__(self) -> str:
+        return f"InMemoryBackend({self._graph!r})"
+
+
+class SnapshotBackend:
+    """Backend over an on-disk snapshot (``repro-snap/v1``).
+
+    The solver side is a :class:`TieredGraphView` — hot labels
+    resident from open, cold labels promoted on first query touch.
+    The join-engine store is decoded from the snapshot's blocks
+    lazily, on the first :meth:`triple_store` call, so sessions that
+    only solve/prune open in milliseconds.
+    """
+
+    kind = "snapshot"
+
+    def __init__(self, source: Union[str, Path, SnapshotReader]):
+        reader = (
+            source if isinstance(source, SnapshotReader)
+            else SnapshotReader(source)
+        )
+        self.reader = reader
+        self.path: Path = reader.path
+        self._view = TieredGraphView(reader)
+        self._store: Optional[TripleStore] = None
+
+    @property
+    def graph(self) -> TieredGraphView:
+        return self._view
+
+    def triple_store(self) -> TripleStore:
+        if self._store is None:
+            self._store = TripleStore._from_snapshot_reader(self.reader)
+        return self._store
+
+    @property
+    def n_nodes(self) -> int:
+        return self.reader.n_nodes
+
+    @property
+    def n_triples(self) -> int:
+        return self.reader.n_triples
+
+    @property
+    def labels(self) -> Set[str]:
+        return self._view.labels
+
+    def triples(self) -> Iterator[NameTriple]:
+        return self.reader.iter_triples()
+
+    def residency(self) -> ResidencyReport:
+        return self._view.residency()
+
+    def stats(self) -> Dict[str, object]:
+        residency = self.residency()
+        return {
+            "kind": self.kind,
+            "path": str(self.path),
+            "n_triples": self.n_triples,
+            "n_nodes": self.n_nodes,
+            "n_labels": len(self.labels),
+            "hot_labels": residency.hot_labels,
+            "cold_labels": residency.cold_labels,
+            "promotions": residency.promotions,
+            "resident_bytes": residency.resident_bytes,
+            "on_disk_bytes": residency.on_disk_bytes,
+        }
+
+    def close(self) -> None:
+        self.reader.close()
+
+    def __repr__(self) -> str:
+        return f"SnapshotBackend({self.path.name!r}, {self._view!r})"

@@ -1,0 +1,450 @@
+"""`repro.Database` — the one entry point for query sessions.
+
+The paper's pipeline (parse -> compile to SOI -> solve -> prune ->
+join-evaluate, Sect. 5) used to require hand-wiring four classes and
+an environment variable.  The façade collapses that into::
+
+    from repro import Database
+
+    db = Database.from_workload("lubm", scale=2)
+    for row in db.query("SELECT * WHERE { ?s advisor ?p . }"):
+        print(row)
+
+Construction picks the storage backend (`in_memory`, `open` a
+snapshot, `from_triples`, `from_ntriples`, `from_workload`); an
+:class:`~repro.api.profile.ExecutionProfile` carries every execution
+knob; results stream out of a lazily-decoded
+:class:`~repro.api.result.ResultSet`.  Everything underneath speaks
+the :class:`~repro.api.backend.GraphBackend` protocol, so the same
+session code runs over memory or snapshot storage byte-identically.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.api.backend import (
+    GraphBackend,
+    InMemoryBackend,
+    NameTriple,
+    SnapshotBackend,
+)
+from repro.api.profile import ExecutionProfile
+from repro.api.result import (
+    BranchSimulation,
+    PruneSummary,
+    ResultSet,
+    SimulationOutcome,
+)
+from repro.errors import ReproError
+from repro.storage.tiered import ResidencyReport
+
+ProfileLike = Union[ExecutionProfile, str, None]
+
+#: Snapshot backends shared across `Database.open(..., cached=True)`
+#: calls, keyed by (resolved path, mtime_ns, size) so a rebuilt
+#: snapshot never serves stale blocks.
+_OPEN_CACHE: Dict[Tuple[str, int, int], SnapshotBackend] = {}
+
+
+def clear_open_cache() -> None:
+    """Close and forget every cached snapshot backend."""
+    while _OPEN_CACHE:
+        _, backend = _OPEN_CACHE.popitem()
+        backend.close()
+
+
+@dataclass
+class DatabaseStats:
+    """`Database.stats()` — one flat snapshot of a session."""
+
+    backend: str
+    n_triples: int
+    n_nodes: int
+    n_labels: int
+    profile: ExecutionProfile
+    path: Optional[Path] = None
+    residency: Optional[ResidencyReport] = None
+
+    @property
+    def within_residency_budget(self) -> Optional[bool]:
+        """None when no budget (or no residency notion) applies."""
+        budget = self.profile.residency_budget
+        if budget is None or self.residency is None:
+            return None
+        return self.residency.resident_bytes <= budget
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "backend": self.backend,
+            "n_triples": self.n_triples,
+            "n_nodes": self.n_nodes,
+            "n_labels": self.n_labels,
+            "engine": self.profile.engine,
+            "pruning": self.profile.pruning,
+            "kernel": self.profile.resolved_kernel(),
+        }
+        if self.path is not None:
+            out["path"] = str(self.path)
+        if self.residency is not None:
+            out["residency"] = {
+                "hot_labels": self.residency.hot_labels,
+                "cold_labels": self.residency.cold_labels,
+                "promotions": self.residency.promotions,
+                "resident_bytes": self.residency.resident_bytes,
+                "on_disk_bytes": self.residency.on_disk_bytes,
+            }
+        if self.profile.residency_budget is not None:
+            out["residency_budget"] = self.profile.residency_budget
+            out["within_residency_budget"] = self.within_residency_budget
+        return out
+
+
+class Database:
+    """A query session over one :class:`GraphBackend`."""
+
+    def __init__(self, backend: GraphBackend, profile: ProfileLike = None):
+        self.backend = backend
+        self.profile = ExecutionProfile.coerce(profile)
+        self._pipeline = None
+        self._advisor = None
+        self._budget_warned = False
+        self._cache_key: Optional[Tuple[str, int, int]] = None
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        profile: ProfileLike = None,
+        cached: bool = True,
+    ) -> "Database":
+        """Open a snapshot file built by ``repro db build``.
+
+        With ``cached`` (the default), snapshot backends are shared
+        process-wide per (path, mtime, size): repeated opens of the
+        same file reuse the mmap, the tiered view (already-promoted
+        labels included), and the lazily built join-engine store
+        instead of rebuilding them per call.
+        """
+        path = Path(path)
+        key: Optional[Tuple[str, int, int]] = None
+        if cached:
+            try:
+                stat = path.stat()
+                key = (str(path.resolve()), stat.st_mtime_ns, stat.st_size)
+            except OSError:
+                key = None  # let SnapshotReader raise its own error
+        backend = _OPEN_CACHE.get(key) if key is not None else None
+        if backend is None:
+            backend = SnapshotBackend(path)
+            if key is not None:
+                _OPEN_CACHE[key] = backend
+        db = cls(backend, profile)
+        db._cache_key = key
+        return db
+
+    @classmethod
+    def in_memory(cls, db=None, profile: ProfileLike = None) -> "Database":
+        """Wrap a :class:`~repro.graph.database.GraphDatabase` (or
+        start empty) as an in-memory session."""
+        return cls(InMemoryBackend(db), profile)
+
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[NameTriple],
+        profile: ProfileLike = None,
+    ) -> "Database":
+        """Build an in-memory session from (subject, predicate,
+        object) triples."""
+        from repro.graph.database import GraphDatabase
+
+        return cls.in_memory(GraphDatabase.from_triples(triples), profile)
+
+    @classmethod
+    def from_ntriples(
+        cls, source: Union[str, Path], profile: ProfileLike = None
+    ) -> "Database":
+        """Parse an N-Triples file (or text) into an in-memory
+        session."""
+        from repro.graph.io import load_ntriples
+
+        return cls.in_memory(load_ntriples(source), profile)
+
+    @classmethod
+    def from_workload(
+        cls,
+        name: str,
+        scale: int = 1,
+        profile: ProfileLike = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        seed: Optional[int] = None,
+        **overrides,
+    ) -> "Database":
+        """Generate one of the evaluation workloads.
+
+        ``name`` is ``"lubm"`` (``scale`` = universities),
+        ``"dbpedia"`` (``scale`` = entity multiplier) or ``"movies"``
+        (the fixed Fig. 1(a) database).  Extra ``overrides`` go to the
+        generator config.  For LUBM, passing ``cache_dir`` switches to
+        the build-once/open-many path: the workload is serialized to a
+        snapshot under that directory on first use and every later
+        call is a cheap snapshot open.
+        """
+        kind = name.lower()
+        if seed is not None:
+            overrides["seed"] = seed
+        if kind == "lubm":
+            from repro.workloads import build_lubm_snapshot, generate_lubm
+
+            overrides.setdefault("n_universities", scale)
+            if cache_dir is not None:
+                path = build_lubm_snapshot(cache_dir, **overrides)
+                return cls.open(path, profile)
+            return cls.in_memory(generate_lubm(**overrides), profile)
+        if cache_dir is not None:
+            raise ReproError(
+                f"cache_dir is only supported for the 'lubm' workload, "
+                f"not {name!r}"
+            )
+        if kind == "dbpedia":
+            from repro.workloads import generate_dbpedia
+
+            overrides.setdefault("scale", scale)
+            return cls.in_memory(generate_dbpedia(**overrides), profile)
+        if kind == "movies":
+            if overrides or scale != 1:
+                raise ReproError(
+                    "the 'movies' workload is the fixed Fig. 1(a) "
+                    "database and takes no scale/seed/overrides"
+                )
+            from repro.graph.database import example_movie_database
+
+            return cls.in_memory(example_movie_database(), profile)
+        raise ReproError(
+            f"unknown workload {name!r}; choose from "
+            f"('lubm', 'dbpedia', 'movies')"
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _pipeline_for(self):
+        if self._pipeline is None:
+            from repro.pipeline.pruned_query import PruningPipeline
+
+            self._pipeline = PruningPipeline(
+                profile=self.profile.engine,
+                solver_options=self.profile.solver,
+                backend=self.backend,
+            )
+        return self._pipeline
+
+    def _engine(self):
+        return self._pipeline_for().engine
+
+    def advise(self, query):
+        """The Sect. 5.3 statistics advisor's verdict for one query
+        under this session's engine profile."""
+        if self._advisor is None:
+            from repro.pipeline.advisor import PruningAdvisor
+
+            self._advisor = PruningAdvisor(self.backend.triple_store())
+        return self._advisor.advise(query, self.profile.engine)
+
+    def _check_budget(self) -> None:
+        budget = self.profile.residency_budget
+        if budget is None or self._budget_warned:
+            return
+        residency = self.backend.residency()
+        if residency is not None and residency.resident_bytes > budget:
+            self._budget_warned = True
+            warnings.warn(
+                f"resident packed blocks ({residency.resident_bytes} B) "
+                f"exceed the profile's residency budget ({budget} B)",
+                ResourceWarning,
+                stacklevel=3,
+            )
+
+    # -- query surface ----------------------------------------------------
+
+    def query(
+        self,
+        query,
+        mode: Optional[str] = None,
+        ) -> ResultSet:
+        """Evaluate a SELECT query; returns a streaming
+        :class:`ResultSet`.
+
+        ``mode`` overrides the profile's pruning mode for this call:
+        ``"full"`` goes straight to the join engine, ``"pruned"``
+        prunes via dual simulation first (Theorem 2 preserves all
+        answers; non-well-designed OPTIONALs may gain overapproximated
+        ones, as in the paper), ``"auto"`` asks the advisor.
+        """
+        mode = mode or self.profile.pruning
+        if mode not in ("pruned", "full", "auto"):
+            raise ReproError(
+                f"unknown query mode {mode!r}; choose from "
+                f"('pruned', 'full', 'auto')"
+            )
+        advised = False
+        with self.profile.kernel_context():
+            if mode == "auto":
+                mode = "pruned" if self.advise(query).recommended else "full"
+                advised = True
+            pipeline = self._pipeline_for()
+            if mode == "full":
+                result = pipeline.evaluate_full(query)
+                summary = None
+            else:
+                result, outcome = pipeline.evaluate_pruned(query)
+                summary = PruneSummary(
+                    triples_total=self.backend.n_triples,
+                    triples_after=outcome.triples_after_pruning,
+                    rounds=outcome.total_rounds,
+                    t_simulation=outcome.t_simulation,
+                )
+        self._check_budget()
+        return ResultSet(result, mode=mode, pruning=summary, advised=advised)
+
+    def ask(self, query) -> bool:
+        """ASK semantics with the dual-simulation fast path (an empty
+        simulation answers 'no' without touching the join engine)."""
+        with self.profile.kernel_context():
+            answer = self._pipeline_for().ask(query)
+        self._check_budget()
+        return answer
+
+    def simulate(self, query) -> SimulationOutcome:
+        """Compile the query to systems of inequalities and compute
+        the largest dual simulation per union branch (Sect. 3/4).
+
+        Runs entirely on the solver side of the backend — a snapshot
+        session promotes only the labels the query touches and never
+        builds the join-engine store.
+        """
+        from repro.core.compiler import compile_query
+        from repro.core.solver import solve
+
+        branches = []
+        with self.profile.kernel_context():
+            for number, compiled in enumerate(compile_query(query)):
+                solved = solve(
+                    compiled.soi, self.backend.graph, self.profile.solver
+                )
+                candidates: Dict[str, Tuple[Hashable, ...]] = {}
+                for variable in sorted(compiled.variables(), key=str):
+                    names: Set[Hashable] = set()
+                    for vid in compiled.all_vids(variable):
+                        names |= solved.candidates(vid)
+                    candidates[variable.name] = tuple(
+                        sorted(names, key=str)
+                    )
+                branches.append(
+                    BranchSimulation(
+                        index=number,
+                        soi=compiled.soi.describe(),
+                        report=solved.report,
+                        candidates=candidates,
+                    )
+                )
+        self._check_budget()
+        return SimulationOutcome(branches)
+
+    def explain(self, query) -> str:
+        """Human-readable account of how this session would run the
+        query: backend, pruning decision, then the join engine's plan."""
+        stats = self.backend.stats()
+        lines = [
+            f"backend: {self.backend.kind} "
+            f"({stats['n_triples']} triples, {stats['n_nodes']} nodes, "
+            f"{stats['n_labels']} labels)"
+        ]
+        mode = self.profile.pruning
+        if mode == "auto":
+            advice = self.advise(query)
+            decision = "pruned" if advice.recommended else "full"
+            lines.append(
+                f"pruning: auto -> {decision} "
+                f"(est. join work {advice.estimated_join_work:.0f} vs "
+                f"simulation {advice.estimated_simulation_work:.0f})"
+            )
+        else:
+            lines.append(f"pruning: {mode}")
+        lines.append(self._engine().explain(query))
+        return "\n".join(lines)
+
+    def benchmark(self, query, name: str = "query"):
+        """Run the paper's full per-query experiment (full vs pruned
+        evaluation, Tables 3-5); returns a
+        :class:`~repro.pipeline.PipelineReport`."""
+        with self.profile.kernel_context():
+            report = self._pipeline_for().run(query, name=name)
+        self._check_budget()
+        return report
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def n_triples(self) -> int:
+        return self.backend.n_triples
+
+    @property
+    def n_nodes(self) -> int:
+        return self.backend.n_nodes
+
+    @property
+    def labels(self) -> Set[str]:
+        return self.backend.labels
+
+    def triples(self) -> Iterator[NameTriple]:
+        return self.backend.triples()
+
+    def stats(self) -> DatabaseStats:
+        return DatabaseStats(
+            backend=self.backend.kind,
+            n_triples=self.backend.n_triples,
+            n_nodes=self.backend.n_nodes,
+            n_labels=len(self.backend.labels),
+            profile=self.profile,
+            path=getattr(self.backend, "path", None),
+            residency=self.backend.residency(),
+        )
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (and evict a cached snapshot
+        backend from the open-cache)."""
+        if self._cache_key is not None:
+            _OPEN_CACHE.pop(self._cache_key, None)
+            self._cache_key = None
+        self.backend.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(backend={self.backend.kind}, "
+            f"triples={self.backend.n_triples}, "
+            f"engine={self.profile.engine!r}, "
+            f"pruning={self.profile.pruning!r})"
+        )

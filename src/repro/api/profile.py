@@ -1,0 +1,135 @@
+"""Execution configuration for a :class:`~repro.api.database.Database`.
+
+Before the façade, running a query meant scattering configuration
+across an environment variable (``REPRO_KERNEL``), a positional
+engine-profile string, ``SolverOptions`` kwargs, and the choice of
+constructor (pruned pipeline vs bare engine).  :class:`ExecutionProfile`
+collects all of it in one immutable value object that travels with the
+session.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro._deprecation import deprecated_call
+from repro.bitvec.kernel import KERNELS, active_kernel, use_kernel
+from repro.core.solver import SolverOptions
+from repro.errors import ReproError
+from repro.store.engine import PROFILES
+
+#: Query execution modes (``ExecutionProfile.pruning``).
+PRUNING_MODES = ("pruned", "full", "auto")
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """How a session executes queries.
+
+    * ``engine`` — join-engine profile (``rdfox-like`` materializes,
+      ``virtuoso-like`` propagates bindings), as in Tables 4/5;
+    * ``pruning`` — whether :meth:`Database.query` prunes via dual
+      simulation first: ``"pruned"`` always, ``"full"`` never,
+      ``"auto"`` per query on the statistics advisor's verdict
+      (the paper's Sect. 5.3 guideline);
+    * ``kernel`` — bit-matrix product kernel (``packed`` or
+      ``reference``); ``None`` defers to the process default, which
+      still honors the deprecated ``REPRO_KERNEL`` variable;
+    * ``solver`` — SOI fixpoint strategy knobs (Sect. 3.3);
+    * ``residency_budget`` — advisory ceiling, in bytes, on resident
+      packed blocks for snapshot-backed sessions; ``Database.stats()``
+      reports whether the session is within it.
+    """
+
+    engine: str = "virtuoso-like"
+    pruning: str = "auto"
+    kernel: Optional[str] = None
+    solver: SolverOptions = field(default_factory=SolverOptions)
+    residency_budget: Optional[int] = None
+
+    def __post_init__(self):
+        if self.engine not in PROFILES:
+            raise ReproError(
+                f"unknown engine profile {self.engine!r}; "
+                f"choose from {sorted(PROFILES)}"
+            )
+        if self.pruning not in PRUNING_MODES:
+            raise ReproError(
+                f"unknown pruning mode {self.pruning!r}; "
+                f"choose from {PRUNING_MODES}"
+            )
+        if self.kernel is not None and self.kernel not in KERNELS:
+            raise ReproError(
+                f"unknown kernel {self.kernel!r}; choose from {KERNELS}"
+            )
+        if (
+            self.residency_budget is not None
+            and self.residency_budget < 0
+        ):
+            raise ReproError("residency_budget must be >= 0")
+
+    @classmethod
+    def coerce(
+        cls, profile: Union["ExecutionProfile", str, None]
+    ) -> "ExecutionProfile":
+        """Normalize the ``profile=`` argument of the façade.
+
+        ``None`` means defaults; a string names an engine profile (the
+        most common single override); an :class:`ExecutionProfile`
+        passes through.
+        """
+        if profile is None:
+            return cls()
+        if isinstance(profile, ExecutionProfile):
+            return profile
+        if isinstance(profile, str):
+            return cls(engine=profile)
+        raise ReproError(
+            f"cannot build an ExecutionProfile from {profile!r}"
+        )
+
+    def replace(self, **changes) -> "ExecutionProfile":
+        """A copy with the given fields changed."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)
+
+    def resolved_kernel(self) -> str:
+        """The kernel queries will actually run on.
+
+        Explicit ``kernel`` wins; otherwise the process-active kernel.
+        The deprecated ``REPRO_KERNEL`` variable already shaped the
+        process default at import time (that is the fallback), so here
+        it only triggers the one-time :class:`DeprecationWarning` —
+        it must not override a later, explicit
+        :func:`~repro.bitvec.kernel.set_kernel` call.
+        """
+        if self.kernel is not None:
+            return self.kernel
+        if os.environ.get("REPRO_KERNEL"):
+            deprecated_call(
+                "env:REPRO_KERNEL",
+                "the REPRO_KERNEL environment variable is deprecated; "
+                "pass ExecutionProfile(kernel=...) or the --kernel CLI "
+                "flag instead",
+            )
+        return active_kernel()
+
+    @contextlib.contextmanager
+    def kernel_context(self) -> Iterator[str]:
+        """Activate this profile's kernel for the duration of a query.
+
+        When no kernel is pinned and the deprecated environment
+        variable is unset, the process-level selection (set via
+        :func:`repro.bitvec.kernel.set_kernel`/``use_kernel``) is left
+        untouched.
+        """
+        resolved = self.resolved_kernel()
+        if resolved == active_kernel():
+            yield resolved
+        else:
+            with use_kernel(resolved) as name:
+                yield name

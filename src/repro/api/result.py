@@ -1,0 +1,175 @@
+"""Result objects returned by the :class:`~repro.api.database.Database`.
+
+:class:`ResultSet` is a lazily-decoded view over a query execution:
+solution modifiers (ORDER BY / DISTINCT / LIMIT) are applied on first
+access, and id-to-name decoding happens row by row during iteration,
+so consuming the first k rows of a large result never decodes the
+rest.  Decoded rows are plain ``{variable_name: value}`` dicts —
+independent of which backend produced them, which is what makes
+answers comparable across storage modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.core.solver import SolverReport
+from repro.store.engine import QueryResult
+
+#: One decoded solution: variable name (no ``?``) -> node name/Literal.
+Row = Dict[str, Hashable]
+
+
+@dataclass(frozen=True)
+class PruneSummary:
+    """What the dual-simulation stage did for one query."""
+
+    triples_total: int
+    triples_after: int
+    rounds: int
+    t_simulation: float
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of the database disqualified (0.0 when empty)."""
+        if self.triples_total == 0:
+            return 0.0
+        return 1.0 - self.triples_after / self.triples_total
+
+
+class ResultSet:
+    """Streaming, lazily-decoded solutions of one query execution.
+
+    Iterate to get decoded rows one at a time; ``len()`` / ``rows()``
+    force the full set.  ``mode`` records how the query actually ran
+    (``"full"`` or ``"pruned"``), ``advised`` whether the auto mode's
+    advisor made that call, and ``pruning`` carries the prune-stage
+    numbers when pruning ran.
+    """
+
+    def __init__(
+        self,
+        result: QueryResult,
+        mode: str,
+        pruning: Optional[PruneSummary] = None,
+        advised: bool = False,
+    ):
+        self._result = result
+        self.mode = mode
+        self.pruning = pruning
+        self.advised = advised
+        self._solutions = None  # projected/ordered, still id-encoded
+
+    # -- lazy plumbing ----------------------------------------------------
+
+    def _projected(self):
+        if self._solutions is None:
+            self._solutions = self._result.solutions
+        return self._solutions
+
+    def __iter__(self) -> Iterator[Row]:
+        decode = self._result.store.nodes.decode
+        for mu in self._projected():
+            yield {
+                var.name: decode(value)
+                for var, value in sorted(
+                    mu.items(), key=lambda kv: kv[0].name
+                )
+            }
+
+    def __len__(self) -> int:
+        return len(self._projected())
+
+    def __bool__(self) -> bool:
+        return bool(self._projected())
+
+    # -- materializing accessors -----------------------------------------
+
+    def rows(self) -> List[Row]:
+        """All decoded rows (forces full decoding)."""
+        return list(self)
+
+    def first(self) -> Optional[Row]:
+        """The first decoded row, or ``None`` when empty."""
+        return next(iter(self), None)
+
+    def as_set(self) -> Set[Tuple[Tuple[str, Hashable], ...]]:
+        """Canonical, order-insensitive, backend-independent form —
+        two executions answered identically iff their ``as_set()``
+        values are equal."""
+        return self._result.as_set()
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """Variable names bound in at least one solution, sorted."""
+        names: Set[str] = set()
+        for mu in self._projected():
+            names.update(var.name for var in mu)
+        return tuple(sorted(names))
+
+    @property
+    def elapsed(self) -> float:
+        """Join-engine evaluation time in seconds."""
+        return self._result.elapsed
+
+    @property
+    def raw(self) -> QueryResult:
+        """The underlying engine result (id-encoded, store-bound)."""
+        return self._result
+
+    def __repr__(self) -> str:
+        pruned = (
+            f", pruned {self.pruning.triples_total}->"
+            f"{self.pruning.triples_after}"
+            if self.pruning is not None else ""
+        )
+        return (
+            f"ResultSet({len(self)} solutions, mode={self.mode!r}"
+            f"{pruned})"
+        )
+
+
+@dataclass
+class BranchSimulation:
+    """Largest dual simulation of one union-free branch."""
+
+    index: int
+    soi: str                       # human-readable SOI (Fig. 3 style)
+    report: SolverReport
+    #: variable name (no ``?``) -> candidate node names, sorted.
+    candidates: Dict[str, Tuple[Hashable, ...]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def is_empty(self) -> bool:
+        return all(not names for names in self.candidates.values())
+
+
+@dataclass
+class SimulationOutcome:
+    """`Database.simulate()` result: one entry per union branch."""
+
+    branches: List[BranchSimulation]
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff every branch's simulation is empty — the paper's
+        Sect. 5 fast path ('no further query evaluation needed')."""
+        return all(branch.is_empty for branch in self.branches)
+
+    def candidates(self, variable: str) -> Tuple[Hashable, ...]:
+        """Union of a variable's candidates across branches."""
+        names: Set[Hashable] = set()
+        for branch in self.branches:
+            names.update(branch.candidates.get(variable, ()))
+        return tuple(sorted(names, key=str))

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.api.backend import SnapshotBackend
 from repro.bench.reporting import render_table
 from repro.graph.io import load_ntriples, save_ntriples
 from repro.pipeline.pruned_query import PruningPipeline
@@ -105,8 +106,8 @@ def run_storage_bench(
         view = TieredGraphView(snap_path)
         t_cold_open_view = time.perf_counter() - start
         start = time.perf_counter()
-        snap_pipeline = PruningPipeline.from_snapshot(
-            snap_path, profile=profile
+        snap_pipeline = PruningPipeline(
+            profile=profile, backend=SnapshotBackend(snap_path)
         )
         t_cold_open_pipeline = time.perf_counter() - start
         snap_view = snap_pipeline.db

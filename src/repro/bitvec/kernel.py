@@ -16,7 +16,10 @@ coexist:
 The active kernel is read from the ``REPRO_KERNEL`` environment
 variable at import time (unset means packed; any other value must
 name a known kernel — typos raise, so an ablation never silently
-measures the wrong implementation) and can be changed at runtime with
+measures the wrong implementation).  The variable is deprecated in
+favour of ``repro.ExecutionProfile(kernel=...)`` / the ``--kernel``
+CLI flag and warns once when set.  The kernel can be changed at
+runtime with
 :func:`set_kernel` or the :func:`use_kernel` context manager.  The
 switch is consulted on every product call, so matrices built under
 one kernel answer correctly under the other — the packed layout is an
@@ -43,6 +46,14 @@ def _kernel_from_env() -> str:
             f"REPRO_KERNEL={value!r} is not a known kernel; "
             f"choose from {KERNELS}"
         )
+    from repro._deprecation import deprecated_call
+
+    deprecated_call(
+        "env:REPRO_KERNEL",
+        "the REPRO_KERNEL environment variable is deprecated; pass "
+        "ExecutionProfile(kernel=...) or the --kernel CLI flag "
+        "instead",
+    )
     return value
 
 

@@ -1,5 +1,10 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every command sits on the :class:`repro.Database` session façade —
+the CLI builds a database (from N-Triples text, a snapshot, or a
+generator), an :class:`repro.ExecutionProfile` (engine profile,
+pruning mode, product kernel), and calls the façade.
+
 Commands:
 
 * ``generate`` — write a synthetic workload to an N-Triples file::
@@ -7,10 +12,10 @@ Commands:
       python -m repro generate lubm --out lubm.nt --universities 4
       python -m repro generate dbpedia --out dbp.nt --scale 2
 
-* ``query`` — evaluate a SPARQL query over an N-Triples file, with or
-  without dual simulation pruning::
+* ``query`` — evaluate a SPARQL query over an N-Triples file::
 
       python -m repro query data.nt "SELECT * WHERE { ?s p ?o . }"
+      python -m repro query data.nt query.rq --mode pruned
       python -m repro query data.nt query.rq --prune --profile rdfox-like
 
 * ``simulate`` — print the system of inequalities and the largest
@@ -22,25 +27,25 @@ Commands:
 
       python -m repro db build data.nt -o data.snap
       python -m repro db info data.snap
-      python -m repro db query data.snap "SELECT * WHERE { ?s p ?o . }"
+      python -m repro db query data.snap query.rq --mode auto
 
 * ``bench`` — regenerate one of the paper's tables::
 
       python -m repro bench table2
-      python -m repro bench iterations
       python -m repro bench kernels --compare BENCH_PR1.json
-      python -m repro bench storage --json storage.json
+      python -m repro bench table3 --kernel reference
 """
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core import compile_query, solve
+from repro.api import Database, ExecutionProfile, PRUNING_MODES
+from repro.bitvec.kernel import KERNELS, use_kernel
 from repro.errors import ReproError
-from repro.graph.io import load_ntriples, save_ntriples
-from repro.pipeline import PruningPipeline
+from repro.graph.io import save_ntriples
 from repro.store import PROFILES
 from repro.workloads import generate_dbpedia, generate_lubm
 
@@ -51,6 +56,25 @@ BENCH_TABLES = (
 
 #: Exit code of ``bench kernels --compare`` when a query regressed.
 EXIT_REGRESSION = 3
+
+
+def _add_execution_flags(
+    parser, modes: bool = True, default_mode: str = "full"
+) -> None:
+    """The flags every query-running command shares."""
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default="virtuoso-like",
+                        help="join-engine profile")
+    parser.add_argument("--kernel", choices=KERNELS, default=None,
+                        help="bit-matrix product kernel (default: "
+                             "process default; REPRO_KERNEL env var "
+                             "is deprecated)")
+    if modes:
+        parser.add_argument("--mode", choices=PRUNING_MODES, default=None,
+                            help="query execution mode: always prune, "
+                                 "never prune, or let the statistics "
+                                 "advisor decide "
+                                 f"(default: {default_mode})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,31 +100,31 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("data", help="N-Triples file")
     qry.add_argument("query", help="SPARQL text or a .rq file path")
     qry.add_argument("--prune", action="store_true",
-                     help="apply dual simulation pruning first")
-    qry.add_argument("--profile", choices=sorted(PROFILES),
-                     default="virtuoso-like")
+                     help="run the full pruning experiment (full vs "
+                          "pruned evaluation) and report both timings")
     qry.add_argument("--limit", type=int, default=20,
                      help="max solutions to print (0 = all)")
+    _add_execution_flags(qry)
 
     sim = sub.add_parser("simulate", help="show SOI + largest dual simulation")
     sim.add_argument("data", help="N-Triples file")
     sim.add_argument("query", help="SPARQL text or a .rq file path")
     sim.add_argument("--limit", type=int, default=10,
                      help="max candidates to print per variable (0 = all)")
+    sim.add_argument("--kernel", choices=KERNELS, default=None,
+                     help="bit-matrix product kernel")
 
     ask = sub.add_parser(
         "ask", help="ASK a query (with the dual simulation fast path)"
     )
     ask.add_argument("data", help="N-Triples file")
     ask.add_argument("query", help="SPARQL ASK text or a .rq file path")
-    ask.add_argument("--profile", choices=sorted(PROFILES),
-                     default="virtuoso-like")
+    _add_execution_flags(ask, modes=False)
 
     explain = sub.add_parser("explain", help="show the evaluation plan")
     explain.add_argument("data", help="N-Triples file")
     explain.add_argument("query", help="SPARQL text or a .rq file path")
-    explain.add_argument("--profile", choices=sorted(PROFILES),
-                         default="virtuoso-like")
+    _add_execution_flags(explain, default_mode="auto")
 
     bench = sub.add_parser("bench", help="regenerate a paper table")
     bench.add_argument("table", choices=BENCH_TABLES)
@@ -114,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="kernels only: diff against a previous "
                             "repro-bench/v1 JSON baseline; exits "
                             f"{EXIT_REGRESSION} on a >20%% regression")
+    bench.add_argument("--kernel", choices=KERNELS, default=None,
+                       help="run the table under this product kernel "
+                            "(replaces setting REPRO_KERNEL)")
 
     db = sub.add_parser("db", help="on-disk snapshot store")
     db_sub = db.add_subparsers(dest="db_command", required=True)
@@ -140,11 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
     dbq.add_argument("snapshot", help="snapshot path")
     dbq.add_argument("query", help="SPARQL text or a .rq file path")
     dbq.add_argument("--prune", action="store_true",
-                     help="apply dual simulation pruning first")
-    dbq.add_argument("--profile", choices=sorted(PROFILES),
-                     default="virtuoso-like")
+                     help="run the full pruning experiment (full vs "
+                          "pruned evaluation) and report both timings")
     dbq.add_argument("--limit", type=int, default=20,
                      help="max solutions to print (0 = all)")
+    _add_execution_flags(dbq)
 
     return parser
 
@@ -154,6 +181,15 @@ def _read_query(argument: str) -> str:
     if argument.endswith(".rq") and path.exists():
         return path.read_text()
     return argument
+
+
+def _execution_profile(args, default_mode: str = "full") -> ExecutionProfile:
+    """Build the session profile from the shared CLI flags."""
+    return ExecutionProfile(
+        engine=getattr(args, "profile", "virtuoso-like"),
+        pruning=getattr(args, "mode", None) or default_mode,
+        kernel=getattr(args, "kernel", None),
+    )
 
 
 def cmd_generate(args, out) -> int:
@@ -172,11 +208,11 @@ def cmd_generate(args, out) -> int:
     return 0
 
 
-def _run_pipeline_query(pipeline, query: str, prune: bool, limit: int,
-                        out) -> None:
+def _run_session_query(db: Database, args, out) -> None:
     """Shared query flow of ``query`` and ``db query``."""
-    if prune:
-        report = pipeline.run(query, name="query")
+    query = _read_query(args.query)
+    if args.prune:
+        report = db.benchmark(query, name="query")
         print(
             f"pruning: {report.triples_total} -> "
             f"{report.triples_after_pruning} triples "
@@ -190,26 +226,37 @@ def _run_pipeline_query(pipeline, query: str, prune: bool, limit: int,
             f"results equal: {report.results_equal}",
             file=out,
         )
-    result = pipeline.evaluate_full(query)
-    solutions = result.decoded()
-    print(f"{len(solutions)} solutions", file=out)
-    shown = solutions if limit == 0 else solutions[:limit]
-    for mu in shown:
+    result = db.query(query)
+    if result.advised:
+        print(f"mode: auto -> {result.mode}", file=out)
+    if result.mode == "pruned" and result.pruning is not None and not args.prune:
+        summary = result.pruning
+        print(
+            f"pruning: {summary.triples_total} -> "
+            f"{summary.triples_after} triples "
+            f"({100 * summary.ratio:.1f}% pruned) "
+            f"in {summary.t_simulation:.4f}s",
+            file=out,
+        )
+    total = len(result)
+    print(f"{total} solutions", file=out)
+    limit = args.limit
+    for number, row in enumerate(result):
+        if limit and number >= limit:
+            break
         rendered = ", ".join(
-            f"{var}={value}" for var, value in sorted(
-                mu.items(), key=lambda kv: kv[0].name
-            )
+            f"?{name}={value}" for name, value in row.items()
         )
         print(f"  {rendered}", file=out)
-    if limit and len(solutions) > limit:
-        print(f"  ... ({len(solutions) - limit} more)", file=out)
+    if limit and total > limit:
+        print(f"  ... ({total - limit} more)", file=out)
 
 
 def cmd_query(args, out) -> int:
-    db = load_ntriples(Path(args.data))
-    query = _read_query(args.query)
-    pipeline = PruningPipeline(db, profile=args.profile)
-    _run_pipeline_query(pipeline, query, args.prune, args.limit, out)
+    db = Database.from_ntriples(
+        Path(args.data), profile=_execution_profile(args)
+    )
+    _run_session_query(db, args, out)
     return 0
 
 
@@ -217,6 +264,8 @@ def cmd_db(args, out) -> int:
     from repro.storage import SnapshotReader, write_snapshot
 
     if args.db_command == "build":
+        from repro.graph.io import load_ntriples
+
         db = load_ntriples(Path(args.data))
         kwargs = {}
         if args.cold_threshold is not None:
@@ -272,13 +321,14 @@ def cmd_db(args, out) -> int:
             )
         return 0
 
-    # db query
-    query = _read_query(args.query)
-    pipeline = PruningPipeline.from_snapshot(
-        Path(args.snapshot), profile=args.profile
+    # db query: the cached open means repeated invocations in one
+    # process share the mmap, the tiered view, and the join-engine
+    # store instead of rebuilding everything per query.
+    db = Database.open(
+        Path(args.snapshot), profile=_execution_profile(args)
     )
-    _run_pipeline_query(pipeline, query, args.prune, args.limit, out)
-    residency = pipeline.db.residency()
+    _run_session_query(db, args, out)
+    residency = db.stats().residency
     print(
         f"residency: {residency.hot_labels} hot, "
         f"{residency.cold_labels} cold, "
@@ -291,53 +341,48 @@ def cmd_db(args, out) -> int:
 
 
 def cmd_simulate(args, out) -> int:
-    db = load_ntriples(Path(args.data))
-    query = _read_query(args.query)
-    branches = compile_query(query)
-    for number, compiled in enumerate(branches):
-        if len(branches) > 1:
-            print(f"-- union branch {number} --", file=out)
+    db = Database.from_ntriples(
+        Path(args.data),
+        profile=ExecutionProfile(kernel=args.kernel),
+    )
+    outcome = db.simulate(_read_query(args.query))
+    for branch in outcome.branches:
+        if len(outcome.branches) > 1:
+            print(f"-- union branch {branch.index} --", file=out)
         print("system of inequalities:", file=out)
-        for line in compiled.soi.describe().splitlines():
+        for line in branch.soi.splitlines():
             print(f"  {line}", file=out)
-        result = solve(compiled.soi, db)
         print(
-            f"fixpoint: {result.report.rounds} rounds, "
-            f"{result.report.evaluations} evaluations, "
-            f"{result.report.elapsed:.4f}s",
+            f"fixpoint: {branch.report.rounds} rounds, "
+            f"{branch.report.evaluations} evaluations, "
+            f"{branch.report.elapsed:.4f}s",
             file=out,
         )
-        for variable in sorted(compiled.variables(), key=str):
-            vids = compiled.all_vids(variable)
-            names = set()
-            for vid in vids:
-                names |= result.candidates(vid)
-            shown = sorted(names, key=str)
+        for variable, names in branch.candidates.items():
+            shown = list(names)
             if args.limit and len(shown) > args.limit:
                 extra = f" ... ({len(shown) - args.limit} more)"
                 shown = shown[: args.limit]
             else:
                 extra = ""
-            print(f"  {variable}: {shown}{extra}", file=out)
+            print(f"  ?{variable}: {shown}{extra}", file=out)
     return 0
 
 
 def cmd_ask(args, out) -> int:
-    db = load_ntriples(Path(args.data))
-    query = _read_query(args.query)
-    pipeline = PruningPipeline(db, profile=args.profile)
-    answer = pipeline.ask(query)
+    db = Database.from_ntriples(
+        Path(args.data), profile=_execution_profile(args)
+    )
+    answer = db.ask(_read_query(args.query))
     print("yes" if answer else "no", file=out)
     return 0
 
 
 def cmd_explain(args, out) -> int:
-    from repro.store import QueryEngine, TripleStore
-
-    db = load_ntriples(Path(args.data))
-    query = _read_query(args.query)
-    store = TripleStore.from_graph_database(db)
-    print(QueryEngine(store, args.profile).explain(query), file=out)
+    db = Database.from_ntriples(
+        Path(args.data), profile=_execution_profile(args, default_mode="auto")
+    )
+    print(db.explain(_read_query(args.query)), file=out)
     return 0
 
 
@@ -357,6 +402,15 @@ def cmd_bench(args, out) -> int:
         )
         return 2
 
+    kernel_scope = (
+        use_kernel(args.kernel) if args.kernel is not None
+        else contextlib.nullcontext()
+    )
+    with kernel_scope:
+        return _run_bench_table(args, out)
+
+
+def _run_bench_table(args, out) -> int:
     from repro.bench import (
         render_engine_table,
         render_hypothesis,

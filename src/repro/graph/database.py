@@ -74,13 +74,21 @@ class GraphDatabase(Graph):
 
     @classmethod
     def from_snapshot(cls, source) -> "GraphDatabase":
-        """Materialize a snapshot file (or open reader) fully in memory.
+        """Deprecated: materialize a snapshot fully in memory.
 
-        Decodes the snapshot's dictionaries and adjacency blocks
-        directly — no N-Triples parsing.  For a residency-aware view
-        that keeps cold labels compressed, use
-        :class:`repro.storage.TieredGraphView` instead.
+        Use :meth:`repro.Database.open` for sessions (it keeps cold
+        labels compressed); this full decode remains for callers that
+        need the mutable :class:`GraphDatabase` surface.
         """
+        from repro._deprecation import deprecated_call
+
+        deprecated_call(
+            "GraphDatabase.from_snapshot",
+            "GraphDatabase.from_snapshot() is deprecated; use "
+            "repro.Database.open(path) for sessions (or "
+            "TieredGraphView(path).to_graph_database() when a fully "
+            "materialized mutable database is really needed)",
+        )
         from repro.storage.reader import SnapshotReader
 
         reader = (

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro._deprecation import deprecated_call
 from repro.core.compiler import CompiledQuery, compile_query
 from repro.core.pruning import PruneResult, prune
 from repro.core.solver import SolverOptions, SolverResult, solve
@@ -89,29 +90,58 @@ class PipelineReport:
 
 
 class PruningPipeline:
-    """Dual-simulation pruning in front of a join-based engine."""
+    """Dual-simulation pruning in front of a join-based engine.
+
+    The pipeline runs over any
+    :class:`~repro.api.backend.GraphBackend` — the solver/pruning
+    stages read adjacency from ``backend.graph``, the join engine
+    reads indexes from ``backend.triple_store()`` — so memory- and
+    snapshot-backed sessions share one code path.  The legacy
+    ``PruningPipeline(graph_db)`` form still works (it wraps the
+    database into an in-memory backend); sessions should construct a
+    :class:`repro.Database` instead.
+    """
 
     def __init__(
         self,
-        db: GraphDatabase,
+        db: Optional[GraphDatabase] = None,
         profile: str = "rdfox-like",
         solver_options: Optional[SolverOptions] = None,
         store: Optional[TripleStore] = None,
+        *,
+        backend=None,
     ):
-        self.db = db
+        if backend is None:
+            from repro.api.backend import InMemoryBackend
+
+            if store is not None:
+                deprecated_call(
+                    "PruningPipeline(store=...)",
+                    "passing store= to PruningPipeline is deprecated; "
+                    "construct a repro.Database (or pass backend=) "
+                    "instead",
+                )
+            if db is None and store is None:
+                raise ValueError(
+                    "PruningPipeline needs a database or a backend"
+                )
+            backend = InMemoryBackend(db, store=store)
+        elif db is not None or store is not None:
+            raise ValueError(
+                "pass either backend= or db/store, not both"
+            )
+        self.backend = backend
+        self.db = backend.graph
         self.profile = profile
         self.solver_options = solver_options or SolverOptions()
-        self.store = (
-            store if store is not None
-            else TripleStore.from_graph_database(db)
-        )
+        self.store = backend.triple_store()
         self.engine = QueryEngine(self.store, profile)
         # The paper's tool keeps the adjacency matrices in memory as
         # part of the database (Sect. 3.3); build them at load time so
         # per-query timings do not pay one-off construction.  For a
         # TieredGraphView this is a no-op handle: cold labels stay
         # gap-encoded until a query touches them.
-        db.matrices()
+        self.db.matrices()
 
     @classmethod
     def from_snapshot(
@@ -120,7 +150,7 @@ class PruningPipeline:
         profile: str = "rdfox-like",
         solver_options: Optional[SolverOptions] = None,
     ) -> "PruningPipeline":
-        """Open a snapshot store instead of ingesting a database.
+        """Deprecated: use :meth:`repro.Database.open` instead.
 
         The solver side runs over a
         :class:`~repro.storage.TieredGraphView` (hot labels resident,
@@ -128,14 +158,16 @@ class PruningPipeline:
         :class:`TripleStore` filled straight from the snapshot's
         dictionary-encoded blocks.
         """
-        from repro.storage import SnapshotReader, TieredGraphView
+        deprecated_call(
+            "PruningPipeline.from_snapshot",
+            "PruningPipeline.from_snapshot() is deprecated; use "
+            "repro.Database.open(path) for snapshot sessions",
+        )
+        from repro.api.backend import SnapshotBackend
 
-        reader = SnapshotReader(path)
-        view = TieredGraphView(reader)
-        store = TripleStore.from_snapshot(reader)
         return cls(
-            view, profile=profile, solver_options=solver_options,
-            store=store,
+            profile=profile, solver_options=solver_options,
+            backend=SnapshotBackend(path),
         )
 
     # -- stages -----------------------------------------------------------

@@ -69,6 +69,21 @@ class TripleStore:
 
     @classmethod
     def from_snapshot(cls, source) -> "TripleStore":
+        """Deprecated: open snapshot sessions with
+        :meth:`repro.Database.open` (its backend builds this store
+        lazily, only when the join engine needs it)."""
+        from repro._deprecation import deprecated_call
+
+        deprecated_call(
+            "TripleStore.from_snapshot",
+            "TripleStore.from_snapshot() is deprecated; use "
+            "repro.Database.open(path) — its SnapshotBackend fills "
+            "the join-engine store lazily",
+        )
+        return cls._from_snapshot_reader(source)
+
+    @classmethod
+    def _from_snapshot_reader(cls, source) -> "TripleStore":
         """Open a snapshot file (or reader) as a triple store.
 
         The snapshot's dictionaries are adopted verbatim — node and

@@ -101,6 +101,80 @@ class TestQuery:
         assert code == 1
 
 
+class TestModeFlag:
+    X1 = ("SELECT * WHERE { ?director directed ?movie . "
+          "?director worked_with ?coworker . }")
+
+    def test_mode_pruned_reports_and_answers(self, movie_nt):
+        code, output = run_cli([
+            "query", movie_nt, self.X1, "--mode", "pruned",
+        ])
+        assert code == 0
+        assert "pruning: 20 -> 4 triples" in output
+        assert "2 solutions" in output
+        assert "B. De Palma" in output
+
+    def test_mode_auto_prints_decision(self, movie_nt):
+        code, output = run_cli([
+            "query", movie_nt, self.X1, "--mode", "auto",
+        ])
+        assert code == 0
+        assert "mode: auto ->" in output
+        assert "2 solutions" in output
+
+    def test_mode_matches_full_answers(self, movie_nt):
+        _, full = run_cli(["query", movie_nt, self.X1])
+        _, pruned = run_cli([
+            "query", movie_nt, self.X1, "--mode", "pruned",
+        ])
+        full_rows = {l for l in full.splitlines() if l.startswith("  ")}
+        pruned_rows = {l for l in pruned.splitlines() if l.startswith("  ")}
+        assert full_rows == pruned_rows
+
+    def test_bad_mode_rejected(self, movie_nt):
+        with pytest.raises(SystemExit):
+            run_cli(["query", movie_nt, self.X1, "--mode", "maybe"])
+
+
+class TestKernelFlag:
+    X1 = ("SELECT * WHERE { ?director directed ?movie . "
+          "?director worked_with ?coworker . }")
+
+    def test_query_kernel_reference_same_answers(self, movie_nt):
+        code_ref, out_ref = run_cli([
+            "query", movie_nt, self.X1, "--kernel", "reference",
+        ])
+        code_pkd, out_pkd = run_cli([
+            "query", movie_nt, self.X1, "--kernel", "packed",
+        ])
+        assert code_ref == code_pkd == 0
+        assert out_ref == out_pkd
+        assert "2 solutions" in out_ref
+
+    def test_kernel_restored_after_command(self, movie_nt):
+        from repro.bitvec.kernel import active_kernel
+
+        before = active_kernel()
+        code, _ = run_cli([
+            "query", movie_nt, self.X1, "--kernel", "reference",
+        ])
+        assert code == 0
+        assert active_kernel() == before
+
+    def test_simulate_kernel_flag(self, movie_nt):
+        code, output = run_cli([
+            "simulate", movie_nt,
+            "SELECT * WHERE { ?d directed ?m . }",
+            "--kernel", "reference",
+        ])
+        assert code == 0
+        assert "fixpoint:" in output
+
+    def test_bad_kernel_rejected(self, movie_nt):
+        with pytest.raises(SystemExit):
+            run_cli(["query", movie_nt, self.X1, "--kernel", "cuda"])
+
+
 class TestSimulate:
     def test_shows_soi_and_candidates(self, movie_nt):
         code, output = run_cli([

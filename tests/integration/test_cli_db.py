@@ -126,6 +126,45 @@ class TestDbQuery:
         assert "2 solutions" in output
         assert "2 promoted" in output
 
+    def test_query_mode_pruned(self, movie_snap):
+        code, output = run_cli([
+            "db", "query", movie_snap, self.X1, "--mode", "pruned",
+        ])
+        assert code == 0
+        assert "pruning: 20 -> 4 triples" in output
+        assert "2 solutions" in output
+        assert "residency:" in output
+
+    def test_query_mode_auto(self, movie_snap):
+        code, output = run_cli([
+            "db", "query", movie_snap, self.X1, "--mode", "auto",
+        ])
+        assert code == 0
+        assert "mode: auto ->" in output
+        assert "2 solutions" in output
+
+    def test_repeat_queries_share_cached_session(self, movie_snap):
+        from repro.api.database import _OPEN_CACHE, clear_open_cache
+
+        clear_open_cache()
+        code, _ = run_cli(["db", "query", movie_snap, self.X1])
+        assert code == 0
+        assert len(_OPEN_CACHE) == 1
+        [backend] = _OPEN_CACHE.values()
+        code, _ = run_cli(["db", "query", movie_snap, self.X1])
+        assert code == 0
+        assert len(_OPEN_CACHE) == 1
+        assert next(iter(_OPEN_CACHE.values())) is backend
+        clear_open_cache()
+
+    def test_query_kernel_flag(self, movie_snap):
+        code, output = run_cli([
+            "db", "query", movie_snap, self.X1, "--kernel", "reference",
+            "--mode", "pruned",
+        ])
+        assert code == 0
+        assert "2 solutions" in output
+
     def test_query_missing_snapshot(self, tmp_path):
         code, _ = run_cli([
             "db", "query", str(tmp_path / "nope.snap"), self.X1,

@@ -1,10 +1,15 @@
-"""Smoke tests: every example script runs to completion in-process."""
+"""Smoke tests: every example script runs to completion in-process —
+and, since the examples showcase the supported API, without tripping
+any repro deprecation shim."""
 
 import importlib.util
 import pathlib
 import sys
+import warnings
 
 import pytest
+
+from repro._deprecation import reset_deprecation_registry
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
@@ -34,7 +39,18 @@ def test_example_runs(path, capsys, monkeypatch):
             lambda **kw: generate_lubm(n_universities=2, seed=7,
                                        spiral_length=8),
         )
-    module.main()
+    if path.stem == "when_to_prune":
+        monkeypatch.setattr(module, "SCALE", 2)
+    reset_deprecation_registry()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module.main()
+    deprecations = [
+        w for w in caught
+        if issubclass(w.category, DeprecationWarning)
+        and "repro" in str(w.message)
+    ]
+    assert not deprecations, [str(w.message) for w in deprecations]
     output = capsys.readouterr().out
     assert output.strip(), path.stem
 

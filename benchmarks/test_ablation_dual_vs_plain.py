@@ -14,7 +14,6 @@ obligations.
 from repro.bench import database_for, mandatory_core_bgp, render_table
 from repro.core import largest_simulation, prune, solve
 from repro.core.compiler import pattern_to_graph
-from repro.core.plain import simulation_soi
 from repro.core.soi import SystemOfInequalities
 from repro.workloads import get_query
 

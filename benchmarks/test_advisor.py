@@ -17,7 +17,7 @@ detection; this bench checks it against ground truth:
 from repro.bench import database_for, render_table, run_engine_table
 from repro.pipeline import PruningAdvisor
 from repro.store import TripleStore
-from repro.workloads import get_query, iter_all_queries
+from repro.workloads import iter_all_queries
 
 SELECTIVE = ("L3", "L4", "L5", "D2", "B11", "B16")
 

@@ -9,7 +9,7 @@ selectivity.
 """
 
 from repro.bench import render_iterations, run_iteration_study
-from repro.core.solver import SolverOptions, solve
+from repro.core.solver import solve
 from repro.core.compiler import compile_query
 from repro.workloads import LUBM_QUERIES
 

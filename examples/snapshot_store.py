@@ -45,7 +45,7 @@ def main():
             )
             t_open = time.perf_counter() - start
             print(f"open #{attempt}: {t_open * 1000:.1f} ms "
-                  f"(no regeneration, no N-Triples parsing)")
+                  "(no regeneration, no N-Triples parsing)")
             db.close()
 
         # -- query: cold tier promotes on first touch ---------------------
@@ -67,8 +67,8 @@ def main():
               f"{after.resident_bytes} B resident "
               f"vs {after.on_disk_bytes} B on disk")
         print(f"{after.cold_labels} labels never left the cold tier — "
-              f"attribute predicates the query did not mention cost "
-              f"no memory.")
+              "attribute predicates the query did not mention cost "
+              "no memory.")
         db.close()
 
 

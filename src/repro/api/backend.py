@@ -179,6 +179,12 @@ class SnapshotBackend:
     def graph(self) -> TieredGraphView:
         return self._view
 
+    def batched_blocks(self):
+        """The tiered view's concatenated multi-label block set
+        (``batched`` kernel); promoted labels append without
+        re-stacking resident ones."""
+        return self._view.batched_blocks()
+
     def triple_store(self) -> TripleStore:
         if self._store is None:
             self._store = TripleStore._from_snapshot_reader(self.reader)
@@ -215,6 +221,14 @@ class SnapshotBackend:
             "promotions": residency.promotions,
             "resident_bytes": residency.resident_bytes,
             "on_disk_bytes": residency.on_disk_bytes,
+            "batched_entries": (
+                0 if self._view._batched is None
+                else self._view._batched.n_entries
+            ),
+            "batched_bytes": (
+                0 if self._view._batched is None
+                else self._view._batched.nbytes
+            ),
         }
 
     def close(self) -> None:

@@ -218,7 +218,7 @@ class Database:
             return cls.in_memory(generate_lubm(**overrides), profile)
         if cache_dir is not None:
             raise ReproError(
-                f"cache_dir is only supported for the 'lubm' workload, "
+                "cache_dir is only supported for the 'lubm' workload, "
                 f"not {name!r}"
             )
         if kind == "dbpedia":
@@ -237,7 +237,7 @@ class Database:
             return cls.in_memory(example_movie_database(), profile)
         raise ReproError(
             f"unknown workload {name!r}; choose from "
-            f"('lubm', 'dbpedia', 'movies')"
+            "('lubm', 'dbpedia', 'movies')"
         )
 
     # -- internals --------------------------------------------------------
@@ -299,7 +299,7 @@ class Database:
         if mode not in ("pruned", "full", "auto"):
             raise ReproError(
                 f"unknown query mode {mode!r}; choose from "
-                f"('pruned', 'full', 'auto')"
+                "('pruned', 'full', 'auto')"
             )
         advised = False
         with self.profile.kernel_context():

@@ -35,9 +35,13 @@ class ExecutionProfile:
       simulation first: ``"pruned"`` always, ``"full"`` never,
       ``"auto"`` per query on the statistics advisor's verdict
       (the paper's Sect. 5.3 guideline);
-    * ``kernel`` — bit-matrix product kernel (``packed`` or
-      ``reference``); ``None`` defers to the process default, which
-      still honors the deprecated ``REPRO_KERNEL`` variable;
+    * ``kernel`` — bit-matrix product kernel: ``packed`` (per-matrix
+      vectorized products), ``batched`` (whole solver rounds as one
+      gather+reduce over the multi-label
+      :class:`~repro.bitvec.kernel.BatchedBlockSet`), or
+      ``reference`` (the seed per-row loops, kept for ablation);
+      ``None`` defers to the process default, which still honors the
+      deprecated ``REPRO_KERNEL`` variable;
     * ``solver`` — SOI fixpoint strategy knobs (Sect. 3.3);
     * ``residency_budget`` — advisory ceiling, in bytes, on resident
       packed blocks for snapshot-backed sessions; ``Database.stats()``

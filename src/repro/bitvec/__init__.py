@@ -9,13 +9,19 @@ Public surface:
   ``uint64`` block for vectorized products.
 * :class:`LabelMatrixPair` — forward+backward matrices of one label.
 * :func:`build_label_matrices` — construct all label matrices at once.
+* :class:`BatchedBlockSet` — all matrices' packed rows concatenated
+  into one block with per-label offsets (the ``batched`` kernel's
+  whole-round product substrate).
 * :func:`active_kernel` / :func:`set_kernel` / :func:`use_kernel` —
-  the ``packed`` vs ``reference`` product-kernel switch (also settable
-  via the ``REPRO_KERNEL`` environment variable).
+  the ``packed`` vs ``batched`` vs ``reference`` product-kernel
+  switch (also settable via the ``REPRO_KERNEL`` environment
+  variable).
 """
 
 from repro.bitvec.bitset import Bitset
 from repro.bitvec.kernel import (
+    BATCHED,
+    BatchedBlockSet,
     KERNELS,
     PACKED,
     REFERENCE,
@@ -34,8 +40,10 @@ __all__ = [
     "AdjacencyMatrix",
     "LabelMatrixPair",
     "build_label_matrices",
+    "BatchedBlockSet",
     "KERNELS",
     "PACKED",
+    "BATCHED",
     "REFERENCE",
     "active_kernel",
     "set_kernel",

@@ -48,7 +48,7 @@ from typing import Dict, Iterable, Tuple
 import numpy as np
 
 from repro.bitvec.bitset import Bitset, _WORD_BITS, _word_count
-from repro.bitvec.kernel import PACKED, active_kernel
+from repro.bitvec.kernel import REFERENCE, active_kernel
 from repro.errors import DimensionMismatchError
 
 
@@ -163,7 +163,10 @@ class AdjacencyMatrix:
             raise DimensionMismatchError(
                 f"vector width {vec.nbits} != matrix size {self.n}"
             )
-        if active_kernel() == PACKED:
+        if active_kernel() != REFERENCE:
+            # Both vectorized kernels (packed and batched) share the
+            # per-matrix block product; "batched" only changes how the
+            # solver groups whole rounds (see repro.core.batched).
             self.pack()
             block = self._selected_block(vec)
             if block.shape[0] == 0:
@@ -247,7 +250,7 @@ class LabelMatrixPair:
             if mask is None:
                 raise ValueError("column-wise product requires a mask")
             # result(j) = 1 iff dual.row(j) intersects vec, for j in mask.
-            if active_kernel() == PACKED:
+            if active_kernel() != REFERENCE:
                 dual.pack()
                 candidates = mask.iter_ones()
                 positions = dual._row_index[candidates]

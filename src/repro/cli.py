@@ -140,7 +140,8 @@ def build_parser() -> argparse.ArgumentParser:
                             f"{EXIT_REGRESSION} on a >20%% regression")
     bench.add_argument("--kernel", choices=KERNELS, default=None,
                        help="run the table under this product kernel "
-                            "(replaces setting REPRO_KERNEL)")
+                            "(for `kernels`: measure only this "
+                            "kernel; incompatible with --compare)")
 
     db = sub.add_parser("db", help="on-disk snapshot store")
     db_sub = db.add_subparsers(dest="db_command", required=True)
@@ -401,7 +402,26 @@ def cmd_bench(args, out) -> int:
             file=sys.stderr,
         )
         return 2
+    if (
+        args.table == "kernels"
+        and args.kernel is not None
+        and args.compare_to is not None
+    ):
+        # A single-kernel run would report every baseline row of the
+        # other kernels as dropped (exit 3 by design); comparing only
+        # makes sense over the full matrix.
+        print(
+            "error: --kernel cannot be combined with --compare "
+            "(the baseline covers every kernel)",
+            file=sys.stderr,
+        )
+        return 2
 
+    if args.table == "kernels":
+        # `bench kernels` runs each kernel itself (restricted by
+        # --kernel inside _run_bench_table); the process-wide switch
+        # is for the other tables.
+        return _run_bench_table(args, out)
     kernel_scope = (
         use_kernel(args.kernel) if args.kernel is not None
         else contextlib.nullcontext()
@@ -468,24 +488,44 @@ def _run_bench_table(args, out) -> int:
                 return 2
             if baseline.get("schema") != "repro-bench/v1":
                 print(
-                    f"error: baseline schema "
+                    "error: baseline schema "
                     f"{baseline.get('schema')!r} is not repro-bench/v1",
                     file=sys.stderr,
                 )
                 return 2
 
         rows = run_kernel_bench(
-            repeats=3 if args.repeats is None else args.repeats
+            repeats=3 if args.repeats is None else args.repeats,
+            kernels=None if args.kernel is None else [args.kernel],
         )
         print(render_kernel_bench(rows), file=out)
         summary = kernel_bench_summary(rows)
-        print(
-            f"geomean speedup {summary['geomean_speedup']:.2f}x, "
-            f"{summary['n_speedup_ge_3x']}/{summary['n_queries']} "
-            f"queries >= 3x, fixpoints identical: "
-            f"{summary['fixpoints_identical']}",
-            file=out,
-        )
+        kernels_run = summary["kernels"]
+        if "packed" in kernels_run and "reference" in kernels_run:
+            print(
+                "geomean speedup (reference/packed) "
+                f"{summary['geomean_speedup']:.2f}x, "
+                f"{summary['n_speedup_ge_3x']}/{summary['n_queries']} "
+                "queries >= 3x, fixpoints identical: "
+                f"{summary['fixpoints_identical']}",
+                file=out,
+            )
+        batched = summary.get("batched")
+        if batched:
+            def _x(value):
+                return "n/a" if value is None else f"{value:.2f}x"
+
+            print(
+                "batched vs packed: geomean "
+                f"{_x(batched['geomean_vs_packed'])} overall, "
+                f"{_x(batched['geomean_vs_packed_b_queries'])} on "
+                "B-queries, faster on "
+                f"{batched['n_faster_than_packed']}/"
+                f"{summary['n_queries']} "
+                f"(vs reference "
+                f"{_x(batched['geomean_vs_reference'])})",
+                file=out,
+            )
         if args.json_out:
             write_bench_json(
                 args.json_out, rows,

@@ -139,7 +139,7 @@ class SystemOfInequalities:
         if child_var.has_constant:
             if root_var.has_constant and root_var.constant != child_var.constant:
                 raise SolverError(
-                    f"cannot unify distinct constants "
+                    "cannot unify distinct constants "
                     f"{root_var.constant!r} and {child_var.constant!r}"
                 )
             root_var.constant = child_var.constant

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set
 
 from repro.bitvec import Bitset
+from repro.bitvec.kernel import BATCHED, BatchedBlockSet, active_kernel
+from repro.core.batched import run_batched
 from repro.core.simulation import Relation
 from repro.core.soi import (
     CopyInequality,
@@ -269,19 +271,33 @@ def solve(
             ordering=options.ordering, seed=options.seed,
         )
         rank = {idx: position for position, idx in enumerate(order)}
-        queue: List[int] = sorted(
-            range(len(inequalities)), key=rank.__getitem__
-        )
-        pending_next: Set[int] = set()
-        while queue:
-            report.rounds += 1
-            for idx in queue:
-                if evaluate(idx):
-                    target = soi.find(inequalities[idx].target)
-                    for dependent in by_source.get(target, ()):
-                        pending_next.add(dependent)
-            queue = sorted(pending_next, key=rank.__getitem__)
-            pending_next = set()
+        if active_kernel() == BATCHED:
+            # Whole rounds as single gather+reduce batches against the
+            # graph's concatenated block set (repro.core.batched); the
+            # dynamic ordering above stays per-inequality by nature
+            # and runs on the packed per-matrix products instead.
+            getter = getattr(data, "batched_blocks", None)
+            blocks = (
+                getter() if callable(getter) else BatchedBlockSet(n)
+            )
+            run_batched(
+                soi, matrices, rows, inequalities, by_source, rank,
+                options.product, report, n, blocks,
+            )
+        else:
+            queue: List[int] = sorted(
+                range(len(inequalities)), key=rank.__getitem__
+            )
+            pending_next: Set[int] = set()
+            while queue:
+                report.rounds += 1
+                for idx in queue:
+                    if evaluate(idx):
+                        target = soi.find(inequalities[idx].target)
+                        for dependent in by_source.get(target, ()):
+                            pending_next.add(dependent)
+                queue = sorted(pending_next, key=rank.__getitem__)
+                pending_next = set()
 
     report.elapsed = time.perf_counter() - start
     return SolverResult(soi, data, rows, report)

@@ -30,7 +30,7 @@ same popcount cache, making repeated ordering computations cheap.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.bitvec.matrix import LabelMatrixPair
 from repro.core.soi import (
@@ -84,11 +84,12 @@ def order_inequalities(
     """
     indices = list(range(len(inequalities)))
     if ordering == "fifo":
-        key: Callable[[int], tuple] = lambda i: (
-            0 if isinstance(inequalities[i], CopyInequality) else 1,
-            i,
-        )
-        return sorted(indices, key=key)
+        def fifo_key(i: int) -> tuple:
+            return (
+                0 if isinstance(inequalities[i], CopyInequality) else 1,
+                i,
+            )
+        return sorted(indices, key=fifo_key)
     if ordering == "sparsity":
         def sparsity_key(i: int) -> tuple:
             ineq = inequalities[i]

@@ -29,6 +29,7 @@ class Graph:
         self._in: Dict[int, Set[Tuple[str, int]]] = {}
         self._labels: Set[str] = set()
         self._matrices: Dict[str, LabelMatrixPair] | None = None
+        self._batched = None
 
     # -- construction ----------------------------------------------------
 
@@ -42,6 +43,7 @@ class Graph:
             self._out[idx] = set()
             self._in[idx] = set()
             self._matrices = None
+            self._batched = None
         return idx
 
     def add_edge(self, src: Hashable, label: str, dst: Hashable) -> None:
@@ -57,6 +59,7 @@ class Graph:
             self._in[d].add((label, s))
             self._labels.add(label)
             self._matrices = None
+            self._batched = None
 
     @classmethod
     def from_edges(cls, edges: Iterable[Edge]) -> "Graph":
@@ -180,6 +183,20 @@ class Graph:
 
     def label_matrix(self, label: str) -> LabelMatrixPair | None:
         return self.matrices().get(label)
+
+    def batched_blocks(self):
+        """The graph's shared multi-label block set (``batched`` kernel).
+
+        Created empty and filled label-by-label as solver rounds touch
+        matrices; cached so repeated solves over the same graph reuse
+        the concatenated rows.  Any mutation invalidates it together
+        with the matrix cache.
+        """
+        if self._batched is None:
+            from repro.bitvec.kernel import BatchedBlockSet
+
+            self._batched = BatchedBlockSet(self.n_nodes)
+        return self._batched
 
     def nodes_bitset(self, names: Iterable[Hashable]) -> Bitset:
         """Bitset over this graph's index space from node names."""

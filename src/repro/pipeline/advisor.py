@@ -189,8 +189,9 @@ class PruningAdvisor:
                 return self._steps_materialize(pattern)
             return self._steps_nested(pattern)
         if isinstance(pattern, (Join, LeftJoin, Union)):
-            return self._collect_steps(pattern.left, profile) + \
+            return self._collect_steps(pattern.left, profile) + (
                 self._collect_steps(pattern.right, profile)
+            )
         if isinstance(pattern, Filter):
             return self._collect_steps(pattern.pattern, profile)
         return []

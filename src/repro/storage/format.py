@@ -185,14 +185,14 @@ def encode_term(term: Hashable) -> bytes:
             tag, payload = _TAG_LIT_STR, value.encode("utf-8")
         else:
             raise SnapshotError(
-                f"cannot serialize literal of type "
+                "cannot serialize literal of type "
                 f"{type(value).__name__}: {value!r}"
             )
     elif isinstance(term, str):
         tag, payload = _TAG_STR, term.encode("utf-8")
     else:
         raise SnapshotError(
-            f"cannot serialize node name of type "
+            "cannot serialize node name of type "
             f"{type(term).__name__}: {term!r} (use str or Literal)"
         )
     return struct.pack("<BI", tag, len(payload)) + payload

@@ -34,7 +34,6 @@ from repro.errors import SnapshotError
 from repro.storage.format import (
     BLOCK_ENTRY,
     BlockEntry,
-    DIRECTION_FORWARD,
     DIRECTIONS,
     ENCODING_DENSE,
     ENCODING_GAP,
@@ -135,7 +134,7 @@ class SnapshotReader:
                 offset += BLOCK_ENTRY.size
                 if entry.label_id >= len(self._predicate_terms):
                     raise SnapshotError(
-                        f"block references unknown predicate id "
+                        "block references unknown predicate id "
                         f"{entry.label_id}"
                     )
                 label = self._predicate_terms[entry.label_id]
@@ -212,7 +211,7 @@ class SnapshotReader:
         end = offset + np.dtype(dtype).itemsize * count
         if end > len(self._mm):
             raise SnapshotError(
-                f"block payload extends past end of file "
+                "block payload extends past end of file "
                 f"({end} > {len(self._mm)})"
             )
         return np.frombuffer(self._mm, dtype=dtype, count=count,

@@ -139,6 +139,7 @@ class TieredGraphView:
                     reader.gap_matrix(label, "backward"),
                 )
         self._matrices = TieredMatrices(self)
+        self._batched = None
 
     # -- tier mechanics ---------------------------------------------------
 
@@ -213,6 +214,21 @@ class TieredGraphView:
 
     def matrices(self) -> TieredMatrices:
         return self._matrices
+
+    def batched_blocks(self):
+        """The view's shared multi-label block set (``batched`` kernel).
+
+        Lazily created and filled as solver rounds touch labels.  A
+        cold label promoted mid-solve simply *appends* its freshly
+        decoded rows to the concatenated block on its first batched
+        product — labels already stacked are never re-copied (the
+        block grows geometrically, amortized O(1) per row).
+        """
+        if self._batched is None:
+            from repro.bitvec.kernel import BatchedBlockSet
+
+            self._batched = BatchedBlockSet(self.reader.n_nodes)
+        return self._batched
 
     def label_matrix(self, label: str) -> LabelMatrixPair | None:
         return self._pair(label)

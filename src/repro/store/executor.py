@@ -206,14 +206,17 @@ class Executor:
         right_vars = set().union(*(mu.keys() for mu in right)) if right else set()
         shared = left_vars & right_vars
         if not shared:
-            return [merge(l, r) for l in left for r in right]
+            return [merge(lhs, r) for lhs in left for r in right]
         key_vars = tuple(sorted(shared, key=lambda v: v.name))
         if self._all_bind(left, shared) and self._all_bind(right, shared):
             return self._hash_join(left, right, key_vars)
         # Partial bindings on shared variables: fall back to the
         # quadratic compatibility join (rare: non-well-designed shapes).
         return [
-            merge(l, r) for l in left for r in right if compatible(l, r)
+            merge(lhs, r)
+            for lhs in left
+            for r in right
+            if compatible(lhs, r)
         ]
 
     @staticmethod
@@ -250,12 +253,12 @@ class Executor:
         merged solution satisfies it.
         """
         out: List[Solution] = []
-        for l in left:
+        for lhs in left:
             matched = False
             for r in right:
-                if not compatible(l, r):
+                if not compatible(lhs, r):
                     continue
-                merged = merge(l, r)
+                merged = merge(lhs, r)
                 if condition is not None and not self.filter_accepts(
                     condition, merged
                 ):
@@ -263,7 +266,7 @@ class Executor:
                 out.append(merged)
                 matched = True
             if not matched:
-                out.append(dict(l))
+                out.append(dict(lhs))
         return out
 
     # -- filters ----------------------------------------------------------------

@@ -103,7 +103,10 @@ class ReferenceEvaluator:
             left = self.evaluate(pattern.left)
             right = self.evaluate(pattern.right)
             return [
-                merge(l, r) for l in left for r in right if compatible(l, r)
+                merge(lhs, r)
+                for lhs in left
+                for r in right
+                if compatible(lhs, r)
             ]
         if isinstance(pattern, LeftJoin):
             return self._eval_left_join(pattern)
@@ -128,12 +131,12 @@ class ReferenceEvaluator:
             condition = None
             right = self.evaluate(pattern.right)
         out: List[Solution] = []
-        for l in left:
+        for lhs in left:
             extended = False
             for r in right:
-                if not compatible(l, r):
+                if not compatible(lhs, r):
                     continue
-                merged = merge(l, r)
+                merged = merge(lhs, r)
                 if condition is not None and not self._accepts(
                     condition, merged
                 ):
@@ -141,7 +144,7 @@ class ReferenceEvaluator:
                 out.append(merged)
                 extended = True
             if not extended:
-                out.append(dict(l))
+                out.append(dict(lhs))
         return out
 
     def _accepts(self, expression: Expression, mu: Solution) -> bool:

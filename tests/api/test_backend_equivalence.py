@@ -9,7 +9,8 @@ full and in pruned mode.
 
 import pytest
 
-from repro import Database
+from repro import Database, ExecutionProfile
+from repro.bitvec import KERNELS
 from repro.graph import example_movie_database
 from repro.storage import SnapshotWriter
 from repro.workloads import LUBM_QUERIES, generate_lubm
@@ -132,3 +133,73 @@ class TestLubmQueries:
             snap = snapshot.simulate(LUBM_QUERIES[name])
             for mb, sb in zip(mem.branches, snap.branches):
                 assert mb.candidates == sb.candidates
+
+
+class TestKernelMatrix:
+    """Every kernel must return byte-identical answers on every
+    backend — the PR-4 acceptance matrix (movie + LUBM queries across
+    packed/batched/reference, memory and cold snapshot)."""
+
+    @pytest.fixture(scope="class")
+    def movie_sessions(self, tmp_path_factory):
+        db = example_movie_database()
+        path = tmp_path_factory.mktemp("kernels") / "movies.snap"
+        SnapshotWriter(path, cold_threshold=1e9).write(db)
+        sessions = {}
+        for kernel in KERNELS:
+            profile = ExecutionProfile(kernel=kernel)
+            sessions[kernel] = (
+                Database.in_memory(db, profile=profile),
+                Database.open(path, profile=profile, cached=False),
+            )
+        yield sessions
+        for _, snapshot in sessions.values():
+            snapshot.close()
+
+    @pytest.fixture(scope="class")
+    def lubm_sessions(self, tmp_path_factory):
+        db = generate_lubm(n_universities=1, seed=7, spiral_length=8)
+        path = tmp_path_factory.mktemp("kernels") / "lubm.snap"
+        SnapshotWriter(path, cold_threshold=1e9).write(db)
+        sessions = {}
+        for kernel in KERNELS:
+            profile = ExecutionProfile(kernel=kernel)
+            sessions[kernel] = (
+                Database.in_memory(db, profile=profile),
+                Database.open(path, profile=profile, cached=False),
+            )
+        yield sessions
+        for _, snapshot in sessions.values():
+            snapshot.close()
+
+    @pytest.mark.parametrize("name", sorted(MOVIE_QUERIES))
+    def test_movie_queries_identical_across_kernels(
+        self, movie_sessions, name
+    ):
+        query = MOVIE_QUERIES[name]
+        expected = None
+        for kernel in KERNELS:
+            memory, snapshot = movie_sessions[kernel]
+            mem = _canonical(memory.query(query, mode="pruned"))
+            snap = _canonical(snapshot.query(query, mode="pruned"))
+            assert mem == snap, kernel
+            if expected is None:
+                expected = mem
+            else:
+                assert mem == expected, kernel
+
+    @pytest.mark.parametrize("name", sorted(LUBM_QUERIES))
+    def test_lubm_queries_identical_across_kernels(
+        self, lubm_sessions, name
+    ):
+        query = LUBM_QUERIES[name]
+        expected = None
+        for kernel in KERNELS:
+            memory, snapshot = lubm_sessions[kernel]
+            mem = _canonical(memory.query(query, mode="pruned"))
+            snap = _canonical(snapshot.query(query, mode="pruned"))
+            assert mem == snap, kernel
+            if expected is None:
+                expected = mem
+            else:
+                assert mem == expected, kernel

@@ -1,6 +1,5 @@
 """ExecutionProfile: validation, coercion, kernel resolution."""
 
-import warnings
 
 import pytest
 

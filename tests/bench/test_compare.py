@@ -8,6 +8,7 @@ from repro.bench import (
     compare_with_baseline,
     render_bench_compare,
 )
+from repro.bench.reporting import DRIFT_CLAMP
 from repro.bench.runner import KernelBenchRow
 from repro.errors import ReproError
 
@@ -80,6 +81,55 @@ class TestCompareWithBaseline:
         )
         assert comps[0].ratio == float("inf")
         assert comps[0].is_regression()
+
+
+class TestMachineDrift:
+    """The reference kernel is frozen seed code, so its time ratios
+    measure the host, not the code — compare normalizes them out."""
+
+    def _run(self, ref_scale, packed_scale=None, queries=("Q1", "Q2", "Q3")):
+        packed_scale = ref_scale if packed_scale is None else packed_scale
+        rows, benches = [], []
+        for q in queries:
+            rows.append(_row(query=q, kernel="reference",
+                             t_solve=0.04 * ref_scale))
+            rows.append(_row(query=q, kernel="packed",
+                             t_solve=0.01 * packed_scale))
+            benches.append(_bench(query=q, kernel="reference",
+                                  t_solve=0.04))
+            benches.append(_bench(query=q, kernel="packed",
+                                  t_solve=0.01))
+        return compare_with_baseline(rows, _baseline(benches))
+
+    def test_uniform_host_slowdown_not_flagged(self):
+        # Everything 1.3x slower, reference included: machine drift.
+        comps, _ = self._run(ref_scale=1.3)
+        assert all(not c.is_regression() for c in comps)
+        assert comps[0].drift == pytest.approx(1.3)
+        assert comps[0].raw_ratio == pytest.approx(1.3)
+
+    def test_code_regression_still_flagged_under_drift(self):
+        # Host 1.3x slower but packed 2x slower: packed regressed.
+        comps, _ = self._run(ref_scale=1.3, packed_scale=2.0)
+        packed = [c for c in comps if c.kernel == "packed"]
+        reference = [c for c in comps if c.kernel == "reference"]
+        assert all(c.is_regression() for c in packed)
+        assert all(not c.is_regression() for c in reference)
+
+    def test_drift_clamped(self):
+        # A "drift" of 3x is not credibly machine noise; only
+        # DRIFT_CLAMP is normalized, the rest still counts as
+        # regression.
+        comps, _ = self._run(ref_scale=3.0)
+        assert comps[0].drift == pytest.approx(DRIFT_CLAMP)
+        assert all(c.is_regression() for c in comps)
+
+    def test_too_few_reference_pairs_means_no_correction(self):
+        comps, _ = self._run(ref_scale=1.3, queries=("Q1", "Q2"))
+        assert comps[0].drift == 1.0
+        assert all(
+            c.is_regression() for c in comps if c.kernel == "packed"
+        )
 
 
 class TestRender:

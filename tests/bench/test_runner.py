@@ -1,6 +1,5 @@
 """Unit tests for the benchmark harness (small scales)."""
 
-import pytest
 
 from repro.bench import (
     database_for,

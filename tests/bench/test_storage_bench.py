@@ -34,8 +34,10 @@ class TestRunStorageBench:
         assert result.snapshot_bytes > 0
 
     def test_residency_counters(self, result):
-        assert result.hot_labels + result.cold_labels + \
-            result.promotions == 18  # the LUBM predicate count
+        assert (
+            result.hot_labels + result.cold_labels
+            + result.promotions == 18  # the LUBM predicate count
+        )
         assert result.promotions > 0  # L0 touched cold labels
         assert result.resident_bytes > 0
 

@@ -13,7 +13,6 @@ from repro.bitvec.gap import (
     memory_report,
     total_memory,
 )
-from repro.graph import example_movie_database
 
 
 class TestEncodeDecode:
@@ -85,7 +84,7 @@ class TestGapEncodedMatrix:
 class TestMemoryReport:
     def test_movie_database(self, movie_db):
         report = memory_report(movie_db)
-        assert set(report) == {str(l) for l in movie_db.labels}
+        assert set(report) == {str(label) for label in movie_db.labels}
         dense, encoded = total_memory(report)
         assert dense > 0 and encoded > 0
         for label_memory in report.values():

@@ -53,7 +53,7 @@ class TestKernelSwitch:
             set_kernel("quantum")
 
     def test_kernels_constant(self):
-        assert set(KERNELS) == {"packed", "reference"}
+        assert set(KERNELS) == {"packed", "batched", "reference"}
 
 
 class TestPackedLayout:
@@ -99,8 +99,93 @@ class TestPackedLayout:
 
     def test_summary_falls_out_of_build(self, pair):
         pair.pack()
-        assert set(pair.forward._row_nodes.tolist()) == \
-            pair.forward.summary.to_set()
+        assert (
+            set(pair.forward._row_nodes.tolist())
+            == pair.forward.summary.to_set()
+        )
+
+
+class TestBatchedBlockSet:
+    def test_entry_appends_rows_with_offsets(self, pair):
+        from repro.bitvec import BatchedBlockSet
+
+        blocks = BatchedBlockSet(6)
+        fwd = blocks.entry("l", "forward", pair.forward)
+        bwd = blocks.entry("l", "backward", pair.backward)
+        assert fwd.offset == 0
+        assert bwd.offset == fwd.n_rows == 3
+        assert blocks.n_rows == 6
+        assert blocks.n_entries == 2
+        assert np.array_equal(
+            blocks.block[fwd.offset : fwd.offset + fwd.n_rows],
+            pair.forward._packed,
+        )
+        assert np.array_equal(
+            blocks.block[bwd.offset : bwd.offset + bwd.n_rows],
+            pair.backward._packed,
+        )
+
+    def test_entry_is_cached(self, pair):
+        from repro.bitvec import BatchedBlockSet
+
+        blocks = BatchedBlockSet(6)
+        first = blocks.entry("l", "forward", pair.forward)
+        assert blocks.entry("l", "forward", pair.forward) is first
+        assert blocks.n_rows == first.n_rows
+
+    def test_append_does_not_restack_existing_entries(self, pair):
+        from repro.bitvec import BatchedBlockSet
+
+        blocks = BatchedBlockSet(6)
+        fwd = blocks.entry("l", "forward", pair.forward)
+        other = LabelMatrixPair(6)
+        other.add_edge(1, 3)
+        blocks.entry("m", "forward", other.forward)
+        # The first entry's offset and rows are untouched by the
+        # append (growth copies, never re-stacks per label).
+        assert fwd.offset == 0
+        assert np.array_equal(
+            blocks.block[: fwd.n_rows], pair.forward._packed
+        )
+
+    def test_growth_preserves_content(self):
+        from repro.bitvec import BatchedBlockSet
+
+        blocks = BatchedBlockSet(80)
+        pairs = []
+        for i in range(30):
+            p = LabelMatrixPair(80)
+            for j in range(10):
+                p.add_edge((i + j) % 80, (i * 7 + j) % 80)
+            pairs.append(p)
+            blocks.entry(f"l{i}", "forward", p.forward)
+        for i, p in enumerate(pairs):
+            entry = blocks.entry(f"l{i}", "forward", p.forward)
+            assert np.array_equal(
+                blocks.block[entry.offset : entry.offset + entry.n_rows],
+                p.forward._packed,
+            )
+
+    def test_stale_entry_reappended_after_repack(self, pair):
+        from repro.bitvec import BatchedBlockSet
+
+        blocks = BatchedBlockSet(6)
+        first = blocks.entry("l", "forward", pair.forward)
+        pair.forward.add(1, 4)  # invalidates the packed block
+        fresh = blocks.entry("l", "forward", pair.forward)
+        assert fresh is not first
+        assert fresh.offset >= first.offset + first.n_rows
+        assert np.array_equal(
+            blocks.block[fresh.offset : fresh.offset + fresh.n_rows],
+            pair.forward._packed,
+        )
+
+    def test_row_index_is_shared_not_copied(self, pair):
+        from repro.bitvec import BatchedBlockSet
+
+        blocks = BatchedBlockSet(6)
+        entry = blocks.entry("l", "forward", pair.forward)
+        assert entry.row_index is pair.forward._row_index
 
 
 class TestGapImportPath:
@@ -118,5 +203,6 @@ class TestGapImportPath:
         pair.pack()
         restored = GapEncodedMatrix.from_adjacency(pair.forward).to_adjacency()
         vec = Bitset.from_indices(6, [0, 3])
-        assert restored.product_rowwise(vec) == \
-            pair.forward.product_rowwise(vec)
+        assert restored.product_rowwise(vec) == pair.forward.product_rowwise(
+            vec
+        )

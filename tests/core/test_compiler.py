@@ -10,7 +10,6 @@ from repro.core import (
     solve,
 )
 from repro.errors import QueryError
-from repro.graph import example_movie_database, figure5_database
 from repro.rdf import Variable
 from repro.sparql import BGP, TriplePattern, parse_query
 
@@ -156,7 +155,6 @@ class TestUnionCompilation:
             assert len(branch.soi.edges) == 2
 
     def test_direct_union_pattern_rejected_by_compile_pattern(self):
-        from repro.sparql import Union
         query = parse_query(
             "SELECT * WHERE { { ?a p ?b . } UNION { ?a q ?b . } }"
         )

@@ -3,7 +3,7 @@ dual simulation is known to exhibit by design (Sect. 4.1 / 5.3).
 These are not bugs; if one of these tests fails, the implementation
 is stricter than dual simulation."""
 
-from repro.core import compile_query, largest_dual_simulation, prune, solve
+from repro.core import compile_query, largest_dual_simulation, solve
 from repro.graph import (
     GraphDatabase,
     figure4_database,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import compile_query, prune, retained_triples, solve
 from repro.graph import GraphDatabase, example_movie_database
-from repro.rdf import Variable
 
 
 def solve_branches(db, query_text):

@@ -5,10 +5,8 @@ import pytest
 from repro.core import compile_query, solve
 from repro.core.reconstruct import count_matches, enumerate_matches, has_match
 from repro.errors import QueryError
-from repro.graph import example_movie_database, figure4_database
+from repro.graph import figure4_database
 from repro.pipeline import PruningPipeline
-from repro.rdf import Variable
-from repro.store import solution_key
 
 
 def reconstruct_set(db, query_text):

@@ -16,7 +16,6 @@ from repro.graph import (
     chain_pattern,
     cycle_pattern,
     figure4_database,
-    figure4_pattern,
     planted_pattern_database,
 )
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import GraphError
-from repro.graph import GraphDatabase, Literal, example_movie_database
+from repro.graph import GraphDatabase, Literal
 
 
 class TestLiteral:

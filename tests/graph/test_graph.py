@@ -89,8 +89,8 @@ class TestAccessors:
 
     def test_indexed_edges_consistent(self, triangle):
         by_name = {
-            (triangle.node_name(s), l, triangle.node_name(d))
-            for s, l, d in triangle.indexed_edges()
+            (triangle.node_name(s), label, triangle.node_name(d))
+            for s, label, d in triangle.indexed_edges()
         }
         assert by_name == set(triangle.edges())
 

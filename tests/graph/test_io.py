@@ -1,8 +1,7 @@
 """Unit tests for N-Triples loading/saving of graph databases."""
 
-import pytest
 
-from repro.graph import GraphDatabase, Literal, example_movie_database
+from repro.graph import GraphDatabase, Literal
 from repro.graph.io import dump_ntriples, load_ntriples, save_ntriples
 
 

@@ -127,8 +127,8 @@ class TestModeFlag:
         _, pruned = run_cli([
             "query", movie_nt, self.X1, "--mode", "pruned",
         ])
-        full_rows = {l for l in full.splitlines() if l.startswith("  ")}
-        pruned_rows = {l for l in pruned.splitlines() if l.startswith("  ")}
+        full_rows = {ln for ln in full.splitlines() if ln.startswith("  ")}
+        pruned_rows = {ln for ln in pruned.splitlines() if ln.startswith("  ")}
         assert full_rows == pruned_rows
 
     def test_bad_mode_rejected(self, movie_nt):

@@ -67,6 +67,31 @@ def test_bench_flag_gating():
     assert code == 2
     code, _ = run_cli(["bench", "storage", "--compare", "x.json"])
     assert code == 2
+    # A single-kernel run cannot be compared against the full-matrix
+    # baseline (every other kernel's rows would read as dropped).
+    code, _ = run_cli([
+        "bench", "kernels", "--kernel", "packed",
+        "--compare", "x.json",
+    ])
+    assert code == 2
+
+
+def test_bench_kernels_kernel_flag_restricts_run(monkeypatch):
+    seen = {}
+
+    def fake_run(repeats, kernels=None):
+        seen["kernels"] = kernels
+        return [
+            KernelBenchRow("L0", "lubm", "packed", 0.01, 2, 10, 5, 50, 100)
+        ]
+
+    monkeypatch.setattr(bench_module, "run_kernel_bench", fake_run)
+    code, output = run_cli(["bench", "kernels", "--kernel", "packed"])
+    assert code == 0
+    assert seen["kernels"] == ["packed"]
+    # Single-kernel run: no cross-kernel speedup lines to print.
+    assert "geomean speedup" not in output
+    assert "batched vs packed" not in output
 
 
 def _kernel_rows(t_packed):
@@ -93,7 +118,7 @@ class TestKernelsCompare:
     def test_compare_ok_exit_zero(self, tmp_path, monkeypatch):
         monkeypatch.setattr(
             bench_module, "run_kernel_bench",
-            lambda repeats: _kernel_rows(t_packed=0.01),
+            lambda repeats, kernels=None: _kernel_rows(t_packed=0.01),
         )
         code, output = run_cli([
             "bench", "kernels",
@@ -105,7 +130,8 @@ class TestKernelsCompare:
     def test_compare_regression_exits_nonzero(self, tmp_path, monkeypatch):
         monkeypatch.setattr(
             bench_module, "run_kernel_bench",
-            lambda repeats: _kernel_rows(t_packed=0.02),  # 2x slower
+            # 2x slower than the baseline below
+            lambda repeats, kernels=None: _kernel_rows(t_packed=0.02),
         )
         code, output = run_cli([
             "bench", "kernels",
@@ -120,7 +146,8 @@ class TestKernelsCompare:
         rows = _kernel_rows(t_packed=0.01)
         rows[0].total_bits = 999  # same speed, different answer mass
         monkeypatch.setattr(
-            bench_module, "run_kernel_bench", lambda repeats: rows
+            bench_module, "run_kernel_bench",
+            lambda repeats, kernels=None: rows,
         )
         code, output = run_cli([
             "bench", "kernels",
@@ -130,7 +157,7 @@ class TestKernelsCompare:
         assert "fixpoint!" in output
 
     def test_compare_missing_baseline_file(self, tmp_path, monkeypatch):
-        def boom(repeats):
+        def boom(repeats, kernels=None):
             raise AssertionError("bench must not run before validation")
 
         monkeypatch.setattr(bench_module, "run_kernel_bench", boom)
@@ -143,7 +170,7 @@ class TestKernelsCompare:
     def test_compare_invalid_json_fails_before_bench(
         self, tmp_path, monkeypatch
     ):
-        def boom(repeats):
+        def boom(repeats, kernels=None):
             raise AssertionError("bench must not run before validation")
 
         monkeypatch.setattr(bench_module, "run_kernel_bench", boom)
@@ -155,7 +182,7 @@ class TestKernelsCompare:
     def test_compare_wrong_schema_fails_before_bench(
         self, tmp_path, monkeypatch
     ):
-        def boom(repeats):
+        def boom(repeats, kernels=None):
             raise AssertionError("bench must not run before validation")
 
         monkeypatch.setattr(bench_module, "run_kernel_bench", boom)
@@ -169,7 +196,7 @@ class TestKernelsCompare:
     ):
         monkeypatch.setattr(
             bench_module, "run_kernel_bench",
-            lambda repeats: _kernel_rows(t_packed=0.01),
+            lambda repeats, kernels=None: _kernel_rows(t_packed=0.01),
         )
         path = tmp_path / "baseline.json"
         path.write_text(json.dumps({
@@ -228,3 +255,20 @@ class TestStorageBench:
         )
         code, _ = run_cli(["bench", "storage"])
         assert code == 1
+
+    def test_storage_answer_mismatch_fails_with_json(
+        self, tmp_path, monkeypatch
+    ):
+        """The snapshot-roundtrip CI job gates on this exit code; the
+        JSON report must still be written so the failure's evidence
+        can be uploaded as an artifact."""
+        result = self._result()
+        result.queries[0].answers_equal = False
+        monkeypatch.setattr(
+            bench_module, "run_storage_bench", lambda: result
+        )
+        json_path = tmp_path / "storage.json"
+        code, _ = run_cli(["bench", "storage", "--json", str(json_path)])
+        assert code == 1
+        doc = json.loads(json_path.read_text())
+        assert doc["answers_all_equal"] is False

@@ -71,7 +71,7 @@ class TestDbInfo:
         doc = json.loads(output)
         assert doc["n_triples"] == 20
         assert doc["n_hot"] + doc["n_cold"] == doc["n_predicates"]
-        assert {l["label"] for l in doc["labels"]} >= {"directed", "genre"}
+        assert {i["label"] for i in doc["labels"]} >= {"directed", "genre"}
 
     def test_info_on_garbage_errors(self, tmp_path):
         bad = tmp_path / "bad.snap"

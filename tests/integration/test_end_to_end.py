@@ -7,7 +7,6 @@ import pytest
 from repro.pipeline import PruningPipeline
 from repro.store import PROFILES
 from repro.workloads import (
-    CYCLIC_QUERIES,
     EXPECTED_EMPTY,
     LUBM_QUERIES,
     dataset_of,

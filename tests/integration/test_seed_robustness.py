@@ -14,7 +14,6 @@ from repro.workloads import (
     dataset_of,
     generate_dbpedia,
     generate_lubm,
-    iter_all_queries,
 )
 
 SEEDS = (1, 42, 2024)

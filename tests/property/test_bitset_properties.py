@@ -1,6 +1,6 @@
 """Property-based tests: the Bitset kernel behaves like Python sets."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.bitvec import Bitset
 

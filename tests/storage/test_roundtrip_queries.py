@@ -71,8 +71,10 @@ class TestMovieRoundTrip:
         query = MOVIE_QUERIES[name]
         memory = PruningPipeline(db)
         snapshot = _cold_pipeline(db, tmp_path, profile="rdfox-like")
-        assert snapshot.evaluate_full(query).as_set() == \
-            memory.evaluate_full(query).as_set()
+        assert (
+            snapshot.evaluate_full(query).as_set()
+            == memory.evaluate_full(query).as_set()
+        )
         mem_pruned, _ = memory.evaluate_pruned(query)
         snap_pruned, _ = snapshot.evaluate_pruned(query)
         assert snap_pruned.as_set() == mem_pruned.as_set()
@@ -84,14 +86,18 @@ class TestLubmRoundTrip:
         query = LUBM_QUERIES[name]
         memory = PruningPipeline(lubm_db)
         snapshot = _cold_pipeline(lubm_db, tmp_path)
-        assert snapshot.evaluate_full(query).as_set() == \
-            memory.evaluate_full(query).as_set()
+        assert (
+            snapshot.evaluate_full(query).as_set()
+            == memory.evaluate_full(query).as_set()
+        )
         mem_pruned, mem_outcome = memory.evaluate_pruned(query)
         snap_pruned, snap_outcome = snapshot.evaluate_pruned(query)
         assert snap_pruned.as_set() == mem_pruned.as_set()
         # the pruning stage itself must agree, not just final answers
-        assert snap_outcome.triples_after_pruning == \
-            mem_outcome.triples_after_pruning
+        assert (
+            snap_outcome.triples_after_pruning
+            == mem_outcome.triples_after_pruning
+        )
 
     def test_cold_tier_was_actually_exercised(self, lubm_db, tmp_path):
         pipeline = _cold_pipeline(lubm_db, tmp_path)

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import compile_query, solve
 from repro.errors import GraphError
-from repro.graph.database import example_movie_database
 from repro.storage import SnapshotWriter, TieredGraphView, write_snapshot
 from repro.workloads import generate_lubm
 
@@ -41,8 +40,10 @@ class TestInterface:
 
     def test_nodes_bitset(self, small_lubm, lubm_view):
         names = [small_lubm.node_name(i) for i in (0, 3, 5)]
-        assert lubm_view.nodes_bitset(names) == \
-            small_lubm.nodes_bitset(names)
+        assert (
+            lubm_view.nodes_bitset(names)
+            == small_lubm.nodes_bitset(names)
+        )
 
     def test_triples_match(self, small_lubm, lubm_view):
         assert set(lubm_view.triples()) == set(small_lubm.triples())
@@ -125,8 +126,10 @@ class TestResidency:
 
     def test_on_disk_bytes_is_file_size(self, lubm_view):
         report = lubm_view.residency()
-        assert report.on_disk_bytes == \
-            lubm_view.reader.path.stat().st_size
+        assert (
+            report.on_disk_bytes
+            == lubm_view.reader.path.stat().st_size
+        )
 
     def test_hot_snapshot_is_resident_at_open(self, small_lubm, tmp_path):
         path = tmp_path / "hot.snap"

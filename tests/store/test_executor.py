@@ -3,7 +3,7 @@ UNION, FILTER, per the Perez et al. semantics the paper builds on."""
 
 import pytest
 
-from repro.graph import GraphDatabase, Literal, example_movie_database
+from repro.graph import example_movie_database
 from repro.rdf import Variable
 from repro.sparql import parse_pattern, parse_query
 from repro.store import Executor, TripleStore

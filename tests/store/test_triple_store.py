@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import StoreError
-from repro.graph import GraphDatabase, Literal
+from repro.graph import Literal
 from repro.store import TripleStore
 
 

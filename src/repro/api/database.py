@@ -21,10 +21,11 @@ session code runs over memory or snapshot storage byte-identically.
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass
+import weakref
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    Callable,
     Dict,
     Hashable,
     Iterable,
@@ -68,7 +69,14 @@ def clear_open_cache() -> None:
 
 @dataclass
 class DatabaseStats:
-    """`Database.stats()` — one flat snapshot of a session."""
+    """`Database.stats()` — one flat snapshot of a session.
+
+    ``residency`` is the report captured when :meth:`Database.stats`
+    ran; :attr:`within_residency_budget` re-reads the backend instead
+    of trusting that snapshot, so the flag always reflects the
+    *post-demotion* state even when promotions (and enforcement)
+    happened after the stats object was built.
+    """
 
     backend: str
     n_triples: int
@@ -77,14 +85,29 @@ class DatabaseStats:
     profile: ExecutionProfile
     path: Optional[Path] = None
     residency: Optional[ResidencyReport] = None
+    residency_source: Optional[Callable[[], Optional[ResidencyReport]]] = (
+        field(default=None, repr=False, compare=False)
+    )
+
+    def _live_residency(self) -> Optional[ResidencyReport]:
+        if self.residency_source is not None:
+            try:
+                return self.residency_source()
+            except (ValueError, OSError):
+                # Backend released since this stats object was built
+                # (closed mmap): answer from the captured snapshot,
+                # like the pre-enforcement behavior.
+                pass
+        return self.residency
 
     @property
     def within_residency_budget(self) -> Optional[bool]:
         """None when no budget (or no residency notion) applies."""
         budget = self.profile.residency_budget
-        if budget is None or self.residency is None:
+        residency = self._live_residency()
+        if budget is None or residency is None:
             return None
-        return self.residency.resident_bytes <= budget
+        return residency.resident_bytes <= budget
 
     def to_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -103,6 +126,8 @@ class DatabaseStats:
                 "hot_labels": self.residency.hot_labels,
                 "cold_labels": self.residency.cold_labels,
                 "promotions": self.residency.promotions,
+                "demotions": self.residency.demotions,
+                "resident_labels": self.residency.resident_labels,
                 "resident_bytes": self.residency.resident_bytes,
                 "on_disk_bytes": self.residency.on_disk_bytes,
             }
@@ -120,7 +145,6 @@ class Database:
         self.profile = ExecutionProfile.coerce(profile)
         self._pipeline = None
         self._advisor = None
-        self._budget_warned = False
         self._cache_key: Optional[Tuple[str, int, int]] = None
 
     # -- constructors -----------------------------------------------------
@@ -265,18 +289,23 @@ class Database:
             self._advisor = PruningAdvisor(self.backend.triple_store())
         return self._advisor.advise(query, self.profile.engine)
 
-    def _check_budget(self) -> None:
-        budget = self.profile.residency_budget
-        if budget is None or self._budget_warned:
-            return
-        residency = self.backend.residency()
-        if residency is not None and residency.resident_bytes > budget:
-            self._budget_warned = True
-            warnings.warn(
-                f"resident packed blocks ({residency.resident_bytes} B) "
-                f"exceed the profile's residency budget ({budget} B)",
-                ResourceWarning,
-                stacklevel=3,
+    def _arm_budget(self) -> None:
+        """Hand this session's budget to the backend before a query,
+        so promotions during the solve shed LRU labels on the spot.
+
+        Re-armed per operation because `Database.open` shares cached
+        backends across sessions: whichever session is executing has
+        its own profile's budget in force.
+        """
+        self.backend.set_residency_budget(self.profile.residency_budget)
+
+    def _enforce_budget(self) -> None:
+        """Query-boundary enforcement: LRU-demote down to the budget
+        (hard ceiling, replacing the pre-PR-5 advisory warning) and
+        compact the batched kernel's block."""
+        if self.profile.residency_budget is not None:
+            self.backend.enforce_residency_budget(
+                self.profile.residency_budget
             )
 
     # -- query surface ----------------------------------------------------
@@ -302,6 +331,7 @@ class Database:
                 "('pruned', 'full', 'auto')"
             )
         advised = False
+        self._arm_budget()
         with self.profile.kernel_context():
             if mode == "auto":
                 mode = "pruned" if self.advise(query).recommended else "full"
@@ -318,15 +348,16 @@ class Database:
                     rounds=outcome.total_rounds,
                     t_simulation=outcome.t_simulation,
                 )
-        self._check_budget()
+        self._enforce_budget()
         return ResultSet(result, mode=mode, pruning=summary, advised=advised)
 
     def ask(self, query) -> bool:
         """ASK semantics with the dual-simulation fast path (an empty
         simulation answers 'no' without touching the join engine)."""
+        self._arm_budget()
         with self.profile.kernel_context():
             answer = self._pipeline_for().ask(query)
-        self._check_budget()
+        self._enforce_budget()
         return answer
 
     def simulate(self, query) -> SimulationOutcome:
@@ -341,6 +372,7 @@ class Database:
         from repro.core.solver import solve
 
         branches = []
+        self._arm_budget()
         with self.profile.kernel_context():
             for number, compiled in enumerate(compile_query(query)):
                 solved = solve(
@@ -362,7 +394,7 @@ class Database:
                         candidates=candidates,
                     )
                 )
-        self._check_budget()
+        self._enforce_budget()
         return SimulationOutcome(branches)
 
     def explain(self, query) -> str:
@@ -392,9 +424,10 @@ class Database:
         """Run the paper's full per-query experiment (full vs pruned
         evaluation, Tables 3-5); returns a
         :class:`~repro.pipeline.PipelineReport`."""
+        self._arm_budget()
         with self.profile.kernel_context():
             report = self._pipeline_for().run(query, name=name)
-        self._check_budget()
+        self._enforce_budget()
         return report
 
     # -- introspection ----------------------------------------------------
@@ -415,6 +448,18 @@ class Database:
         return self.backend.triples()
 
     def stats(self) -> DatabaseStats:
+        # The live-residency source holds the backend weakly: stats
+        # objects collected per query for monitoring must not pin the
+        # resident tier (that would be the unbounded-memory pattern
+        # the residency budget exists to prevent).
+        backend_ref = weakref.ref(self.backend)
+
+        def live_residency() -> Optional[ResidencyReport]:
+            backend = backend_ref()
+            if backend is None:
+                raise ValueError("backend released")  # snapshot fallback
+            return backend.residency()
+
         return DatabaseStats(
             backend=self.backend.kind,
             n_triples=self.backend.n_triples,
@@ -423,6 +468,7 @@ class Database:
             profile=self.profile,
             path=getattr(self.backend, "path", None),
             residency=self.backend.residency(),
+            residency_source=live_residency,
         )
 
     # -- lifecycle --------------------------------------------------------

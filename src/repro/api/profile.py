@@ -43,9 +43,16 @@ class ExecutionProfile:
       ``None`` defers to the process default, which still honors the
       deprecated ``REPRO_KERNEL`` variable;
     * ``solver`` — SOI fixpoint strategy knobs (Sect. 3.3);
-    * ``residency_budget`` — advisory ceiling, in bytes, on resident
-      packed blocks for snapshot-backed sessions; ``Database.stats()``
-      reports whether the session is within it.
+    * ``residency_budget`` — hard ceiling, in bytes, on resident
+      packed blocks for snapshot-backed sessions.  Enforced by an LRU
+      demotion pass over materialized labels: after every query (and
+      on every mid-solve promotion) the least-recently-touched labels
+      drop back to their on-disk rows until the ceiling holds, with
+      Eq. (13) summaries kept resident.  Answers are unaffected —
+      demoted labels transparently re-materialize on the next touch —
+      and ``Database.stats()`` reports the demotion counters.
+      (Advisory-only before PR 5: the old one-time ``ResourceWarning``
+      is gone.)
     """
 
     engine: str = "virtuoso-like"

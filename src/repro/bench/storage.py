@@ -49,6 +49,31 @@ class StorageQueryRow:
 
 
 @dataclass
+class ChurnScenario:
+    """Demotion churn under a hard residency budget.
+
+    The query set is looped for several rounds over a session whose
+    budget is deliberately too small for the working set, so every
+    round promotes, demotes, and re-promotes labels (the
+    promote -> demote -> re-promote cycle the LRU pass must survive).
+    Answers are asserted equal to the unbudgeted run per query.
+    """
+
+    budget: int                 # enforced ceiling, bytes
+    rounds: int                 # passes over the query set
+    t_total: float              # wall time of the whole churn pass
+    promotions: int             # decode count (re-promotions included)
+    demotions: int              # labels demoted by the LRU pass
+    steady_resident_bytes: int  # resident after the final enforcement
+    max_resident_bytes: int     # worst boundary-time residency seen
+    answers_all_equal: bool
+
+    @property
+    def within_budget(self) -> bool:
+        return self.max_resident_bytes <= self.budget
+
+
+@dataclass
 class StorageBenchResult:
     """One full storage-bench run."""
 
@@ -65,10 +90,13 @@ class StorageBenchResult:
     cold_labels: int = 0
     promotions: int = 0
     resident_bytes: int = 0
+    churn: Optional[ChurnScenario] = None
 
     @property
     def answers_all_equal(self) -> bool:
-        return all(q.answers_equal for q in self.queries)
+        return all(q.answers_equal for q in self.queries) and (
+            self.churn is None or self.churn.answers_all_equal
+        )
 
 
 def run_storage_bench(
@@ -77,8 +105,15 @@ def run_storage_bench(
     profile: str = "virtuoso-like",
     workdir: Optional[Union[str, Path]] = None,
     seed: int = 7,
+    churn_rounds: int = 2,
 ) -> StorageBenchResult:
-    """Build both artifacts, open both ways, run the query set."""
+    """Build both artifacts, open both ways, run the query set.
+
+    ``churn_rounds`` > 0 additionally loops the query set that many
+    times over a *budgeted* session (ceiling = half the unbudgeted
+    working set) and records the demotion-churn counters; 0 skips the
+    scenario.
+    """
     from repro.storage import TieredGraphView, write_snapshot
 
     names = list(queries) if queries is not None else sorted(LUBM_QUERIES)
@@ -113,6 +148,7 @@ def run_storage_bench(
         snap_view = snap_pipeline.db
 
         rows: List[StorageQueryRow] = []
+        expected: Dict[str, frozenset] = {}
         for name in names:
             query = LUBM_QUERIES[name]
             start = time.perf_counter()
@@ -121,19 +157,27 @@ def run_storage_bench(
             start = time.perf_counter()
             snap_result, _ = snap_pipeline.evaluate_pruned(query)
             t_snap = time.perf_counter() - start
+            expected[name] = frozenset(text_result.as_set())
             rows.append(
                 StorageQueryRow(
                     query=name,
                     t_text=t_text,
                     t_snapshot=t_snap,
                     answers_equal=(
-                        text_result.as_set() == snap_result.as_set()
+                        expected[name] == snap_result.as_set()
                     ),
                     promotions_after=snap_view.promotions,
                 )
             )
 
         residency = snap_view.residency()
+        churn = None
+        if churn_rounds > 0:
+            churn = _run_churn_scenario(
+                snap_path, names, expected, profile,
+                budget=max(1, residency.resident_bytes // 2),
+                rounds=churn_rounds,
+            )
         return StorageBenchResult(
             lubm_universities=lubm_universities,
             profile=profile,
@@ -148,7 +192,46 @@ def run_storage_bench(
             cold_labels=residency.cold_labels,
             promotions=residency.promotions,
             resident_bytes=residency.resident_bytes,
+            churn=churn,
         )
+
+
+def _run_churn_scenario(
+    snap_path: Path,
+    names: Sequence[str],
+    expected: Dict[str, frozenset],
+    profile: str,
+    budget: int,
+    rounds: int,
+) -> ChurnScenario:
+    """Loop the query set under a hard budget, enforcing per query."""
+    backend = SnapshotBackend(snap_path)
+    backend.set_residency_budget(budget)
+    pipeline = PruningPipeline(profile=profile, backend=backend)
+    answers_equal = True
+    max_resident = 0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        for name in names:
+            result, _ = pipeline.evaluate_pruned(LUBM_QUERIES[name])
+            equal = expected[name] == result.as_set()
+            answers_equal = answers_equal and equal
+            backend.enforce_residency_budget(budget)
+            max_resident = max(
+                max_resident, backend.graph.resident_bytes()
+            )
+    t_total = time.perf_counter() - start
+    residency = backend.residency()
+    return ChurnScenario(
+        budget=budget,
+        rounds=rounds,
+        t_total=t_total,
+        promotions=residency.promotions,
+        demotions=residency.demotions,
+        steady_resident_bytes=residency.resident_bytes,
+        max_resident_bytes=max_resident,
+        answers_all_equal=answers_equal,
+    )
 
 
 def render_storage_bench(result: StorageBenchResult) -> str:
@@ -174,6 +257,21 @@ def render_storage_bench(result: StorageBenchResult) -> str:
         f"residency: {result.hot_labels} hot, {result.cold_labels} cold, "
         f"{result.promotions} promoted; {result.resident_bytes} B resident "
         f"vs {result.snapshot_bytes} B on disk",
+    ]
+    if result.churn is not None:
+        churn = result.churn
+        lines.append(
+            f"churn: budget {churn.budget} B x {churn.rounds} rounds "
+            f"in {_t(churn.t_total)}: {churn.promotions} promotions, "
+            f"{churn.demotions} demotions, steady "
+            f"{churn.steady_resident_bytes} B resident "
+            f"(max {churn.max_resident_bytes} B at boundaries), "
+            f"within budget: "
+            f"{'yes' if churn.within_budget else 'NO'}, "
+            f"answers equal: "
+            f"{'yes' if churn.answers_all_equal else 'NO'}"
+        )
+    lines.append(
         render_table(
             ["Query", "t_text", "t_snapshot", "speedup", "promoted",
              "equal"],
@@ -191,17 +289,22 @@ def render_storage_bench(result: StorageBenchResult) -> str:
                 ]
                 for row in result.queries
             ),
-        ),
-    ]
+        )
+    )
     return "\n".join(lines)
 
 
 def write_storage_bench_json(
     path: Union[str, Path], result: StorageBenchResult
 ) -> Dict:
-    """Machine-readable record (schema ``repro-storage-bench/v1``)."""
+    """Machine-readable record (schema ``repro-storage-bench/v2``).
+
+    v2 adds the ``churn`` section (demotion counts and steady-state
+    resident bytes under an enforced budget); ``churn`` is ``null``
+    when the scenario was skipped (``churn_rounds=0``).
+    """
     document = {
-        "schema": "repro-storage-bench/v1",
+        "schema": "repro-storage-bench/v2",
         "python": platform.python_version(),
         "workload": {
             "dataset": "lubm",
@@ -225,6 +328,20 @@ def write_storage_bench_json(
             "resident_bytes": result.resident_bytes,
             "on_disk_bytes": result.snapshot_bytes,
         },
+        "churn": (
+            None if result.churn is None else {
+                "budget": result.churn.budget,
+                "rounds": result.churn.rounds,
+                "t_total": result.churn.t_total,
+                "promotions": result.churn.promotions,
+                "demotions": result.churn.demotions,
+                "steady_resident_bytes":
+                    result.churn.steady_resident_bytes,
+                "max_resident_bytes": result.churn.max_resident_bytes,
+                "within_budget": result.churn.within_budget,
+                "answers_all_equal": result.churn.answers_all_equal,
+            }
+        ),
         "queries": [
             {
                 "query": row.query,

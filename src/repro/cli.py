@@ -172,6 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "pruned evaluation) and report both timings")
     dbq.add_argument("--limit", type=int, default=20,
                      help="max solutions to print (0 = all)")
+    dbq.add_argument("--budget", type=int, default=None,
+                     help="hard residency budget in bytes: after the "
+                          "query, least-recently-touched labels are "
+                          "demoted back to disk until resident packed "
+                          "bytes fit")
     _add_execution_flags(dbq)
 
     return parser
@@ -190,6 +195,7 @@ def _execution_profile(args, default_mode: str = "full") -> ExecutionProfile:
         engine=getattr(args, "profile", "virtuoso-like"),
         pruning=getattr(args, "mode", None) or default_mode,
         kernel=getattr(args, "kernel", None),
+        residency_budget=getattr(args, "budget", None),
     )
 
 
@@ -300,6 +306,21 @@ def cmd_db(args, out) -> int:
                 f"({info.n_hot} hot / {info.n_cold} cold)",
                 file=out,
             )
+            if info.labels:
+                # Budget-sizing guidance for `db query --budget` /
+                # ExecutionProfile(residency_budget=...): what full
+                # promotion would pin resident, and the largest single
+                # label (a budget below it still works — the LRU pass
+                # demotes down to zero resident at query boundaries —
+                # but every query re-materializes that label).
+                full = sum(i.dense_bytes for i in info.labels)
+                largest = max(info.labels, key=lambda i: i.dense_bytes)
+                print(
+                    f"residency budget guide: ~{full} B fully "
+                    f"promoted; largest label {largest.label!r} "
+                    f"~{largest.dense_bytes} B",
+                    file=out,
+                )
             print(
                 render_table(
                     ["Label", "Tier", "Edges", "Disk", "Dense", "Ratio"],
@@ -330,12 +351,17 @@ def cmd_db(args, out) -> int:
     )
     _run_session_query(db, args, out)
     residency = db.stats().residency
+    budget = (
+        f", budget {residency.residency_budget} B"
+        if residency.residency_budget is not None else ""
+    )
     print(
         f"residency: {residency.hot_labels} hot, "
         f"{residency.cold_labels} cold, "
-        f"{residency.promotions} promoted "
+        f"{residency.promotions} promoted, "
+        f"{residency.demotions} demoted "
         f"({residency.resident_bytes} B resident vs "
-        f"{residency.on_disk_bytes} B on disk)",
+        f"{residency.on_disk_bytes} B on disk{budget})",
         file=out,
     )
     return 0

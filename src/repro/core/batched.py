@@ -232,6 +232,11 @@ def run_batched(
     add_col = batch.add_col
     pending = batch.targets  # stable identity: flush() clears in place
     get_pair = matrices.get
+    # Tiered views serve Eq. (13) summaries without materializing the
+    # label, so the saturated-source shortcut below never promotes (or
+    # re-promotes a demoted label); plain dict matrices (None here)
+    # read them off the pair, which is already resident by definition.
+    get_summaries = getattr(matrices, "summaries", None)
     queue = sorted(range(len(inequalities)), key=rank.__getitem__)
     while queue:
         report.rounds += 1
@@ -260,9 +265,15 @@ def run_batched(
                     updated.add(target)
                 continue
             ineq = inequalities[idx]
-            pair = get_pair(ineq.label)
             source_count = source_row.count()
-            if pair is None or source_count == 0:
+            if get_summaries is not None:
+                pair = None
+                summaries = get_summaries(ineq.label)
+                absent = summaries is None
+            else:
+                pair = get_pair(ineq.label)
+                absent = pair is None
+            if absent or source_count == 0:
                 # Absent label or empty source: the product is the
                 # zero vector either way — no kernel work needed.
                 rows[target] = Bitset.zeros(n)
@@ -271,8 +282,12 @@ def run_batched(
                 updated.add(target)
                 continue
             forward = ineq.matrix == FORWARD
-            primary = pair.forward if forward else pair.backward
-            summary = primary.summary
+            if pair is None:
+                summary = summaries[0] if forward else summaries[1]
+            else:
+                summary = (
+                    pair.forward if forward else pair.backward
+                ).summary
             if (
                 source_count >= summary.count()
                 and summary.issubset(source_row)
@@ -283,10 +298,16 @@ def run_batched(
                 # One subset test + one AND replace gather and reduce
                 # (round 1 hits this for every degree-one pattern
                 # variable: summary initialization made them equal to
-                # this very summary).
-                dual_summary = (
-                    pair.backward if forward else pair.forward
-                ).summary
+                # this very summary).  Served summary-only on tiered
+                # views: the label is never materialized for it.
+                if pair is None:
+                    dual_summary = (
+                        summaries[1] if forward else summaries[0]
+                    )
+                else:
+                    dual_summary = (
+                        pair.backward if forward else pair.forward
+                    ).summary
                 tightened = target_row & dual_summary
                 after = tightened.count()
                 if after != before:
@@ -295,11 +316,14 @@ def run_batched(
                     report.bits_removed += before - after
                     updated.add(target)
                 continue
+            if pair is None:
+                # Tiered view, real product ahead: materialize now.
+                pair = get_pair(ineq.label)
             strategy = product
             if strategy == "auto":
                 strategy = "column" if before < source_count else "row"
             if strategy == "row":
-                matrix = primary
+                matrix = pair.forward if forward else pair.backward
                 where = entry(
                     ineq.label, "forward" if forward else "backward",
                     matrix,

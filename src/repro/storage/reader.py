@@ -233,6 +233,14 @@ class SnapshotReader:
             )
         return nodes
 
+    def row_nodes(self, label: str, direction: str) -> np.ndarray:
+        """The node ids owning a non-empty row in the block — i.e. the
+        set bits of the Eq. (13) summary vector — served straight from
+        the block table without decoding any row payload (the
+        summary-only cold read behind
+        :meth:`TieredGraphView.label_summaries`)."""
+        return self._row_nodes(self._entry(label, direction))
+
     def dense_matrix(self, label: str, direction: str) -> AdjacencyMatrix:
         """Zero-copy :class:`AdjacencyMatrix` over a dense block."""
         entry = self._entry(label, direction)

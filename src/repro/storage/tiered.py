@@ -1,4 +1,5 @@
-"""Tiered graph view: hot packed blocks + cold gap blocks, promoted lazily.
+"""Tiered graph view: hot packed blocks + cold gap blocks, promoted
+lazily and demoted under a residency budget.
 
 :class:`TieredGraphView` opens a snapshot and satisfies the adjacency
 interface the SOI solver and the pruning stage consume from
@@ -19,6 +20,20 @@ counters (:meth:`residency`) expose how much of the database is
 actually materialized — the quantity behind the paper's 35 GB fully
 dense vs 23 GB mixed-residency comparison (Sect. 3.3).
 
+Residency is bounded, not just reported.  Every lookup refreshes the
+label's position in a touch-ordered LRU; when
+:attr:`residency_budget` is set, a promotion that pushes resident
+packed bytes over the budget **demotes** the least-recently-touched
+resident labels (gap labels drop their decoded blocks back to the
+on-disk gap rows, dense labels drop their zero-copy wrappers), and
+:meth:`enforce_budget` runs the same pass at query boundaries and
+compacts the batched kernel's shared block.  Demotion keeps each
+label's Eq. (13) summary vectors resident (they are tiny —
+2 x n/8 bytes), so summary initialization and the batched kernel's
+saturated-source shortcut never force a label back in; summaries of
+never-promoted cold labels are likewise served straight from the
+block table's row node ids without decoding a single row.
+
 A view is read-only; it intentionally does **not** implement the
 mutation or set-based traversal surface of :class:`Graph` (``add_edge``,
 ``successors`` over Python sets, ...).  Materialize via
@@ -27,12 +42,22 @@ mutation or set-based traversal surface of :class:`Graph` (``add_edge``,
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple, Union
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.bitvec import Bitset, LabelMatrixPair
-from repro.bitvec.gap import GapEncodedMatrix
 from repro.errors import GraphError
 from repro.storage.reader import SnapshotReader
 
@@ -42,12 +67,16 @@ class ResidencyReport:
     """How much of an open snapshot is materialized in memory."""
 
     n_labels: int
-    hot_labels: int          # stored dense, resident since open
-    cold_labels: int         # still gap-encoded on disk
-    promotions: int          # cold labels decoded so far
+    hot_labels: int          # stored dense, currently resident
+    cold_labels: int         # not resident (on-disk rows only)
+    promotions: int          # cold labels decoded so far (re-decodes too)
     promoted_labels: Tuple[str, ...]
     resident_bytes: int      # packed blocks currently materialized
     on_disk_bytes: int       # snapshot file size
+    demotions: int = 0       # labels dropped by the LRU pass so far
+    demoted_labels: Tuple[str, ...] = ()
+    resident_labels: int = 0     # labels currently materialized
+    residency_budget: Optional[int] = None
 
     @property
     def resident_ratio(self) -> float:
@@ -55,13 +84,21 @@ class ResidencyReport:
             return 0.0
         return self.resident_bytes / self.on_disk_bytes
 
+    @property
+    def within_budget(self) -> Optional[bool]:
+        if self.residency_budget is None:
+            return None
+        return self.resident_bytes <= self.residency_budget
+
 
 class TieredMatrices:
     """Mapping ``label -> LabelMatrixPair`` with promote-on-first-touch.
 
     Lookups of hot or already-promoted labels are dict hits; the first
-    lookup of a cold label decodes it.  Iteration (``keys`` / ``len`` /
-    ``in``) never promotes.
+    lookup of a cold (or demoted) label materializes it.  Iteration
+    (``keys`` / ``len`` / ``in``) never promotes, and
+    :meth:`summaries` serves Eq. (13) summary vectors without
+    promoting either.
     """
 
     def __init__(self, view: "TieredGraphView"):
@@ -76,6 +113,10 @@ class TieredMatrices:
     def get(self, label: str, default=None):
         pair = self._view._pair(label)
         return default if pair is None else pair
+
+    def summaries(self, label: str) -> Optional[Tuple[Bitset, Bitset]]:
+        """(forward, backward) Eq. (13) summaries, promotion-free."""
+        return self._view.label_summaries(label)
 
     def __contains__(self, label: str) -> bool:
         return label in self._view._label_set
@@ -110,7 +151,11 @@ def _pair_resident_bytes(pair: LabelMatrixPair) -> int:
 class TieredGraphView:
     """A graph database served from a snapshot, tiered hot/cold."""
 
-    def __init__(self, source: Union[str, Path, SnapshotReader]):
+    def __init__(
+        self,
+        source: Union[str, Path, SnapshotReader],
+        residency_budget: Optional[int] = None,
+    ):
         if isinstance(source, SnapshotReader):
             self.reader = source
         else:
@@ -122,22 +167,20 @@ class TieredGraphView:
         }
         self._labels: List[str] = reader.labels()
         self._label_set: Set[str] = set(self._labels)
-        self._pairs: Dict[str, LabelMatrixPair] = {}
-        self._cold: Dict[str, Tuple[GapEncodedMatrix, GapEncodedMatrix]] = {}
-        self._hot_labels: Set[str] = set()
+        #: label -> storage tier ("dense" or "gap"), fixed by the file.
+        self._tiers: Dict[str, str] = {
+            label: reader.encoding_of(label) for label in self._labels
+        }
+        #: Resident pairs in LRU order (least-recently-touched first).
+        self._pairs: "OrderedDict[str, LabelMatrixPair]" = OrderedDict()
+        #: Eq. (13) summaries that outlive their pair (see module doc).
+        self._summaries: Dict[str, Tuple[Bitset, Bitset]] = {}
         self._promoted: List[str] = []
+        self._demoted: List[str] = []
+        self.residency_budget = residency_budget
         for label in self._labels:
-            if reader.encoding_of(label) == "dense":
-                pair = LabelMatrixPair(reader.n_nodes)
-                pair.forward = reader.dense_matrix(label, "forward")
-                pair.backward = reader.dense_matrix(label, "backward")
-                self._pairs[label] = pair
-                self._hot_labels.add(label)
-            else:
-                self._cold[label] = (
-                    reader.gap_matrix(label, "forward"),
-                    reader.gap_matrix(label, "backward"),
-                )
+            if self._tiers[label] == "dense":
+                self._materialize(label)
         self._matrices = TieredMatrices(self)
         self._batched = None
 
@@ -146,52 +189,181 @@ class TieredGraphView:
     def _pair(self, label: str) -> LabelMatrixPair | None:
         pair = self._pairs.get(label)
         if pair is not None:
+            self._pairs.move_to_end(label)  # LRU touch
             return pair
-        cold = self._cold.get(label)
-        if cold is None:
+        if label not in self._label_set:
             return None
         return self.promote(label)
 
+    def _materialize(self, label: str) -> LabelMatrixPair:
+        """Build the resident pair for a label (no budget check)."""
+        reader = self.reader
+        pair = LabelMatrixPair(reader.n_nodes)
+        if self._tiers[label] == "dense":
+            pair.forward = reader.dense_matrix(label, "forward")
+            pair.backward = reader.dense_matrix(label, "backward")
+        else:
+            pair.forward = reader.gap_matrix(
+                label, "forward"
+            ).to_adjacency()
+            pair.backward = reader.gap_matrix(
+                label, "backward"
+            ).to_adjacency()
+            self._promoted.append(label)
+        self._pairs[label] = pair  # lands at the MRU end
+        self._summaries.setdefault(
+            label, (pair.forward.summary, pair.backward.summary)
+        )
+        return pair
+
     def promote(self, label: str) -> LabelMatrixPair:
-        """Decode a cold label into packed matrices (idempotent)."""
+        """Materialize a label into packed matrices (idempotent).
+
+        Gap-tier labels decode through ``to_adjacency``; demoted
+        dense-tier labels re-wrap their zero-copy mmap views.  When a
+        :attr:`residency_budget` is set, the promotion immediately
+        sheds least-recently-touched *other* labels so mid-solve
+        promotions respect the ceiling too.
+        """
         pair = self._pairs.get(label)
         if pair is not None:
+            self._pairs.move_to_end(label)
             return pair
-        try:
-            forward, backward = self._cold.pop(label)
-        except KeyError:
-            raise GraphError(f"unknown label: {label!r}") from None
-        pair = LabelMatrixPair(self.reader.n_nodes)
-        pair.forward = forward.to_adjacency()
-        pair.backward = backward.to_adjacency()
-        self._pairs[label] = pair
-        self._promoted.append(label)
+        if label not in self._label_set:
+            raise GraphError(f"unknown label: {label!r}")
+        pair = self._materialize(label)
+        if self.residency_budget is not None:
+            self._shed(protect=label)
         return pair
 
     def promote_all(self) -> None:
-        """Force-decode every cold label (benchmarks, warm-up)."""
-        for label in list(self._cold):
-            self.promote(label)
+        """Force-materialize every non-resident label (benchmarks,
+        warm-up).  Ignores the budget; enforcement re-applies it."""
+        for label in self._labels:
+            if label not in self._pairs:
+                self._materialize(label)
+
+    def demote(self, label: str) -> int:
+        """Drop a resident label's packed blocks; returns bytes freed.
+
+        The label's Eq. (13) summaries stay resident, its batched
+        segments are invalidated (reclaimed by the next compaction),
+        and the next ``matrices().get(label)`` transparently
+        re-materializes it from the on-disk rows.
+        """
+        pair = self._pairs.pop(label, None)
+        if pair is None:
+            raise GraphError(f"label not resident: {label!r}")
+        freed = _pair_resident_bytes(pair)
+        self._demoted.append(label)
+        if self._batched is not None:
+            self._batched.invalidate(label)
+        return freed
+
+    def _shed(self, protect: Optional[str] = None) -> int:
+        """Demote LRU labels until resident bytes fit the budget.
+
+        ``protect`` (the label a mid-solve promotion just brought in)
+        is never evicted, so the pair the solver is about to use stays
+        valid even under a budget smaller than that single label; the
+        boundary-time :meth:`enforce_budget` pass runs unprotected.
+        """
+        budget = self.residency_budget
+        if budget is None:
+            return 0
+        demoted = 0
+        while self.resident_bytes() > budget:
+            victim = next(
+                (lab for lab in self._pairs if lab != protect), None
+            )
+            if victim is None:
+                break
+            self.demote(victim)
+            demoted += 1
+        return demoted
+
+    def enforce_budget(self, budget: Optional[int] = None) -> int:
+        """Apply the residency budget now; returns labels demoted.
+
+        Called at query boundaries: demotes least-recently-touched
+        labels until resident packed bytes fit the budget (``None``
+        keeps the current one), then compacts the batched kernel's
+        shared block so demoted segments release their bytes as well.
+        Safe to call any time no solve is in flight.
+        """
+        if budget is not None:
+            self.residency_budget = budget
+        demoted = self._shed()
+        if self._batched is not None and (
+            demoted or self._batched.stale_rows
+        ):
+            self._batched.compact()
+        return demoted
 
     @property
     def promotions(self) -> int:
         return len(self._promoted)
 
+    @property
+    def demotions(self) -> int:
+        return len(self._demoted)
+
     def is_resident(self, label: str) -> bool:
         return label in self._pairs
 
-    def residency(self) -> ResidencyReport:
-        resident = sum(
+    def resident_bytes(self) -> int:
+        """Packed bytes currently materialized (the budgeted value)."""
+        return sum(
             _pair_resident_bytes(pair) for pair in self._pairs.values()
         )
+
+    def lru_labels(self) -> Tuple[str, ...]:
+        """Resident labels, least-recently-touched first."""
+        return tuple(self._pairs)
+
+    def label_summaries(
+        self, label: str
+    ) -> Optional[Tuple[Bitset, Bitset]]:
+        """The label's (forward, backward) Eq. (13) summary vectors,
+        or ``None`` for an unknown label — never promotes.
+
+        Resident and previously-materialized labels answer from the
+        summary cache; a never-touched cold label's summaries are
+        built from the block table's row node ids (non-empty rows are
+        exactly the indexed ones), without decoding any row payload.
+        """
+        cached = self._summaries.get(label)
+        if cached is not None:
+            return cached
+        if label not in self._label_set:
+            return None
+        n = self.reader.n_nodes
+        summaries = tuple(
+            Bitset.from_indices(n, self.reader.row_nodes(label, d))
+            for d in ("forward", "backward")
+        )
+        self._summaries[label] = summaries
+        return summaries
+
+    def _hot_resident(self) -> int:
+        """Dense-tier labels currently materialized."""
+        return sum(
+            1 for label in self._pairs if self._tiers[label] == "dense"
+        )
+
+    def residency(self) -> ResidencyReport:
         return ResidencyReport(
             n_labels=len(self._labels),
-            hot_labels=len(self._hot_labels),
-            cold_labels=len(self._cold),
+            hot_labels=self._hot_resident(),
+            cold_labels=len(self._labels) - len(self._pairs),
             promotions=len(self._promoted),
             promoted_labels=tuple(self._promoted),
-            resident_bytes=resident,
+            resident_bytes=self.resident_bytes(),
             on_disk_bytes=self.reader.file_bytes,
+            demotions=len(self._demoted),
+            demoted_labels=tuple(self._demoted),
+            resident_labels=len(self._pairs),
+            residency_budget=self.residency_budget,
         )
 
     # -- Graph adjacency interface ------------------------------------------
@@ -222,7 +394,9 @@ class TieredGraphView:
         cold label promoted mid-solve simply *appends* its freshly
         decoded rows to the concatenated block on its first batched
         product — labels already stacked are never re-copied (the
-        block grows geometrically, amortized O(1) per row).
+        block grows geometrically, amortized O(1) per row).  A
+        demotion invalidates the label's segments; the boundary-time
+        :meth:`enforce_budget` compaction reclaims them.
         """
         if self._batched is None:
             from repro.bitvec.kernel import BatchedBlockSet
@@ -274,8 +448,10 @@ class TieredGraphView:
 
     def __repr__(self) -> str:
         report = (
-            f"hot={len(self._hot_labels)}, cold={len(self._cold)}, "
-            f"promoted={len(self._promoted)}"
+            f"hot={self._hot_resident()}, "
+            f"cold={len(self._labels) - len(self._pairs)}, "
+            f"promoted={len(self._promoted)}, "
+            f"demoted={len(self._demoted)}"
         )
         return (
             f"TieredGraphView(|O|={self.n_nodes}, "

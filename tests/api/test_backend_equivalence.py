@@ -135,71 +135,149 @@ class TestLubmQueries:
                 assert mb.candidates == sb.candidates
 
 
+class TestTightBudgetColumn:
+    """The PR-5 column of the equivalence matrix: a snapshot session
+    under a deliberately pathological residency budget (1 byte —
+    smaller than any single label, so every query boundary demotes
+    everything) must answer every movie + LUBM query identically to
+    the unbudgeted in-memory session, in every mode."""
+
+    BUDGET = 1
+
+    @pytest.fixture(scope="class")
+    def movie_budgeted(self, tmp_path_factory):
+        db = example_movie_database()
+        path = tmp_path_factory.mktemp("budget") / "movies.snap"
+        SnapshotWriter(path, cold_threshold=1e9).write(db)
+        memory = Database.in_memory(db)
+        budgeted = Database.open(
+            path,
+            profile=ExecutionProfile(residency_budget=self.BUDGET),
+            cached=False,
+        )
+        yield memory, budgeted
+        budgeted.close()
+
+    @pytest.fixture(scope="class")
+    def lubm_budgeted(self, tmp_path_factory):
+        db = generate_lubm(n_universities=1, seed=7, spiral_length=8)
+        path = tmp_path_factory.mktemp("budget") / "lubm.snap"
+        SnapshotWriter(path, cold_threshold=1e9).write(db)
+        memory = Database.in_memory(db)
+        budgeted = Database.open(
+            path,
+            profile=ExecutionProfile(residency_budget=self.BUDGET),
+            cached=False,
+        )
+        yield memory, budgeted
+        budgeted.close()
+
+    @pytest.mark.parametrize("mode", ("full", "pruned", "auto"))
+    @pytest.mark.parametrize("name", sorted(MOVIE_QUERIES))
+    def test_movie_identical_under_budget(
+        self, movie_budgeted, name, mode
+    ):
+        memory, budgeted = movie_budgeted
+        query = MOVIE_QUERIES[name]
+        assert _canonical(memory.query(query, mode=mode)) == _canonical(
+            budgeted.query(query, mode=mode)
+        )
+        residency = budgeted.stats().residency
+        assert residency.resident_bytes <= self.BUDGET
+
+    @pytest.mark.parametrize("mode", ("full", "pruned", "auto"))
+    @pytest.mark.parametrize("name", sorted(LUBM_QUERIES))
+    def test_lubm_identical_under_budget(
+        self, lubm_budgeted, name, mode
+    ):
+        memory, budgeted = lubm_budgeted
+        query = LUBM_QUERIES[name]
+        assert _canonical(memory.query(query, mode=mode)) == _canonical(
+            budgeted.query(query, mode=mode)
+        )
+        residency = budgeted.stats().residency
+        assert residency.resident_bytes <= self.BUDGET
+
+    def test_budget_demotes_across_the_session(self, lubm_budgeted):
+        _, budgeted = lubm_budgeted
+        residency = budgeted.stats().residency
+        assert residency.demotions > 0
+        assert budgeted.stats().within_residency_budget is True
+
+
 class TestKernelMatrix:
     """Every kernel must return byte-identical answers on every
     backend — the PR-4 acceptance matrix (movie + LUBM queries across
-    packed/batched/reference, memory and cold snapshot)."""
+    packed/batched/reference, memory and cold snapshot), extended in
+    PR 5 with a tight-budget snapshot session per kernel (the LRU
+    demotion pass must be invisible to answers on every kernel)."""
+
+    BUDGET = 1
+
+    def _sessions_for(self, db, path):
+        sessions = {}
+        for kernel in KERNELS:
+            profile = ExecutionProfile(kernel=kernel)
+            sessions[kernel] = (
+                Database.in_memory(db, profile=profile),
+                Database.open(path, profile=profile, cached=False),
+                Database.open(
+                    path,
+                    profile=profile.replace(
+                        residency_budget=self.BUDGET
+                    ),
+                    cached=False,
+                ),
+            )
+        return sessions
 
     @pytest.fixture(scope="class")
     def movie_sessions(self, tmp_path_factory):
         db = example_movie_database()
         path = tmp_path_factory.mktemp("kernels") / "movies.snap"
         SnapshotWriter(path, cold_threshold=1e9).write(db)
-        sessions = {}
-        for kernel in KERNELS:
-            profile = ExecutionProfile(kernel=kernel)
-            sessions[kernel] = (
-                Database.in_memory(db, profile=profile),
-                Database.open(path, profile=profile, cached=False),
-            )
+        sessions = self._sessions_for(db, path)
         yield sessions
-        for _, snapshot in sessions.values():
+        for _, snapshot, budgeted in sessions.values():
             snapshot.close()
+            budgeted.close()
 
     @pytest.fixture(scope="class")
     def lubm_sessions(self, tmp_path_factory):
         db = generate_lubm(n_universities=1, seed=7, spiral_length=8)
         path = tmp_path_factory.mktemp("kernels") / "lubm.snap"
         SnapshotWriter(path, cold_threshold=1e9).write(db)
-        sessions = {}
-        for kernel in KERNELS:
-            profile = ExecutionProfile(kernel=kernel)
-            sessions[kernel] = (
-                Database.in_memory(db, profile=profile),
-                Database.open(path, profile=profile, cached=False),
-            )
+        sessions = self._sessions_for(db, path)
         yield sessions
-        for _, snapshot in sessions.values():
+        for _, snapshot, budgeted in sessions.values():
             snapshot.close()
+            budgeted.close()
+
+    def _assert_matrix(self, sessions, query):
+        expected = None
+        for kernel in KERNELS:
+            memory, snapshot, budgeted = sessions[kernel]
+            mem = _canonical(memory.query(query, mode="pruned"))
+            snap = _canonical(snapshot.query(query, mode="pruned"))
+            capped = _canonical(budgeted.query(query, mode="pruned"))
+            assert mem == snap, kernel
+            assert mem == capped, kernel
+            assert (
+                budgeted.stats().residency.resident_bytes <= self.BUDGET
+            ), kernel
+            if expected is None:
+                expected = mem
+            else:
+                assert mem == expected, kernel
 
     @pytest.mark.parametrize("name", sorted(MOVIE_QUERIES))
     def test_movie_queries_identical_across_kernels(
         self, movie_sessions, name
     ):
-        query = MOVIE_QUERIES[name]
-        expected = None
-        for kernel in KERNELS:
-            memory, snapshot = movie_sessions[kernel]
-            mem = _canonical(memory.query(query, mode="pruned"))
-            snap = _canonical(snapshot.query(query, mode="pruned"))
-            assert mem == snap, kernel
-            if expected is None:
-                expected = mem
-            else:
-                assert mem == expected, kernel
+        self._assert_matrix(movie_sessions, MOVIE_QUERIES[name])
 
     @pytest.mark.parametrize("name", sorted(LUBM_QUERIES))
     def test_lubm_queries_identical_across_kernels(
         self, lubm_sessions, name
     ):
-        query = LUBM_QUERIES[name]
-        expected = None
-        for kernel in KERNELS:
-            memory, snapshot = lubm_sessions[kernel]
-            mem = _canonical(memory.query(query, mode="pruned"))
-            snap = _canonical(snapshot.query(query, mode="pruned"))
-            assert mem == snap, kernel
-            if expected is None:
-                expected = mem
-            else:
-                assert mem == expected, kernel
+        self._assert_matrix(lubm_sessions, LUBM_QUERIES[name])

@@ -257,19 +257,66 @@ class TestStats:
         profile = ExecutionProfile(residency_budget=1)
         with Database.open(movie_snapshot, profile=profile,
                            cached=False) as db:
+            # No query has run, so nothing enforced the budget yet:
+            # the open-time hot labels overshoot a 1-byte ceiling.
             stats = db.stats()
             assert stats.within_residency_budget is False
             assert stats.to_dict()["within_residency_budget"] is False
 
-    def test_residency_budget_warns_once(self, movie_snapshot):
+    def test_residency_budget_enforced_after_query(self, movie_snapshot):
         profile = ExecutionProfile(residency_budget=1)
         with Database.open(movie_snapshot, profile=profile,
                            cached=False) as db:
-            with pytest.warns(ResourceWarning):
-                db.query(X1)
+            unbudgeted = Database.open(movie_snapshot, cached=False)
+            assert (
+                db.query(X1).as_set()
+                == unbudgeted.query(X1).as_set()
+            )
+            residency = db.stats().residency
+            assert residency.resident_bytes <= 1
+            assert residency.demotions > 0
+            assert db.stats().within_residency_budget is True
+            unbudgeted.close()
+
+    def test_stats_within_budget_reflects_later_demotion(
+        self, movie_snapshot
+    ):
+        """The stale-snapshot fix: a stats object captured *before* a
+        query keeps answering `within_residency_budget` from the live
+        backend, so post-query enforcement is visible through it."""
+        profile = ExecutionProfile(residency_budget=1)
+        with Database.open(movie_snapshot, profile=profile,
+                           cached=False) as db:
+            stale = db.stats()
+            assert stale.within_residency_budget is False
+            db.query(X1)  # enforcement demotes down to the budget
+            assert stale.within_residency_budget is True
+            # The captured residency snapshot itself is unchanged.
+            assert stale.residency.resident_bytes > 1
+
+    def test_stats_survive_session_close(self, movie_snapshot):
+        """A stats object outliving its session keeps answering from
+        the captured snapshot instead of raising on the closed mmap."""
+        profile = ExecutionProfile(residency_budget=1)
+        with Database.open(movie_snapshot, profile=profile,
+                           cached=False) as db:
+            db.query(X1)
+            stats = db.stats()
+        assert stats.within_residency_budget is True
+        assert stats.to_dict()["within_residency_budget"] is True
+
+    def test_no_resource_warning_under_budget_pressure(
+        self, movie_snapshot
+    ):
+        """The pre-PR-5 advisory path is gone: breaching the budget
+        demotes instead of warning."""
+        profile = ExecutionProfile(residency_budget=1)
+        with Database.open(movie_snapshot, profile=profile,
+                           cached=False) as db:
             with warnings.catch_warnings():
                 warnings.simplefilter("error", ResourceWarning)
-                db.query(X1)  # second breach stays silent
+                db.query(X1)
+                db.query(X1)
 
 
 class TestOpenCache:

@@ -45,6 +45,29 @@ class TestRunStorageBench:
         counts = [row.promotions_after for row in result.queries]
         assert counts == sorted(counts)
 
+    def test_churn_scenario_under_budget(self, result):
+        churn = result.churn
+        assert churn is not None
+        assert churn.budget >= 1
+        assert churn.rounds == 2
+        # The budget is half the unbudgeted working set, so the loop
+        # must have demoted (and re-promoted) labels...
+        assert churn.demotions > 0
+        assert churn.promotions > result.promotions
+        # ... without ever exceeding the ceiling at a query boundary
+        # or changing a single answer.
+        assert churn.within_budget
+        assert churn.max_resident_bytes <= churn.budget
+        assert churn.steady_resident_bytes <= churn.budget
+        assert churn.answers_all_equal
+
+    def test_churn_can_be_skipped(self):
+        skipped = run_storage_bench(
+            lubm_universities=1, queries=["L3"], churn_rounds=0
+        )
+        assert skipped.churn is None
+        assert skipped.answers_all_equal
+
 
 class TestRendering:
     def test_render_contains_sections(self, result):
@@ -54,12 +77,23 @@ class TestRendering:
         assert "t_snapshot" in text
         assert "L0" in text
 
+    def test_render_contains_churn(self, result):
+        text = render_storage_bench(result)
+        assert "churn:" in text
+        assert "demotions" in text
+
     def test_json_document(self, result, tmp_path):
         path = tmp_path / "storage.json"
         doc = write_storage_bench_json(path, result)
-        assert doc["schema"] == "repro-storage-bench/v1"
+        assert doc["schema"] == "repro-storage-bench/v2"
         assert doc["answers_all_equal"] is True
         assert doc["residency"]["promotions"] == result.promotions
         assert doc["residency"]["on_disk_bytes"] == result.snapshot_bytes
+        assert doc["churn"]["demotions"] == result.churn.demotions
+        assert (
+            doc["churn"]["steady_resident_bytes"]
+            == result.churn.steady_resident_bytes
+        )
+        assert doc["churn"]["within_budget"] is True
         reloaded = json.loads(path.read_text())
         assert reloaded == doc

@@ -245,7 +245,8 @@ class TestStorageBench:
         assert "storage bench" in output
         assert "residency:" in output
         doc = json.loads(json_path.read_text())
-        assert doc["schema"] == "repro-storage-bench/v1"
+        assert doc["schema"] == "repro-storage-bench/v2"
+        assert doc["churn"] is None  # stubbed result skipped the churn
 
     def test_storage_answer_mismatch_fails(self, monkeypatch):
         result = self._result()

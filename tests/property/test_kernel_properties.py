@@ -243,7 +243,12 @@ def test_kernels_agree_after_midsolve_promotion(pattern, db, product):
                 edge.label for edge in expected.soi.edges
                 if edge.label in view.labels
             }
-            assert set(view.residency().promoted_labels) == touched
+            # Upper bound, not equality: summary initialization and
+            # the batched saturated-source shortcut are served from
+            # the promotion-free summary path, so a label whose
+            # products never run (empty rows, saturated sources)
+            # legitimately stays cold.
+            assert set(view.residency().promoted_labels) <= touched
             # Candidate *names*, not raw rows: the snapshot's node
             # numbering need not match the in-memory one.
             for var, reference_var in zip(

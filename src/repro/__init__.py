@@ -38,6 +38,7 @@ from repro.api import (
 )
 from repro.bitvec import Bitset, LabelMatrixPair
 from repro.core import (
+    ExecutionLimits,
     SolverOptions,
     SolverResult,
     SystemOfInequalities,
@@ -49,6 +50,12 @@ from repro.core import (
     ma_dual_simulation,
     prune,
     solve,
+)
+from repro.errors import (
+    ContinuationError,
+    DeadlineExceededError,
+    ReproError,
+    SnapshotCorruptError,
 )
 from repro.graph import (
     Graph,
@@ -74,6 +81,11 @@ __all__ = [
     "GraphBackend",
     "InMemoryBackend",
     "SnapshotBackend",
+    # errors
+    "ReproError",
+    "ContinuationError",
+    "DeadlineExceededError",
+    "SnapshotCorruptError",
     # graphs
     "Graph",
     "GraphDatabase",
@@ -94,6 +106,7 @@ __all__ = [
     "is_dual_simulation",
     "SystemOfInequalities",
     "solve",
+    "ExecutionLimits",
     "SolverOptions",
     "SolverResult",
     "compile_query",

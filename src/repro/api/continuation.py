@@ -1,0 +1,195 @@
+"""Continuation tokens: portable handles to a suspended query.
+
+When a :class:`~repro.api.database.Database` query exhausts its time
+quantum mid-pruning, the partial
+:class:`~repro.api.result.ResultSet` carries an opaque string token.
+The token is self-contained — query text, per-branch solver
+checkpoints, accumulated timing — and sealed:
+
+* a **CRC32C** over the whole payload rejects corrupted or truncated
+  tokens (:class:`~repro.errors.ContinuationError`);
+* a 16-byte BLAKE2b **fingerprint** binds the token to the query text,
+  the graph identity (node/triple counts and the sorted label set),
+  and the trajectory-affecting solver options.  Resuming against a
+  different database, a rebuilt snapshot, or changed solver strategy
+  fails as *stale* instead of silently producing wrong answers.
+
+The kernel and the storage backend are deliberately **excluded** from
+the fingerprint: the three kernels are bit-identical and both
+backends serve the same adjacency, so a token taken on an in-memory
+batched session resumes on a snapshot-backed reference session.
+
+Wire form (base64url, no padding)::
+
+    "RPCT" | version u16 | reserved u16 | fingerprint[16] | body | crc32c u32
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.checkpoint import SolverCheckpoint
+from repro.core.solver import SolverOptions
+from repro.errors import ContinuationError, SolverError
+from repro.storage.checksum import crc32c
+
+TOKEN_MAGIC = b"RPCT"
+TOKEN_VERSION = 1
+_PREFIX = struct.Struct("<4sHH16s")
+# body: mode u8, advised u8, branch_index u32, n_states u32,
+#       t_simulation f64, then per state: u32 length + checkpoint bytes,
+#       then u32 query length + utf-8 query text
+_BODY_HEADER = struct.Struct("<BBIId")
+_MODES = ("pruned",)  # only the pruning stage suspends today
+
+
+@dataclass
+class SuspendedQuery:
+    """Decoded token content, ready to hand back to the pipeline."""
+
+    query_text: str
+    branch_index: int
+    branch_states: List[SolverCheckpoint]
+    t_simulation: float
+    mode: str = "pruned"
+    advised: bool = False
+
+
+def fingerprint(
+    query_text: str, backend, solver: SolverOptions
+) -> bytes:
+    """16-byte identity of (query, graph, solver strategy).
+
+    The graph contributes node/triple counts and the sorted label set
+    — cheap, promotion-free, and different for any rebuilt or
+    unrelated database.  Solver options contribute every knob that
+    shapes the trajectory; ``degrade_on_fault`` is excluded (the
+    degraded run is bit-identical by construction).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(query_text.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(
+        f"{backend.n_nodes}:{backend.n_triples}".encode("ascii")
+    )
+    for label in sorted(backend.labels):
+        digest.update(b"\x00")
+        digest.update(label.encode("utf-8"))
+    digest.update(b"\x01")
+    digest.update(
+        f"{solver.initialization}:{solver.ordering}:"
+        f"{solver.product}:{solver.seed}".encode("utf-8")
+    )
+    return digest.digest()
+
+
+def encode_token(suspension: SuspendedQuery, fp: bytes) -> str:
+    """Seal a suspension into the opaque base64url token string."""
+    if suspension.mode not in _MODES:
+        raise ContinuationError(
+            f"cannot encode a continuation for mode {suspension.mode!r}"
+        )
+    states = [state.to_bytes() for state in suspension.branch_states]
+    query_bytes = suspension.query_text.encode("utf-8")
+    body = [
+        _BODY_HEADER.pack(
+            _MODES.index(suspension.mode),
+            1 if suspension.advised else 0,
+            suspension.branch_index,
+            len(states),
+            suspension.t_simulation,
+        )
+    ]
+    for blob in states:
+        body.append(struct.pack("<I", len(blob)))
+        body.append(blob)
+    body.append(struct.pack("<I", len(query_bytes)))
+    body.append(query_bytes)
+    payload = _PREFIX.pack(
+        TOKEN_MAGIC, TOKEN_VERSION, 0, fp
+    ) + b"".join(body)
+    payload += struct.pack("<I", crc32c(payload))
+    return base64.urlsafe_b64encode(payload).rstrip(b"=").decode("ascii")
+
+
+def decode_token(token: str) -> Tuple[bytes, SuspendedQuery]:
+    """Open a token; returns (fingerprint, suspension).
+
+    Raises :class:`~repro.errors.ContinuationError` on anything that
+    is not a byte-exact token this build wrote: bad base64, bad magic,
+    unsupported version, CRC mismatch, truncation, or an embedded
+    checkpoint that fails its own validation.
+    """
+    try:
+        padded = token + "=" * (-len(token) % 4)
+        payload = base64.urlsafe_b64decode(padded.encode("ascii"))
+    except (binascii.Error, UnicodeEncodeError, ValueError) as error:
+        raise ContinuationError(
+            f"continuation token is not valid base64: {error}"
+        ) from None
+    if len(payload) < _PREFIX.size + _BODY_HEADER.size + 4:
+        raise ContinuationError("continuation token truncated")
+    body, (crc,) = payload[:-4], struct.unpack("<I", payload[-4:])
+    if crc32c(body) != crc:
+        raise ContinuationError(
+            "continuation token failed its CRC32C (corrupt or edited)"
+        )
+    magic, version, _reserved, fp = _PREFIX.unpack_from(body, 0)
+    if magic != TOKEN_MAGIC:
+        raise ContinuationError("bad continuation token magic")
+    if version != TOKEN_VERSION:
+        raise ContinuationError(
+            f"unsupported continuation token version {version}"
+        )
+    offset = _PREFIX.size
+    mode_code, advised, branch_index, n_states, t_simulation = (
+        _BODY_HEADER.unpack_from(body, offset)
+    )
+    offset += _BODY_HEADER.size
+    if mode_code >= len(_MODES):
+        raise ContinuationError(
+            f"unknown continuation mode code {mode_code}"
+        )
+    states: List[SolverCheckpoint] = []
+    try:
+        for _ in range(n_states):
+            if offset + 4 > len(body):
+                raise ContinuationError("continuation token truncated")
+            (length,) = struct.unpack_from("<I", body, offset)
+            offset += 4
+            if offset + length > len(body):
+                raise ContinuationError("continuation token truncated")
+            states.append(
+                SolverCheckpoint.from_bytes(body[offset:offset + length])
+            )
+            offset += length
+        if offset + 4 > len(body):
+            raise ContinuationError("continuation token truncated")
+        (query_len,) = struct.unpack_from("<I", body, offset)
+        offset += 4
+        if offset + query_len != len(body):
+            raise ContinuationError(
+                "continuation token length mismatch"
+            )
+        query_text = body[offset:offset + query_len].decode("utf-8")
+    except SolverError as error:
+        raise ContinuationError(
+            f"continuation token carries a bad checkpoint: {error}"
+        ) from None
+    except UnicodeDecodeError:
+        raise ContinuationError(
+            "continuation token query text is not valid UTF-8"
+        ) from None
+    return fp, SuspendedQuery(
+        query_text=query_text,
+        branch_index=int(branch_index),
+        branch_states=states,
+        t_simulation=float(t_simulation),
+        mode=_MODES[mode_code],
+        advised=bool(advised),
+    )

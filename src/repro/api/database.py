@@ -42,6 +42,12 @@ from repro.api.backend import (
     NameTriple,
     SnapshotBackend,
 )
+from repro.api.continuation import (
+    SuspendedQuery,
+    decode_token,
+    encode_token,
+    fingerprint,
+)
 from repro.api.profile import ExecutionProfile
 from repro.api.result import (
     BranchSimulation,
@@ -49,7 +55,8 @@ from repro.api.result import (
     ResultSet,
     SimulationOutcome,
 )
-from repro.errors import ReproError
+from repro.core.degrade import DegradationEvent, capture_events
+from repro.errors import ContinuationError, ReproError
 from repro.storage.tiered import ResidencyReport
 
 ProfileLike = Union[ExecutionProfile, str, None]
@@ -88,6 +95,9 @@ class DatabaseStats:
     residency_source: Optional[Callable[[], Optional[ResidencyReport]]] = (
         field(default=None, repr=False, compare=False)
     )
+    #: Kernel fallbacks recorded during this session's operations
+    #: (batched → packed → reference), oldest first.
+    degradations: Tuple[DegradationEvent, ...] = ()
 
     def _live_residency(self) -> Optional[ResidencyReport]:
         if self.residency_source is not None:
@@ -130,10 +140,15 @@ class DatabaseStats:
                 "resident_labels": self.residency.resident_labels,
                 "resident_bytes": self.residency.resident_bytes,
                 "on_disk_bytes": self.residency.on_disk_bytes,
+                "promotion_retries": self.residency.promotion_retries,
             }
         if self.profile.residency_budget is not None:
             out["residency_budget"] = self.profile.residency_budget
             out["within_residency_budget"] = self.within_residency_budget
+        if self.degradations:
+            out["degradations"] = [
+                event.to_dict() for event in self.degradations
+            ]
         return out
 
 
@@ -146,6 +161,7 @@ class Database:
         self._pipeline = None
         self._advisor = None
         self._cache_key: Optional[Tuple[str, int, int]] = None
+        self._degradations: list = []
 
     # -- constructors -----------------------------------------------------
 
@@ -323,6 +339,14 @@ class Database:
         prunes via dual simulation first (Theorem 2 preserves all
         answers; non-well-designed OPTIONALs may gain overapproximated
         ones, as in the paper), ``"auto"`` asks the advisor.
+
+        Under a profile ``time_quantum_ms``, the dual-simulation stage
+        is preemptable: when the quantum expires the call returns a
+        *partial* :class:`ResultSet` (``complete`` is False, no rows)
+        whose ``continuation`` token resumes the exact same execution
+        via :meth:`resume` — on this session or any compatible one.
+        A profile ``deadline_ms`` instead raises
+        :class:`~repro.errors.DeadlineExceededError` on expiry.
         """
         mode = mode or self.profile.pruning
         if mode not in ("pruned", "full", "auto"):
@@ -331,8 +355,10 @@ class Database:
                 "('pruned', 'full', 'auto')"
             )
         advised = False
+        limits = self.profile.execution_limits()
         self._arm_budget()
-        with self.profile.kernel_context():
+        with self.profile.kernel_context(), \
+                capture_events(self._degradations):
             if mode == "auto":
                 mode = "pruned" if self.advise(query).recommended else "full"
                 advised = True
@@ -341,7 +367,10 @@ class Database:
                 result = pipeline.evaluate_full(query)
                 summary = None
             else:
-                result, outcome = pipeline.evaluate_pruned(query)
+                outcome = pipeline.prune(query, limits=limits)
+                if self._is_suspension(outcome):
+                    return self._suspend(query, outcome, advised)
+                result, outcome = pipeline.evaluate_pruned(query, outcome)
                 summary = PruneSummary(
                     triples_total=self.backend.n_triples,
                     triples_after=outcome.triples_after_pruning,
@@ -351,12 +380,109 @@ class Database:
         self._enforce_budget()
         return ResultSet(result, mode=mode, pruning=summary, advised=advised)
 
+    @staticmethod
+    def _is_suspension(outcome) -> bool:
+        from repro.pipeline.pruned_query import PruneSuspension
+
+        return isinstance(outcome, PruneSuspension)
+
+    def _suspend(self, query, suspension, advised: bool) -> ResultSet:
+        """Wrap a prune-stage suspension into a partial ResultSet."""
+        if not isinstance(query, str):
+            raise ReproError(
+                "preemptable execution needs the query as SPARQL text "
+                "(the continuation token embeds it); pass the query "
+                "string instead of a parsed AST"
+            )
+        token = encode_token(
+            SuspendedQuery(
+                query_text=query,
+                branch_index=suspension.branch_index,
+                branch_states=suspension.branch_states,
+                t_simulation=suspension.t_simulation,
+                advised=advised,
+            ),
+            fingerprint(query, self.backend, self.profile.solver),
+        )
+        self._enforce_budget()
+        return ResultSet(
+            None, mode="pruned", advised=advised,
+            complete=False, continuation=token,
+        )
+
+    def resume(self, token: Union[str, ResultSet]) -> ResultSet:
+        """Continue a query suspended by the time quantum.
+
+        Accepts the token string or the partial :class:`ResultSet`
+        itself.  The token is CRC-sealed and fingerprint-bound:
+        corrupted tokens, tokens from another query/database/snapshot,
+        or tokens taken under different solver strategy raise
+        :class:`~repro.errors.ContinuationError`.  The quantum applies
+        afresh to this call, so resumption may itself suspend again;
+        loop until ``result.complete``.
+        """
+        if isinstance(token, ResultSet):
+            if token.continuation is None:
+                raise ContinuationError(
+                    "this ResultSet is complete; nothing to resume"
+                )
+            token = token.continuation
+        fp, suspension = decode_token(token)
+        expected = fingerprint(
+            suspension.query_text, self.backend, self.profile.solver
+        )
+        if fp != expected:
+            raise ContinuationError(
+                "stale continuation token: it was issued for a "
+                "different query, database snapshot, or solver "
+                "configuration"
+            )
+        from repro.pipeline.pruned_query import PruneSuspension
+
+        limits = self.profile.execution_limits()
+        self._arm_budget()
+        with self.profile.kernel_context(), \
+                capture_events(self._degradations):
+            pipeline = self._pipeline_for()
+            resume_state = PruneSuspension(
+                query=pipeline.parse(suspension.query_text),
+                branch_index=suspension.branch_index,
+                branch_states=suspension.branch_states,
+                t_simulation=suspension.t_simulation,
+            )
+            outcome = pipeline.prune(
+                suspension.query_text, limits=limits, resume=resume_state
+            )
+            if self._is_suspension(outcome):
+                return self._suspend(
+                    suspension.query_text, outcome, suspension.advised
+                )
+            result, outcome = pipeline.evaluate_pruned(
+                suspension.query_text, outcome
+            )
+            summary = PruneSummary(
+                triples_total=self.backend.n_triples,
+                triples_after=outcome.triples_after_pruning,
+                rounds=outcome.total_rounds,
+                t_simulation=outcome.t_simulation,
+            )
+        self._enforce_budget()
+        return ResultSet(
+            result, mode="pruned", pruning=summary,
+            advised=suspension.advised,
+        )
+
     def ask(self, query) -> bool:
         """ASK semantics with the dual-simulation fast path (an empty
-        simulation answers 'no' without touching the join engine)."""
+        simulation answers 'no' without touching the join engine).
+
+        Honors the profile ``deadline_ms`` (never suspends — ASK has
+        no continuation surface)."""
+        limits = self.profile.execution_limits(include_quantum=False)
         self._arm_budget()
-        with self.profile.kernel_context():
-            answer = self._pipeline_for().ask(query)
+        with self.profile.kernel_context(), \
+                capture_events(self._degradations):
+            answer = self._pipeline_for().ask(query, limits=limits)
         self._enforce_budget()
         return answer
 
@@ -372,11 +498,14 @@ class Database:
         from repro.core.solver import solve
 
         branches = []
+        limits = self.profile.execution_limits(include_quantum=False)
         self._arm_budget()
-        with self.profile.kernel_context():
+        with self.profile.kernel_context(), \
+                capture_events(self._degradations):
             for number, compiled in enumerate(compile_query(query)):
                 solved = solve(
-                    compiled.soi, self.backend.graph, self.profile.solver
+                    compiled.soi, self.backend.graph,
+                    self.profile.solver, limits=limits,
                 )
                 candidates: Dict[str, Tuple[Hashable, ...]] = {}
                 for variable in sorted(compiled.variables(), key=str):
@@ -425,7 +554,8 @@ class Database:
         evaluation, Tables 3-5); returns a
         :class:`~repro.pipeline.PipelineReport`."""
         self._arm_budget()
-        with self.profile.kernel_context():
+        with self.profile.kernel_context(), \
+                capture_events(self._degradations):
             report = self._pipeline_for().run(query, name=name)
         self._enforce_budget()
         return report
@@ -469,6 +599,7 @@ class Database:
             path=getattr(self.backend, "path", None),
             residency=self.backend.residency(),
             residency_source=live_residency,
+            degradations=tuple(self._degradations),
         )
 
     # -- lifecycle --------------------------------------------------------

@@ -17,9 +17,17 @@ from typing import Iterator, Optional, Union
 
 from repro._deprecation import deprecated_call
 from repro.bitvec.kernel import KERNELS, active_kernel, use_kernel
+from repro.core.checkpoint import ExecutionLimits
 from repro.core.solver import SolverOptions
 from repro.errors import ReproError
 from repro.store.engine import PROFILES
+
+
+def _default_solver_options() -> SolverOptions:
+    # Façade sessions degrade kernel faults (batched → packed →
+    # reference) instead of failing the query; the core default stays
+    # off so kernel-equivalence tests see real failures.
+    return SolverOptions(degrade_on_fault=True)
 
 #: Query execution modes (``ExecutionProfile.pruning``).
 PRUNING_MODES = ("pruned", "full", "auto")
@@ -53,13 +61,25 @@ class ExecutionProfile:
       and ``Database.stats()`` reports the demotion counters.
       (Advisory-only before PR 5: the old one-time ``ResourceWarning``
       is gone.)
+    * ``time_quantum_ms`` — preemptable execution: the dual-simulation
+      stage of :meth:`Database.query` suspends after this much wall
+      time and returns a partial :class:`~repro.api.result.ResultSet`
+      carrying a continuation token (``0`` means single-step — exactly
+      one solver evaluation per call).  Resume with
+      :meth:`Database.resume`; the stitched-together run is
+      bit-identical to an uninterrupted one.
+    * ``deadline_ms`` — hard wall-clock bound on the dual-simulation
+      stage of ``query``/``ask``/``simulate``; exceeding it raises
+      :class:`~repro.errors.DeadlineExceededError`.
     """
 
     engine: str = "virtuoso-like"
     pruning: str = "auto"
     kernel: Optional[str] = None
-    solver: SolverOptions = field(default_factory=SolverOptions)
+    solver: SolverOptions = field(default_factory=_default_solver_options)
     residency_budget: Optional[int] = None
+    time_quantum_ms: Optional[float] = None
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self):
         if self.engine not in PROFILES:
@@ -81,6 +101,14 @@ class ExecutionProfile:
             and self.residency_budget < 0
         ):
             raise ReproError("residency_budget must be >= 0")
+        if self.time_quantum_ms is not None and self.time_quantum_ms < 0:
+            raise ReproError(
+                f"time_quantum_ms must be >= 0, got {self.time_quantum_ms}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ReproError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
 
     @classmethod
     def coerce(
@@ -107,6 +135,22 @@ class ExecutionProfile:
         import dataclasses
 
         return dataclasses.replace(self, **changes)
+
+    def execution_limits(
+        self, include_quantum: bool = True
+    ) -> Optional[ExecutionLimits]:
+        """This profile's limits as solver-level
+        :class:`~repro.core.checkpoint.ExecutionLimits` (or None when
+        unbounded).  ``include_quantum=False`` keeps only the deadline
+        — operations without a continuation surface (``ask``,
+        ``simulate``) are deadline-bounded but never suspend.
+        """
+        quantum = self.time_quantum_ms if include_quantum else None
+        if quantum is None and self.deadline_ms is None:
+            return None
+        return ExecutionLimits(
+            quantum_ms=quantum, deadline_ms=self.deadline_ms
+        )
 
     def resolved_kernel(self) -> str:
         """The kernel queries will actually run on.

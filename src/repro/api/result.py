@@ -23,6 +23,7 @@ from typing import (
 )
 
 from repro.core.solver import SolverReport
+from repro.errors import ReproError
 from repro.store.engine import QueryResult
 
 #: One decoded solution: variable name (no ``?``) -> node name/Literal.
@@ -54,30 +55,54 @@ class ResultSet:
     (``"full"`` or ``"pruned"``), ``advised`` whether the auto mode's
     advisor made that call, and ``pruning`` carries the prune-stage
     numbers when pruning ran.
+
+    A quantum-bounded query that suspended mid-execution comes back
+    **partial**: ``complete`` is False, there are no rows yet, and
+    ``continuation`` holds the opaque token to hand to
+    :meth:`~repro.api.database.Database.resume`.  Touching the rows of
+    a partial result raises instead of silently answering empty.
     """
 
     def __init__(
         self,
-        result: QueryResult,
+        result: Optional[QueryResult],
         mode: str,
         pruning: Optional[PruneSummary] = None,
         advised: bool = False,
+        complete: bool = True,
+        continuation: Optional[str] = None,
     ):
+        if complete and result is None:
+            raise ReproError("a complete ResultSet needs a result")
+        if not complete and continuation is None:
+            raise ReproError(
+                "a partial ResultSet needs a continuation token"
+            )
         self._result = result
         self.mode = mode
         self.pruning = pruning
         self.advised = advised
+        self.complete = complete
+        self.continuation = continuation
         self._solutions = None  # projected/ordered, still id-encoded
 
     # -- lazy plumbing ----------------------------------------------------
 
+    def _require_complete(self) -> QueryResult:
+        if self._result is None:
+            raise ReproError(
+                "query suspended before producing rows; resume it via "
+                "Database.resume(result.continuation)"
+            )
+        return self._result
+
     def _projected(self):
         if self._solutions is None:
-            self._solutions = self._result.solutions
+            self._solutions = self._require_complete().solutions
         return self._solutions
 
     def __iter__(self) -> Iterator[Row]:
-        decode = self._result.store.nodes.decode
+        decode = self._require_complete().store.nodes.decode
         for mu in self._projected():
             yield {
                 var.name: decode(value)
@@ -106,7 +131,7 @@ class ResultSet:
         """Canonical, order-insensitive, backend-independent form —
         two executions answered identically iff their ``as_set()``
         values are equal."""
-        return self._result.as_set()
+        return self._require_complete().as_set()
 
     @property
     def variables(self) -> Tuple[str, ...]:
@@ -119,14 +144,19 @@ class ResultSet:
     @property
     def elapsed(self) -> float:
         """Join-engine evaluation time in seconds."""
-        return self._result.elapsed
+        return self._require_complete().elapsed
 
     @property
     def raw(self) -> QueryResult:
         """The underlying engine result (id-encoded, store-bound)."""
-        return self._result
+        return self._require_complete()
 
     def __repr__(self) -> str:
+        if not self.complete:
+            return (
+                f"ResultSet(partial, mode={self.mode!r}, "
+                f"continuation={self.continuation[:16]}...)"
+            )
         pruned = (
             f", pruned {self.pruning.triples_total}->"
             f"{self.pruning.triples_after}"

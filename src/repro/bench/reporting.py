@@ -297,6 +297,23 @@ def write_bench_json(
 #: A run is a regression when it is this much slower than baseline.
 REGRESSION_THRESHOLD = 0.20
 
+#: Per-query gating floor.  Best-of-repeats minima of sub-millisecond
+#: solves carry tens of percent of scheduler/allocator noise across
+#: *invocations* even after interleaved repeats (the same binary
+#: measures 0.85ms and 1.2ms for the same query in back-to-back
+#: runs), so rows whose baseline sits below this are not gated at the
+#: 20% bar one by one: individually they must cross the much wider
+#: SMALL_ROW_RATIO, and systematically they are caught by the
+#: kernel-geomean aggregate gate (independent per-query noise cancels
+#: in a geomean over the suite; a code slowdown does not).
+MIN_GATED_BASELINE_SECONDS = 1e-3
+
+#: A sub-millisecond row is individually flagged only at this
+#: current/baseline ratio or worse (2.0 = twice as slow) — above the
+#: observed cross-invocation noise ceiling (~1.6x), far below any
+#: genuine disaster (a 10x pathological path).
+SMALL_ROW_RATIO = 2.0
+
 #: Bounds on the machine-drift correction inferred from the
 #: reference-kernel rows.  Drift outside this window is clamped, so a
 #: genuine global slowdown cannot fully normalize itself away.  Kept
@@ -310,6 +327,22 @@ DRIFT_CLAMP = 1.3
 
 #: Reference pairs needed before drift correction kicks in.
 _MIN_DRIFT_SAMPLES = 3
+
+#: How far a kernel's own drift estimate may deviate from the
+#: reference-kernel drift before the excess counts as regression.
+#: Drift is *not* uniform across kernels: the reference kernel's long
+#: per-row loops track CPU/cache throughput, while the vectorized
+#: kernels' sub-millisecond solves are dominated by fixed interpreter
+#: overhead that barely moves between hosts — so a host on which
+#: reference runs 0.87x of baseline can reproduce the packed times
+#: exactly, and normalizing packed by the reference drift would
+#: manufacture a +15% "regression" across the board.  Estimating each
+#: kernel's drift from its own rows removes that bias; clamping the
+#: estimate to within this factor of the reference drift bounds how
+#: much genuine kernel-wide slowdown the estimate can absorb
+#: (beyond it, the per-query ratios and the aggregate geomean gate
+#: both start firing).
+KERNEL_DRIFT_CLAMP = 1.15
 
 
 @dataclass
@@ -345,7 +378,15 @@ class BenchComparison:
     def is_regression(
         self, threshold: float = REGRESSION_THRESHOLD
     ) -> bool:
-        return self.ratio > 1.0 + threshold
+        if self.ratio <= 1.0 + threshold:
+            return False
+        if self.t_baseline >= MIN_GATED_BASELINE_SECONDS:
+            return True
+        # Sub-millisecond minima are noise-bound per query (see
+        # MIN_GATED_BASELINE_SECONDS): individually only a disaster
+        # trips them; systematic slowdowns are the aggregate gate's
+        # job (kernel_aggregate_regressions).
+        return self.ratio >= SMALL_ROW_RATIO
 
 
 def _machine_drift(
@@ -377,6 +418,70 @@ def _machine_drift(
     return min(max(_geomean(ratios), 1.0 / DRIFT_CLAMP), DRIFT_CLAMP)
 
 
+def _kernel_drifts(
+    current: Dict[Tuple[str, str], KernelBenchRow],
+    previous: Dict[Tuple[str, str], Dict],
+    reference_drift: float,
+) -> Dict[str, float]:
+    """Per-kernel drift, anchored to the reference-kernel estimate.
+
+    Each kernel's geomean of current/baseline ratios is its own best
+    drift estimate (see :data:`KERNEL_DRIFT_CLAMP` for why drift is
+    not uniform across kernels); it is clamped to within
+    ``KERNEL_DRIFT_CLAMP`` of ``reference_drift`` — so non-uniform
+    host effects are normalized out, while a genuine kernel-wide
+    slowdown beyond that window survives into the ratios — and then
+    to the global ``DRIFT_CLAMP`` bounds.  Kernels with too few pairs
+    fall back to the reference estimate.
+    """
+    ratios: Dict[str, List[float]] = {}
+    for (query, kernel), row in current.items():
+        base = previous.get((query, kernel))
+        if base and float(base["t_solve"]) > 0 and row.t_solve > 0:
+            ratios.setdefault(kernel, []).append(
+                row.t_solve / float(base["t_solve"])
+            )
+    drifts: Dict[str, float] = {}
+    for kernel, samples in ratios.items():
+        if len(samples) < _MIN_DRIFT_SAMPLES:
+            drifts[kernel] = reference_drift
+            continue
+        own = _geomean(samples)
+        own = min(
+            max(own, reference_drift / KERNEL_DRIFT_CLAMP),
+            reference_drift * KERNEL_DRIFT_CLAMP,
+        )
+        drifts[kernel] = min(max(own, 1.0 / DRIFT_CLAMP), DRIFT_CLAMP)
+    return drifts
+
+
+def kernel_aggregate_regressions(
+    comparisons: List[BenchComparison],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> Dict[str, float]:
+    """Kernels whose drift-normalized geomean ratio blows the bar.
+
+    The systematic companion to the per-query verdicts: independent
+    per-query timing noise cancels in a geomean over the suite, so a
+    kernel whose *geomean* is still ``threshold`` slower than
+    baseline after drift normalization has a real, code-level
+    slowdown — even when every individual row sits under the sub-ms
+    gating floor.  (Because per-kernel drift is clamped to the
+    reference estimate, a kernel-wide slowdown cannot normalize
+    itself away; it reappears here.)
+    """
+    grouped: Dict[str, List[float]] = {}
+    for c in comparisons:
+        if 0 < c.raw_ratio != float("inf"):
+            grouped.setdefault(c.kernel, []).append(c.ratio)
+    flagged: Dict[str, float] = {}
+    for kernel, ratios in sorted(grouped.items()):
+        geomean = _geomean(ratios)
+        if geomean > 1.0 + threshold:
+            flagged[kernel] = geomean
+    return flagged
+
+
 def compare_with_baseline(
     rows: List[KernelBenchRow], baseline: Dict
 ) -> Tuple[List[BenchComparison], List[str]]:
@@ -388,10 +493,15 @@ def compare_with_baseline(
     dangerous direction — a renamed or dropped query could otherwise
     mask a regression — and callers gate on them (see ``cmd_bench``).
 
-    Comparisons are normalized by the machine-drift factor inferred
-    from the reference-kernel rows (see :func:`_machine_drift`), so a
-    baseline recorded on a faster or quieter host does not flag every
-    query on a CI runner as regressed.
+    Comparisons are normalized by per-kernel machine-drift factors
+    anchored to the reference-kernel estimate (see
+    :func:`_machine_drift` and :func:`_kernel_drifts`), so a baseline
+    recorded on a faster or quieter host — or one whose speedup hit
+    the kernels non-uniformly — does not flag every query on a CI
+    runner as regressed.  Callers should additionally gate on
+    :func:`kernel_aggregate_regressions`, which catches systematic
+    slowdowns in kernels whose rows are individually below the sub-ms
+    per-query gating floor.
     """
     schema = baseline.get("schema")
     if schema != "repro-bench/v1":
@@ -403,6 +513,7 @@ def compare_with_baseline(
     }
     current = {(r.query, r.kernel): r for r in rows}
     drift = _machine_drift(current, previous)
+    drifts = _kernel_drifts(current, previous, drift)
     comparisons: List[BenchComparison] = []
     for key in sorted(current.keys() & previous.keys()):
         row, base = current[key], previous[key]
@@ -413,7 +524,7 @@ def compare_with_baseline(
                 t_baseline=float(base["t_solve"]),
                 t_current=row.t_solve,
                 fixpoint_equal=(row.total_bits == base.get("total_bits")),
-                drift=drift,
+                drift=drifts.get(row.kernel, drift),
             )
         )
     unmatched = sorted(
@@ -435,6 +546,11 @@ def render_bench_compare(
     for c in comparisons:
         if c.is_regression(threshold):
             verdict = "REGRESSION"
+        elif c.ratio > 1.0 + threshold:
+            # Over the bar but under the sub-ms per-query gating
+            # floor: visible, not individually gating (the kernel
+            # geomean line below is the gate for these).
+            verdict = "slower (sub-ms)"
         elif c.ratio < 1.0 - threshold:
             verdict = "faster"
         else:
@@ -457,10 +573,15 @@ def render_bench_compare(
         f"{len(comparisons)} compared, {len(regressions)} regressed "
         f"(> {100 * threshold:.0f}% slower)"
     )
-    if comparisons and comparisons[0].drift != 1.0:
-        summary += (
-            f", machine drift {comparisons[0].drift:.2f}x "
-            f"(reference-kernel geomean, normalized out)"
+    drifts = {c.kernel: c.drift for c in comparisons}
+    if any(d != 1.0 for d in drifts.values()):
+        summary += ", machine drift " + " ".join(
+            f"{kernel} {d:.2f}x" for kernel, d in sorted(drifts.items())
+        ) + " (per-kernel geomean, clamped to the reference estimate, normalized out)"
+    aggregate = kernel_aggregate_regressions(comparisons, threshold)
+    if aggregate:
+        summary += ", kernel geomean REGRESSION: " + ", ".join(
+            f"{kernel} {g:.2f}x" for kernel, g in aggregate.items()
         )
     if unmatched:
         summary += f", unmatched: {', '.join(unmatched)}"

@@ -27,7 +27,10 @@ Commands:
 
       python -m repro db build data.nt -o data.snap
       python -m repro db info data.snap
+      python -m repro db verify data.snap
       python -m repro db query data.snap query.rq --mode auto
+      python -m repro db query data.snap query.rq --quantum 50 --token-out t.txt
+      python -m repro db query data.snap --resume @t.txt
 
 * ``bench`` — regenerate one of the paper's tables::
 
@@ -44,7 +47,7 @@ from typing import List, Optional
 
 from repro.api import Database, ExecutionProfile, PRUNING_MODES
 from repro.bitvec.kernel import KERNELS, use_kernel
-from repro.errors import ReproError
+from repro.errors import DeadlineExceededError, ReproError
 from repro.graph.io import save_ntriples
 from repro.store import PROFILES
 from repro.workloads import generate_dbpedia, generate_lubm
@@ -56,6 +59,9 @@ BENCH_TABLES = (
 
 #: Exit code of ``bench kernels --compare`` when a query regressed.
 EXIT_REGRESSION = 3
+
+#: Exit code when a query blows its ``--deadline`` wall-clock bound.
+EXIT_DEADLINE = 4
 
 
 def _add_execution_flags(
@@ -162,11 +168,34 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--json", dest="json_out", action="store_true",
                       help="print machine-readable JSON instead")
 
+    verify = db_sub.add_parser(
+        "verify", help="check every snapshot section's integrity"
+    )
+    verify.add_argument("snapshot", help="snapshot path")
+    verify.add_argument("--json", dest="json_out", action="store_true",
+                        help="print machine-readable JSON instead")
+
     dbq = db_sub.add_parser(
         "query", help="evaluate a SPARQL query over a snapshot"
     )
     dbq.add_argument("snapshot", help="snapshot path")
-    dbq.add_argument("query", help="SPARQL text or a .rq file path")
+    dbq.add_argument("query", nargs="?", default=None,
+                     help="SPARQL text or a .rq file path (omit when "
+                          "resuming with --resume)")
+    dbq.add_argument("--quantum", type=float, default=None, metavar="MS",
+                     help="preemptable execution: suspend the "
+                          "dual-simulation stage after MS milliseconds "
+                          "and print a continuation token (0 = "
+                          "single-step)")
+    dbq.add_argument("--deadline", type=float, default=None, metavar="MS",
+                     help="hard wall-clock bound on the dual-simulation "
+                          f"stage; exceeding it exits {EXIT_DEADLINE}")
+    dbq.add_argument("--resume", default=None, metavar="TOKEN",
+                     help="resume a suspended query from a continuation "
+                          "token (@file reads the token from a file)")
+    dbq.add_argument("--token-out", default=None, metavar="PATH",
+                     help="when the query suspends, write the "
+                          "continuation token to PATH instead of stdout")
     dbq.add_argument("--prune", action="store_true",
                      help="run the full pruning experiment (full vs "
                           "pruned evaluation) and report both timings")
@@ -196,7 +225,16 @@ def _execution_profile(args, default_mode: str = "full") -> ExecutionProfile:
         pruning=getattr(args, "mode", None) or default_mode,
         kernel=getattr(args, "kernel", None),
         residency_budget=getattr(args, "budget", None),
+        time_quantum_ms=getattr(args, "quantum", None),
+        deadline_ms=getattr(args, "deadline", None),
     )
+
+
+def _read_token(argument: str) -> str:
+    """A continuation token argument: literal, or ``@path`` to a file."""
+    if argument.startswith("@"):
+        return Path(argument[1:]).read_text().strip()
+    return argument.strip()
 
 
 def cmd_generate(args, out) -> int:
@@ -215,8 +253,34 @@ def cmd_generate(args, out) -> int:
     return 0
 
 
-def _run_session_query(db: Database, args, out) -> None:
+def _emit_suspension(result, args, out) -> int:
+    """Print (or file away) a suspended query's continuation token."""
+    token_out = getattr(args, "token_out", None)
+    print(
+        "suspended: quantum expired before the dual-simulation stage "
+        "finished; resume with --resume",
+        file=out,
+    )
+    if token_out:
+        Path(token_out).write_text(result.continuation + "\n")
+        print(f"continuation token written to {token_out}", file=out)
+    else:
+        print(result.continuation, file=out)
+    return 0
+
+
+def _run_session_query(db: Database, args, out) -> int:
     """Shared query flow of ``query`` and ``db query``."""
+    resume_token = getattr(args, "resume", None)
+    if resume_token is not None:
+        result = db.resume(_read_token(resume_token))
+        if not result.complete:
+            return _emit_suspension(result, args, out)
+        print("resumed to completion", file=out)
+        _print_result(result, args, out)
+        return 0
+    if args.query is None:
+        raise ReproError("a query is required unless --resume is given")
     query = _read_query(args.query)
     if args.prune:
         report = db.benchmark(query, name="query")
@@ -234,6 +298,13 @@ def _run_session_query(db: Database, args, out) -> None:
             file=out,
         )
     result = db.query(query)
+    if not result.complete:
+        return _emit_suspension(result, args, out)
+    _print_result(result, args, out)
+    return 0
+
+
+def _print_result(result, args, out) -> None:
     if result.advised:
         print(f"mode: auto -> {result.mode}", file=out)
     if result.mode == "pruned" and result.pruning is not None and not args.prune:
@@ -263,8 +334,7 @@ def cmd_query(args, out) -> int:
     db = Database.from_ntriples(
         Path(args.data), profile=_execution_profile(args)
     )
-    _run_session_query(db, args, out)
-    return 0
+    return _run_session_query(db, args, out)
 
 
 def cmd_db(args, out) -> int:
@@ -288,6 +358,38 @@ def cmd_db(args, out) -> int:
         )
         return 0
 
+    if args.db_command == "verify":
+        import json as json_module
+
+        with SnapshotReader(Path(args.snapshot)) as reader:
+            report = reader.verify()
+        if args.json_out:
+            print(json_module.dumps(report.to_dict(), indent=2), file=out)
+            return 0 if report.ok else 1
+        bar = (
+            "CRC32C" if report.checksummed
+            else "structural only (v1 carries no checksums)"
+        )
+        print(
+            f"{report.path}: format v{report.version}, "
+            f"integrity bar {bar}",
+            file=out,
+        )
+        for section in report.sections:
+            detail = f" ({section.detail})" if section.detail else ""
+            print(f"  {section.status:7s} {section.section}{detail}",
+                  file=out)
+        if report.ok:
+            print(f"ok: all {len(report.sections)} sections verified",
+                  file=out)
+            return 0
+        print(
+            f"error: {report.n_corrupt} corrupt section(s): "
+            + ", ".join(report.corrupt_sections()),
+            file=sys.stderr,
+        )
+        return 1
+
     if args.db_command == "info":
         import json as json_module
 
@@ -304,6 +406,15 @@ def cmd_db(args, out) -> int:
                 f"{info.n_triples} triples, {info.n_nodes} nodes, "
                 f"{info.n_predicates} predicates "
                 f"({info.n_hot} hot / {info.n_cold} cold)",
+                file=out,
+            )
+            checksums = (
+                "per-section CRC32C" if info.checksummed
+                else "none (pre-checksum format; `db verify` falls "
+                     "back to structural checks)"
+            )
+            print(
+                f"format: v{info.version}, checksums: {checksums}",
                 file=out,
             )
             if info.labels:
@@ -349,7 +460,7 @@ def cmd_db(args, out) -> int:
     db = Database.open(
         Path(args.snapshot), profile=_execution_profile(args)
     )
-    _run_session_query(db, args, out)
+    code = _run_session_query(db, args, out)
     residency = db.stats().residency
     budget = (
         f", budget {residency.residency_budget} B"
@@ -364,7 +475,7 @@ def cmd_db(args, out) -> int:
         f"{residency.on_disk_bytes} B on disk{budget})",
         file=out,
     )
-    return 0
+    return code
 
 
 def cmd_simulate(args, out) -> int:
@@ -562,6 +673,7 @@ def _run_bench_table(args, out) -> int:
         if baseline is not None:
             from repro.bench import (
                 compare_with_baseline,
+                kernel_aggregate_regressions,
                 render_bench_compare,
             )
 
@@ -585,6 +697,21 @@ def _run_bench_table(args, out) -> int:
                 print(
                     "error: baseline queries missing from this run: "
                     + ", ".join(dropped),
+                    file=sys.stderr,
+                )
+                return EXIT_REGRESSION
+            aggregate = kernel_aggregate_regressions(comparisons)
+            if aggregate:
+                # Sub-ms rows are not gated one by one (their minima
+                # are noise-bound); a kernel whose *geomean* is still
+                # over the bar after drift normalization slowed down
+                # systematically, and that gates.
+                print(
+                    "error: kernel-wide slowdown vs baseline: "
+                    + ", ".join(
+                        f"{kernel} {g:.2f}x"
+                        for kernel, g in aggregate.items()
+                    ),
                     file=sys.stderr,
                 )
                 return EXIT_REGRESSION
@@ -631,6 +758,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except DeadlineExceededError as error:
+        print(f"error: deadline exceeded: {error}", file=sys.stderr)
+        return EXIT_DEADLINE
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

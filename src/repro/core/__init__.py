@@ -50,6 +50,17 @@ from repro.core.reconstruct import (
     enumerate_matches,
     has_match,
 )
+from repro.core.checkpoint import (
+    ExecutionLimits,
+    LimitTimer,
+    SolverCheckpoint,
+)
+from repro.core.degrade import (
+    DEGRADATION_CHAIN,
+    DegradationEvent,
+    capture_events,
+    recent_events,
+)
 from repro.core.quotient import (
     QuotientIndex,
     bisimulation_partition,
@@ -106,6 +117,14 @@ __all__ = [
     "SolverOptions",
     "SolverReport",
     "SolverResult",
+    # preemption + robustness
+    "ExecutionLimits",
+    "LimitTimer",
+    "SolverCheckpoint",
+    "DEGRADATION_CHAIN",
+    "DegradationEvent",
+    "capture_events",
+    "recent_events",
     "order_inequalities",
     "ORDERINGS",
     # plain simulation

@@ -36,7 +36,7 @@ sequential order would have read.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -213,12 +213,24 @@ def run_batched(
     report,
     n: int,
     blocks: BatchedBlockSet,
-) -> None:
+    timer=None,
+    resume_queue: Optional[List[int]] = None,
+    resume_updated: Optional[Set[int]] = None,
+) -> Optional[Tuple[List[int], Set[int]]]:
     """Run the static-ordering fixpoint loop with batched rounds.
 
     Mutates ``rows`` to the largest solution and fills ``report``,
     mirroring the sequential loop in :func:`repro.core.solver.solve`
     (identical trajectory, identical counters).
+
+    ``timer`` (a :class:`~repro.core.checkpoint.LimitTimer`) makes the
+    run preemptable: at the top of each iteration the pending batch is
+    force-flushed — flushes are trajectory-neutral, rows rebind and
+    never mutate in place — and ``(remaining queue, updated targets)``
+    is returned for the caller to capture into a checkpoint.  Returns
+    ``None`` on reaching the fixpoint.  ``resume_queue`` /
+    ``resume_updated`` continue a suspended round (an empty resumed
+    queue closes the round, computing the next one from the set).
     """
     find = soi.find
     source_of = [find(ineq.source) for ineq in inequalities]
@@ -237,12 +249,29 @@ def run_batched(
     # re-promotes a demoted label); plain dict matrices (None here)
     # read them off the pair, which is already resident by definition.
     get_summaries = getattr(matrices, "summaries", None)
-    queue = sorted(range(len(inequalities)), key=rank.__getitem__)
-    while queue:
-        report.rounds += 1
-        updated: Set[int] = set()
+    if resume_queue is not None:
+        queue = list(resume_queue)
+        updated: Set[int] = set(resume_updated or ())
+        open_round = True  # continue the suspended round, no increment
+    else:
+        queue = sorted(range(len(inequalities)), key=rank.__getitem__)
+        updated = set()
+        open_round = False
+    while queue or open_round:
+        if not open_round:
+            report.rounds += 1
+            updated = set()
+        open_round = False
         evaluations = 0
-        for idx in queue:
+        for position, idx in enumerate(queue):
+            if timer is not None:
+                timer.check_deadline()
+                if timer.should_preempt():
+                    # Land every deferred product so the checkpoint
+                    # rows sit exactly on the sequential trajectory.
+                    flush(rows, report, updated)
+                    report.evaluations += evaluations
+                    return queue[position:], updated
             target = target_of[idx]
             source = source_of[idx]
             if pending and (target in pending or source in pending):
@@ -250,6 +279,8 @@ def run_batched(
                 # the pending products before touching the variable.
                 flush(rows, report, updated)
             evaluations += 1
+            if timer is not None:
+                timer.note_work()
             target_row = rows[target]
             before = target_row.count()
             if before == 0:
@@ -377,3 +408,4 @@ def run_batched(
         for target in updated:
             pending_next.update(by_source.get(target, ()))
         queue = sorted(pending_next, key=rank.__getitem__)
+    return None

@@ -1,0 +1,331 @@
+"""Preemptable execution: limits, timers, and solver checkpoints.
+
+The SOI fixpoint loop (:func:`repro.core.solver.solve`) is a long
+sequence of inequality evaluations with two natural suspension points:
+
+* **static orderings** — between any two evaluations of a round, as
+  long as the remaining queue slice and the set of targets updated so
+  far in the round travel with the suspension (the next round's queue
+  is a pure function of that set and the static ``by_source`` index);
+* **dynamic ordering** — between any two evaluations, as long as the
+  pending set travels (the lazy min-heap is a cache: every pending
+  inequality has an entry at its current source popcount, so the heap
+  can be rebuilt from scratch without perturbing the pop order).
+
+A :class:`SolverCheckpoint` captures exactly that state plus the
+candidate rows and the work counters.  Because the batched kernel's
+hazard flushes are trajectory-neutral (rows rebind, never mutate, so
+forcing an extra flush changes nothing observable), a checkpoint taken
+under any kernel resumes under any other kernel — including across
+processes via :meth:`SolverCheckpoint.to_bytes`.
+
+:class:`ExecutionLimits` + :class:`LimitTimer` govern *when* to
+suspend: a time quantum (``quantum_ms=0`` means single-step — exactly
+one evaluation per call, the deterministic mode the property suite
+leans on), a hard deadline (raises
+:class:`~repro.errors.DeadlineExceededError`), and a test-only
+``preempt_after`` evaluation-count hook for reproducible mid-round
+suspension points.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.bitvec import Bitset
+from repro.errors import DeadlineExceededError, SolverError
+from repro.storage.checksum import crc32c
+
+CHECKPOINT_MAGIC = b"RPCK"
+CHECKPOINT_VERSION = 1
+
+#: Phases a checkpoint can suspend in.  The phase is a property of the
+#: *ordering*, not the kernel: static checkpoints resume under
+#: reference, packed, or batched interchangeably.
+PHASE_STATIC = "static"
+PHASE_DYNAMIC = "dynamic"
+_PHASE_CODES = {PHASE_STATIC: 0, PHASE_DYNAMIC: 1}
+_PHASE_NAMES = {code: name for name, code in _PHASE_CODES.items()}
+
+# magic, version u16, phase u8, flags u8, n u64,
+# rounds/evaluations/updates/bits_removed u64, elapsed f64,
+# n_rows/n_queue/n_updated/n_pending u32
+_HEADER = struct.Struct("<4sHBBQ4Qd4I")
+
+
+@dataclass(frozen=True)
+class ExecutionLimits:
+    """Caps on one solver call.
+
+    ``quantum_ms`` suspends the solve (checkpoint + partial result)
+    once that much wall time has elapsed *and* at least one evaluation
+    has landed — ``0`` therefore means "exactly one step per call".
+    ``deadline_ms`` aborts with
+    :class:`~repro.errors.DeadlineExceededError` instead.  ``clock``
+    is injectable so tests can drive time deterministically;
+    ``preempt_after`` forces suspension after that many evaluations
+    regardless of the clock (test hook for exact suspension points).
+    """
+
+    quantum_ms: Optional[float] = None
+    deadline_ms: Optional[float] = None
+    clock: Callable[[], float] = field(default=time.monotonic)
+    preempt_after: Optional[int] = None
+
+    def __post_init__(self):
+        if self.quantum_ms is not None and self.quantum_ms < 0:
+            raise SolverError(
+                f"quantum_ms must be >= 0, got {self.quantum_ms}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise SolverError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
+        if self.preempt_after is not None and self.preempt_after < 1:
+            raise SolverError(
+                f"preempt_after must be >= 1, got {self.preempt_after}"
+            )
+
+    @property
+    def bounded(self) -> bool:
+        return (
+            self.quantum_ms is not None
+            or self.deadline_ms is not None
+            or self.preempt_after is not None
+        )
+
+    def start(self) -> "LimitTimer":
+        return LimitTimer(self)
+
+
+class LimitTimer:
+    """Running clock of one solver call under :class:`ExecutionLimits`.
+
+    The solver calls :meth:`note_work` after every evaluation and
+    :meth:`should_preempt` at its suspension points;
+    :meth:`check_deadline` raises on a blown deadline.  ``work`` gates
+    preemption so every call makes progress: a zero quantum cannot
+    starve the solve into an infinite resume loop.
+    """
+
+    __slots__ = ("limits", "_start", "_work")
+
+    def __init__(self, limits: ExecutionLimits):
+        self.limits = limits
+        self._start = limits.clock()
+        self._work = 0
+
+    @property
+    def work(self) -> int:
+        return self._work
+
+    def elapsed_ms(self) -> float:
+        return (self.limits.clock() - self._start) * 1000.0
+
+    def note_work(self, amount: int = 1) -> None:
+        self._work += amount
+
+    def should_preempt(self) -> bool:
+        if self._work < 1:
+            return False  # progress guarantee: never suspend at zero
+        limits = self.limits
+        if (
+            limits.preempt_after is not None
+            and self._work >= limits.preempt_after
+        ):
+            return True
+        if limits.quantum_ms is None:
+            return False
+        return self.elapsed_ms() >= limits.quantum_ms
+
+    def check_deadline(self) -> None:
+        deadline = self.limits.deadline_ms
+        if deadline is not None and self.elapsed_ms() >= deadline:
+            raise DeadlineExceededError(
+                f"solver deadline of {deadline:g} ms exceeded "
+                f"after {self._work} evaluations"
+            )
+
+
+@dataclass
+class SolverCheckpoint:
+    """Complete suspended state of one :func:`repro.core.solver.solve`.
+
+    ``rows`` maps canonical variable ids to *private* bitset copies
+    (capture deep-copies, so later solver mutation cannot corrupt a
+    held checkpoint).  For ``phase="static"``, ``queue`` is the
+    remaining slice of the current round and ``updated`` the targets
+    already shrunk this round (an empty queue means the round just
+    closed — resume computes the next round's queue from ``updated``).
+    For ``phase="dynamic"``, ``pending`` is the unstable set; the
+    min-heap is rebuilt from current popcounts on resume.
+    """
+
+    phase: str
+    n: int
+    rows: Dict[int, Bitset]
+    queue: List[int] = field(default_factory=list)
+    updated: Set[int] = field(default_factory=set)
+    pending: Set[int] = field(default_factory=set)
+    rounds: int = 0
+    evaluations: int = 0
+    updates: int = 0
+    bits_removed: int = 0
+    elapsed: float = 0.0
+
+    def __post_init__(self):
+        if self.phase not in _PHASE_CODES:
+            raise SolverError(f"unknown checkpoint phase {self.phase!r}")
+
+    @classmethod
+    def capture(
+        cls,
+        phase: str,
+        n: int,
+        rows: Dict[int, Bitset],
+        report,
+        elapsed: float,
+        queue: Sequence[int] = (),
+        updated: Set[int] = frozenset(),
+        pending: Set[int] = frozenset(),
+    ) -> "SolverCheckpoint":
+        return cls(
+            phase=phase,
+            n=n,
+            rows={vid: row.copy() for vid, row in rows.items()},
+            queue=list(queue),
+            updated=set(updated),
+            pending=set(pending),
+            rounds=report.rounds,
+            evaluations=report.evaluations,
+            updates=report.updates,
+            bits_removed=report.bits_removed,
+            elapsed=elapsed,
+        )
+
+    def validate_for(self, soi, data) -> None:
+        """Cheap structural compatibility check against a session.
+
+        The API layer fingerprints query + graph identity before it
+        ever reaches here; this guards direct solver-level misuse.
+        """
+        if self.n != data.n_nodes:
+            raise SolverError(
+                f"checkpoint was taken over a graph of {self.n} nodes; "
+                f"this graph has {data.n_nodes}"
+            )
+        roots = {soi.find(root) for root in soi.roots()}
+        if set(self.rows) != roots:
+            raise SolverError(
+                "checkpoint variables do not match this system "
+                "of inequalities"
+            )
+        n_ineq = len(soi.inequalities)
+        worklist = self.queue if self.phase == PHASE_STATIC else self.pending
+        if any(idx >= n_ineq for idx in worklist):
+            raise SolverError(
+                "checkpoint references inequalities beyond this system"
+            )
+        if any(vid not in roots for vid in self.updated):
+            raise SolverError(
+                "checkpoint updated-set references unknown variables"
+            )
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the compact versioned wire form (CRC-sealed)."""
+        vids = sorted(self.rows)
+        n_words = (self.n + 63) // 64 if self.n else 0
+        parts = [
+            _HEADER.pack(
+                CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+                _PHASE_CODES[self.phase], 0, self.n,
+                self.rounds, self.evaluations, self.updates,
+                self.bits_removed, self.elapsed,
+                len(vids), len(self.queue), len(self.updated),
+                len(self.pending),
+            ),
+            np.asarray(vids, dtype=np.int64).tobytes(),
+        ]
+        for vid in vids:
+            words = self.rows[vid].words
+            if words.size != n_words:
+                raise SolverError("checkpoint row width mismatch")
+            parts.append(words.tobytes())
+        parts.append(np.asarray(self.queue, dtype=np.int64).tobytes())
+        parts.append(
+            np.asarray(sorted(self.updated), dtype=np.int64).tobytes()
+        )
+        parts.append(
+            np.asarray(sorted(self.pending), dtype=np.int64).tobytes()
+        )
+        body = b"".join(parts)
+        return body + struct.pack("<I", crc32c(body))
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "SolverCheckpoint":
+        if len(payload) < _HEADER.size + 4:
+            raise SolverError("checkpoint payload truncated")
+        body, (crc,) = payload[:-4], struct.unpack("<I", payload[-4:])
+        if crc32c(body) != crc:
+            raise SolverError("checkpoint payload failed its CRC32C")
+        (
+            magic, version, phase_code, _flags, n,
+            rounds, evaluations, updates, bits_removed, elapsed,
+            n_rows, n_queue, n_updated, n_pending,
+        ) = _HEADER.unpack_from(body, 0)
+        if magic != CHECKPOINT_MAGIC:
+            raise SolverError("bad checkpoint magic")
+        if version != CHECKPOINT_VERSION:
+            raise SolverError(
+                f"unsupported checkpoint version {version}"
+            )
+        if phase_code not in _PHASE_NAMES:
+            raise SolverError(f"unknown checkpoint phase code {phase_code}")
+        n_words = (n + 63) // 64 if n else 0
+        expected = (
+            _HEADER.size
+            + 8 * n_rows            # vid table
+            + 8 * n_words * n_rows  # row words
+            + 8 * (n_queue + n_updated + n_pending)
+        )
+        if len(body) != expected:
+            raise SolverError("checkpoint payload length mismatch")
+        offset = _HEADER.size
+
+        def take(count: int) -> np.ndarray:
+            nonlocal offset
+            arr = np.frombuffer(
+                body, dtype=np.int64, count=count, offset=offset
+            )
+            offset += 8 * count
+            return arr
+
+        vids = take(n_rows)
+        rows: Dict[int, Bitset] = {}
+        for vid in vids:
+            words = np.frombuffer(
+                body, dtype=np.uint64, count=n_words, offset=offset
+            ).copy()
+            offset += 8 * n_words
+            rows[int(vid)] = Bitset._wrap(int(n), words)
+        queue = [int(i) for i in take(n_queue)]
+        updated = {int(v) for v in take(n_updated)}
+        pending = {int(i) for i in take(n_pending)}
+        return cls(
+            phase=_PHASE_NAMES[phase_code],
+            n=int(n),
+            rows=rows,
+            queue=queue,
+            updated=updated,
+            pending=pending,
+            rounds=int(rounds),
+            evaluations=int(evaluations),
+            updates=int(updates),
+            bits_removed=int(bits_removed),
+            elapsed=float(elapsed),
+        )

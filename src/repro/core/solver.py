@@ -23,20 +23,33 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set
 
 from repro.bitvec import Bitset
-from repro.bitvec.kernel import BATCHED, BatchedBlockSet, active_kernel
+from repro.bitvec.kernel import (
+    BATCHED,
+    BatchedBlockSet,
+    active_kernel,
+    use_kernel,
+)
 from repro.core.batched import run_batched
+from repro.core.checkpoint import (
+    ExecutionLimits,
+    LimitTimer,
+    PHASE_DYNAMIC,
+    PHASE_STATIC,
+    SolverCheckpoint,
+)
 from repro.core.simulation import Relation
 from repro.core.soi import (
     CopyInequality,
     FORWARD,
     SystemOfInequalities,
 )
+from repro.core.degrade import next_kernel, record as record_degradation
 from repro.core.strategies import (
     DYNAMIC_ORDERINGS,
     ORDERINGS,
     order_inequalities,
 )
-from repro.errors import SolverError
+from repro.errors import ReproError, SolverError
 from repro.graph.graph import Graph
 
 INITIALIZATIONS = ("summary", "full")
@@ -51,6 +64,12 @@ class SolverOptions:
     ordering: str = "sparsity"
     product: str = "auto"
     seed: int = 0
+    #: Retry a faulting solve one kernel tier down (batched → packed →
+    #: reference) instead of propagating.  Off by default at the core
+    #: layer so kernel-equivalence tests see real failures; the
+    #: :class:`~repro.api.profile.ExecutionProfile` façade enables it
+    #: for end-user sessions.  Typed repro errors always propagate.
+    degrade_on_fault: bool = False
 
     def __post_init__(self):
         if self.initialization not in INITIALIZATIONS:
@@ -75,7 +94,12 @@ class SolverReport:
 
 
 class SolverResult:
-    """Largest solution of an SOI over one data graph."""
+    """Largest solution of an SOI over one data graph.
+
+    When a bounded solve suspends before the fixpoint, ``checkpoint``
+    carries the resumable state and the rows are a mid-trajectory
+    over-approximation (``complete`` is False).
+    """
 
     def __init__(
         self,
@@ -83,11 +107,17 @@ class SolverResult:
         data: Graph,
         rows: Dict[int, Bitset],
         report: SolverReport,
+        checkpoint: Optional[SolverCheckpoint] = None,
     ):
         self.soi = soi
         self.data = data
         self._rows = rows
         self.report = report
+        self.checkpoint = checkpoint
+
+    @property
+    def complete(self) -> bool:
+        return self.checkpoint is None
 
     def row(self, vid: int) -> Bitset:
         """Candidate bit-vector of a variable (by any member vid)."""
@@ -173,6 +203,9 @@ def solve(
     data: Graph,
     options: Optional[SolverOptions] = None,
     prefilter: Optional[Dict[int, Bitset]] = None,
+    *,
+    limits: Optional[ExecutionLimits] = None,
+    resume: Optional[SolverCheckpoint] = None,
 ) -> SolverResult:
     """Compute the largest solution of ``soi`` over ``data``.
 
@@ -180,18 +213,90 @@ def solve(
     computed candidate sets (keyed by canonical vid) — e.g. from the
     bisimulation-quotient index.  The prefilter must over-approximate
     the largest solution or candidates will be lost.
+
+    ``limits`` bounds the call: on quantum expiry the result carries a
+    :class:`~repro.core.checkpoint.SolverCheckpoint` (``complete`` is
+    False); a blown deadline raises
+    :class:`~repro.errors.DeadlineExceededError`.  ``resume`` continues
+    a suspended solve — under *any* kernel, not just the one that took
+    the checkpoint — and the concatenation of the preempted segments
+    reproduces the uninterrupted trajectory and counters bit for bit.
+
+    With ``options.degrade_on_fault``, a non-repro exception from an
+    optimized kernel reruns the solve one tier down (batched → packed
+    → reference; the kernels are bit-identical, so the answer is the
+    same) and records a
+    :class:`~repro.core.degrade.DegradationEvent`.
     """
     options = options or SolverOptions()
+    if not options.degrade_on_fault:
+        return _solve_once(
+            soi, data, options, prefilter, limits=limits, resume=resume
+        )
+    kernel = active_kernel()
+    while True:
+        try:
+            with use_kernel(kernel):
+                return _solve_once(
+                    soi, data, options, prefilter,
+                    limits=limits, resume=resume,
+                )
+        except ReproError:
+            raise  # typed outcomes (deadline, bad input) are answers
+        except Exception as error:
+            fallback = next_kernel(kernel)
+            if fallback is None:
+                raise
+            record_degradation(kernel, fallback, error)
+            kernel = fallback
+
+
+def _solve_once(
+    soi: SystemOfInequalities,
+    data: Graph,
+    options: SolverOptions,
+    prefilter: Optional[Dict[int, Bitset]] = None,
+    *,
+    limits: Optional[ExecutionLimits] = None,
+    resume: Optional[SolverCheckpoint] = None,
+) -> SolverResult:
+    """One solve attempt under the currently active kernel."""
     start = time.perf_counter()
     report = SolverReport()
     matrices = data.matrices()
     n = data.n_nodes
-    rows = _initial_rows(soi, data, options)
-    if prefilter:
-        for vid, candidates in prefilter.items():
-            rows[soi.find(vid)] &= candidates
+    dynamic = options.ordering == "dynamic"
+    phase = PHASE_DYNAMIC if dynamic else PHASE_STATIC
+    timer: Optional[LimitTimer] = (
+        limits.start() if limits is not None and limits.bounded else None
+    )
+    elapsed_prior = 0.0
+    if resume is not None:
+        if resume.phase != phase:
+            raise SolverError(
+                f"checkpoint was taken under a {resume.phase!r} "
+                f"ordering phase; these options run {phase!r}"
+            )
+        resume.validate_for(soi, data)
+        # Private copies: this solve's mutations must not corrupt the
+        # caller's checkpoint (it may retry / branch from it).
+        rows = {vid: row.copy() for vid, row in resume.rows.items()}
+        report.rounds = resume.rounds
+        report.evaluations = resume.evaluations
+        report.updates = resume.updates
+        report.bits_removed = resume.bits_removed
+        elapsed_prior = resume.elapsed
+    else:
+        rows = _initial_rows(soi, data, options)
+        if prefilter:
+            for vid, candidates in prefilter.items():
+                rows[soi.find(vid)] &= candidates
 
     inequalities = soi.inequalities
+    checkpoint: Optional[SolverCheckpoint] = None
+
+    def suspension_elapsed() -> float:
+        return elapsed_prior + time.perf_counter() - start
 
     # Index: canonical source vid -> inequalities it feeds.
     by_source: Dict[int, List[int]] = {}
@@ -256,13 +361,22 @@ def solve(
         # pushed whenever an inequality (re-)enters the worklist or
         # its source row shrinks, and stale entries are skipped on
         # pop, so the pop order equals the exact (count, idx) minimum.
+        # A resumed solve rebuilds the heap from current popcounts —
+        # the heap is a pure cache of the pending set (every pending
+        # inequality always has an entry at its current count), so the
+        # rebuilt pop order equals the uninterrupted one.
         source_of = [soi.find(ineq.source) for ineq in inequalities]
-        pending: Set[int] = set(range(len(inequalities)))
+        pending: Set[int] = (
+            set(resume.pending) if resume is not None
+            else set(range(len(inequalities)))
+        )
         heap: List[tuple] = [
             (rows[source_of[idx]].count(), idx) for idx in pending
         ]
         heapq.heapify(heap)
         while pending:
+            if timer is not None:
+                timer.check_deadline()
             key, idx = heapq.heappop(heap)
             if idx not in pending:
                 continue  # stale: already evaluated since this push
@@ -278,7 +392,19 @@ def solve(
                 for dependent in by_source.get(target, ()):
                     pending.add(dependent)
                     heapq.heappush(heap, (new_count, dependent))
-        if inequalities:
+            if timer is not None:
+                timer.note_work()
+                if pending and timer.should_preempt():
+                    if inequalities:
+                        report.rounds = -(
+                            -report.evaluations // len(inequalities)
+                        )
+                    checkpoint = SolverCheckpoint.capture(
+                        PHASE_DYNAMIC, n, rows, report,
+                        suspension_elapsed(), pending=pending,
+                    )
+                    break
+        if checkpoint is None and inequalities:
             report.rounds = -(-report.evaluations // len(inequalities))
     else:
         # Static priority of each inequality (lower rank runs earlier).
@@ -296,27 +422,88 @@ def solve(
             blocks = (
                 getter() if callable(getter) else BatchedBlockSet(n)
             )
-            run_batched(
+            suspended = run_batched(
                 soi, matrices, rows, inequalities, by_source, rank,
                 options.product, report, n, blocks,
+                timer=timer,
+                resume_queue=(
+                    list(resume.queue) if resume is not None else None
+                ),
+                resume_updated=(
+                    set(resume.updated) if resume is not None else None
+                ),
             )
+            if suspended is not None:
+                remaining, updated = suspended
+                checkpoint = SolverCheckpoint.capture(
+                    PHASE_STATIC, n, rows, report,
+                    suspension_elapsed(),
+                    queue=remaining, updated=updated,
+                )
         else:
-            queue: List[int] = sorted(
-                range(len(inequalities)), key=rank.__getitem__
-            )
-            pending_next: Set[int] = set()
-            while queue:
-                report.rounds += 1
-                for idx in queue:
-                    if evaluate(idx):
-                        target = soi.find(inequalities[idx].target)
-                        for dependent in by_source.get(target, ()):
-                            pending_next.add(dependent)
+            target_of = [soi.find(ineq.target) for ineq in inequalities]
+            if resume is not None:
+                queue: List[int] = list(resume.queue)
+                updated: Set[int] = set(resume.updated)
+                open_round = True  # continue the suspended round
+            else:
+                queue = sorted(
+                    range(len(inequalities)), key=rank.__getitem__
+                )
+                updated = set()
+                open_round = False
+            while queue or open_round:
+                if not open_round:
+                    report.rounds += 1
+                open_round = False
+                if timer is None:
+                    # Unbounded fast path: the seed's plain loop shape.
+                    # No positional bookkeeping and no per-evaluation
+                    # timer branches — an unbounded solve pays zero
+                    # preemption overhead (the packed kernel's short
+                    # evaluations are sensitive to per-step Python
+                    # cost; the perf-regression gate holds this path
+                    # to the PR 5 baseline).  Evaluation order is
+                    # identical to the bounded loop below, so the
+                    # trajectory stays bit-identical either way.
+                    for idx in queue:
+                        if evaluate(idx):
+                            updated.add(target_of[idx])
+                else:
+                    position = 0
+                    while position < len(queue):
+                        idx = queue[position]
+                        position += 1
+                        timer.check_deadline()
+                        if evaluate(idx):
+                            updated.add(target_of[idx])
+                        timer.note_work()
+                        if timer.should_preempt() and (
+                            position < len(queue) or updated
+                        ):
+                            checkpoint = SolverCheckpoint.capture(
+                                PHASE_STATIC, n, rows, report,
+                                suspension_elapsed(),
+                                queue=queue[position:], updated=updated,
+                            )
+                            break
+                    if checkpoint is not None:
+                        break
+                # The next round's queue is a pure function of the
+                # updated-target set (dependents via the static
+                # ``by_source`` index) — which is why a mid-round
+                # suspension only needs the remaining slice and this
+                # set to resume exactly.
+                pending_next: Set[int] = set()
+                for target in updated:
+                    pending_next.update(by_source.get(target, ()))
                 queue = sorted(pending_next, key=rank.__getitem__)
-                pending_next = set()
+                updated = set()
 
-    report.elapsed = time.perf_counter() - start
-    return SolverResult(soi, data, rows, report)
+    report.elapsed = elapsed_prior + time.perf_counter() - start
+    if checkpoint is not None:
+        checkpoint.elapsed = report.elapsed
+    return SolverResult(soi, data, rows, report, checkpoint=checkpoint)
 
 
 def largest_dual_simulation(

@@ -47,8 +47,39 @@ class SnapshotError(StoreError):
     """Malformed, truncated, or incompatible on-disk snapshot."""
 
 
+class SnapshotCorruptError(SnapshotError):
+    """A snapshot section failed its CRC32C integrity check.
+
+    ``section`` names the failing section (``"header"``,
+    ``"nodes dictionary"``, ``"block table"``, a payload's
+    ``"payload label/direction"``, or ``"checksum table"``).
+    """
+
+    def __init__(self, message, section=None):
+        super().__init__(message)
+        self.section = section
+
+
 class SolverError(ReproError):
     """SOI construction or fixpoint-solver failure."""
+
+
+class DeadlineExceededError(ReproError):
+    """A query's ``deadline_ms`` elapsed before execution finished.
+
+    Unlike quantum expiry (which suspends into a continuation token),
+    blowing the deadline aborts the operation — there is nothing to
+    resume.
+    """
+
+
+class ContinuationError(ReproError):
+    """A continuation token could not be resumed.
+
+    Raised for structurally corrupt tokens (truncation, bad CRC,
+    unknown version) and for stale tokens whose fingerprint no longer
+    matches the session (different query, snapshot, or solver
+    configuration)."""
 
 
 class WorkloadError(ReproError):

@@ -15,13 +15,20 @@ The pipeline mirrors the paper's experimental setup:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
 
 from repro._deprecation import deprecated_call
+from repro.core.checkpoint import (
+    ExecutionLimits,
+    PHASE_DYNAMIC,
+    PHASE_STATIC,
+    SolverCheckpoint,
+)
 from repro.core.compiler import CompiledQuery, compile_query
 from repro.core.pruning import PruneResult, prune
 from repro.core.solver import SolverOptions, SolverResult, solve
+from repro.errors import DeadlineExceededError
 from repro.graph.database import GraphDatabase
 from repro.sparql.ast import SelectQuery
 from repro.sparql.parser import parse_query
@@ -47,6 +54,69 @@ class PruneOutcome:
     @property
     def total_rounds(self) -> int:
         return sum(r.report.rounds for r in self.solver_results)
+
+
+@dataclass
+class PruneSuspension:
+    """A pruning stage preempted mid-way (time quantum expired).
+
+    ``branch_states`` holds one
+    :class:`~repro.core.checkpoint.SolverCheckpoint` per union branch
+    started so far: entries before ``branch_index`` are *completed*
+    branches frozen as checkpoints with empty worklists (resuming one
+    just rehydrates its rows and counters), the entry at
+    ``branch_index`` — when present — is a genuine mid-solve
+    suspension.  ``t_simulation`` accumulates prune-stage wall time
+    across the segments so the final
+    :attr:`PruneOutcome.t_simulation` matches an uninterrupted run's
+    accounting.
+    """
+
+    query: SelectQuery
+    branch_index: int
+    branch_states: List[SolverCheckpoint] = field(default_factory=list)
+    t_simulation: float = 0.0
+
+
+def _frozen_branch_state(
+    result: SolverResult, ordering: str
+) -> SolverCheckpoint:
+    """A completed branch as an empty-worklist checkpoint."""
+    phase = PHASE_DYNAMIC if ordering == "dynamic" else PHASE_STATIC
+    return SolverCheckpoint.capture(
+        phase, result.data.n_nodes, result._rows, result.report,
+        result.report.elapsed,
+    )
+
+
+def _remaining_limits(
+    limits: Optional[ExecutionLimits], spent_ms: float
+) -> Optional[ExecutionLimits]:
+    """The per-branch budget left after ``spent_ms`` of this call.
+
+    The quantum clamps at zero (a zero quantum still guarantees one
+    evaluation of progress); an exhausted deadline raises immediately
+    rather than handing the solver an invalid bound.
+    """
+    if limits is None:
+        return None
+    quantum = limits.quantum_ms
+    if quantum is not None:
+        quantum = max(0.0, quantum - spent_ms)
+    deadline = limits.deadline_ms
+    if deadline is not None:
+        deadline -= spent_ms
+        if deadline <= 0:
+            raise DeadlineExceededError(
+                f"deadline of {limits.deadline_ms:g} ms exhausted "
+                "between union branches"
+            )
+    return ExecutionLimits(
+        quantum_ms=quantum,
+        deadline_ms=deadline,
+        clock=limits.clock,
+        preempt_after=limits.preempt_after,
+    )
 
 
 @dataclass
@@ -177,18 +247,70 @@ class PruningPipeline:
             return parse_query(query)
         return query
 
-    def prune(self, query: SelectQuery | str) -> PruneOutcome:
+    def prune(
+        self,
+        query: SelectQuery | str,
+        limits: Optional[ExecutionLimits] = None,
+        resume: Optional[PruneSuspension] = None,
+    ) -> Union[PruneOutcome, PruneSuspension]:
         """Stage 1-3: compile, solve, prune.  ``t_simulation`` covers
-        the whole dual simulation processing (as in the paper)."""
+        the whole dual simulation processing (as in the paper).
+
+        With ``limits`` the stage is preemptable: on quantum expiry a
+        :class:`PruneSuspension` comes back instead of an outcome;
+        pass it as ``resume`` to continue.  The stitched run's rows,
+        counters, and ``t_simulation`` accounting match an
+        uninterrupted one.  A blown deadline raises
+        :class:`~repro.errors.DeadlineExceededError`.
+        """
         query = self.parse(query)
         start = time.perf_counter()
         compiled = compile_query(query)
-        results = [
-            solve(branch.soi, self.db, self.solver_options)
-            for branch in compiled
-        ]
+        results: List[SolverResult] = []
+        t_prior = 0.0
+        start_branch = 0
+        branch_resume: Optional[SolverCheckpoint] = None
+        if resume is not None:
+            t_prior = resume.t_simulation
+            start_branch = resume.branch_index
+            # Rehydrate completed branches: resuming an empty-worklist
+            # checkpoint restores rows and counters without solving.
+            for state in resume.branch_states[:start_branch]:
+                results.append(
+                    solve(
+                        compiled[len(results)].soi, self.db,
+                        self.solver_options, resume=state,
+                    )
+                )
+            if len(resume.branch_states) > start_branch:
+                branch_resume = resume.branch_states[start_branch]
+        for number in range(start_branch, len(compiled)):
+            branch_limits = _remaining_limits(
+                limits, (time.perf_counter() - start) * 1000.0
+            )
+            result = solve(
+                compiled[number].soi, self.db, self.solver_options,
+                limits=branch_limits, resume=branch_resume,
+            )
+            branch_resume = None
+            if not result.complete:
+                ordering = self.solver_options.ordering
+                states = [
+                    _frozen_branch_state(done, ordering)
+                    for done in results
+                ]
+                states.append(result.checkpoint)
+                return PruneSuspension(
+                    query=query,
+                    branch_index=number,
+                    branch_states=states,
+                    t_simulation=(
+                        t_prior + time.perf_counter() - start
+                    ),
+                )
+            results.append(result)
         prune_result = prune(self.db, results)
-        t_simulation = time.perf_counter() - start
+        t_simulation = t_prior + time.perf_counter() - start
         pruned_store = prune_result.to_store()
         return PruneOutcome(
             query=query,
@@ -213,16 +335,26 @@ class PruningPipeline:
         pruned_engine = QueryEngine(outcome.pruned_store, self.profile)
         return pruned_engine.execute(query), outcome
 
-    def ask(self, query) -> bool:
+    def ask(
+        self, query, limits: Optional[ExecutionLimits] = None
+    ) -> bool:
         """ASK with the dual simulation fast path (Sect. 5: 'for
         queries with 0 triples left, there is no need for any further
-        query evaluation')."""
+        query evaluation').  ``limits`` may carry a deadline; ASK has
+        no continuation surface, so a quantum is ignored here."""
         if isinstance(query, str):
             from repro.sparql.parser import parse_query as _parse
             query = _parse(query)
         pattern = query.pattern
         select = SelectQuery(None, pattern)
-        outcome = self.prune(select)
+        if limits is not None and (
+            limits.quantum_ms is not None
+            or limits.preempt_after is not None
+        ):
+            limits = ExecutionLimits(
+                deadline_ms=limits.deadline_ms, clock=limits.clock
+            )
+        outcome = self.prune(select, limits=limits)
         if outcome.triples_after_pruning == 0:
             return False
         pruned_engine = QueryEngine(outcome.pruned_store, self.profile)

@@ -18,14 +18,18 @@ Public surface:
   :class:`ResidencyReport` — reporting structures.
 """
 
-from repro.storage.format import MAGIC, VERSION
+from repro.storage.checksum import crc32c
+from repro.storage.format import MAGIC, VERSION, VERSION_V1
 from repro.storage.reader import (
     LabelBlockInfo,
+    SectionCheck,
     SnapshotInfo,
     SnapshotReader,
+    VerificationReport,
 )
 from repro.storage.tiered import (
     ResidencyReport,
+    RetryPolicy,
     TieredGraphView,
     TieredMatrices,
 )
@@ -39,6 +43,10 @@ from repro.storage.writer import (
 __all__ = [
     "MAGIC",
     "VERSION",
+    "VERSION_V1",
+    "crc32c",
+    "SectionCheck",
+    "VerificationReport",
     "SnapshotWriter",
     "SnapshotReader",
     "SnapshotInfo",
@@ -49,4 +57,5 @@ __all__ = [
     "TieredGraphView",
     "TieredMatrices",
     "ResidencyReport",
+    "RetryPolicy",
 ]

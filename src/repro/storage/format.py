@@ -1,4 +1,4 @@
-"""Binary layout of the on-disk snapshot format (``repro-snap`` v1).
+"""Binary layout of the on-disk snapshot format (``repro-snap`` v1/v2).
 
 A snapshot is a single file holding a dictionary-encoded graph
 database in an mmap-friendly layout: a fixed header, the two term
@@ -22,7 +22,7 @@ File layout (all sections and payloads 8-byte aligned)::
 
     header | nodes dictionary | predicates dictionary | block table | payloads
 
-Integers are little-endian.  The header is::
+Integers are little-endian.  The v1 header is::
 
     magic     8s   b"REPROSNP"
     version   u32  1
@@ -30,6 +30,28 @@ Integers are little-endian.  The header is::
     n_nodes, n_predicates, n_triples, n_blocks          4 x u64
     nodes_off, nodes_len, preds_off, preds_len          4 x u64
     block_table_off                                     u64
+
+Format **v2** (the current writer output) appends one field to the
+header — ``checksum_table_off`` (u64) — and one trailing section: a
+per-section CRC32C checksum table covering every byte of the file::
+
+    header | nodes | predicates | block table | payloads | checksum table
+
+The table is::
+
+    magic     4s   b"CRCS"
+    algorithm u16  1 = CRC32C (Castagnoli)
+    reserved  u16  0
+    n_entries u64
+    crcs      n_entries x u32    header, nodes dictionary, predicates
+                                 dictionary, block table, then one per
+                                 payload in block-table order
+    table_crc u32  CRC32C of the table bytes above
+
+v2 readers verify the metadata sections eagerly at open and each
+payload lazily on first access; a mismatch raises
+:class:`~repro.errors.SnapshotCorruptError`.  v1 files carry no table
+(``flags`` bit 0 clear) and stay readable, unchecksummed.
 
 Each block-table entry is 40 bytes::
 
@@ -52,14 +74,25 @@ import struct
 from dataclasses import dataclass
 from typing import Hashable, List, Tuple
 
-from repro.errors import SnapshotError
+from repro.errors import SnapshotCorruptError, SnapshotError
 from repro.graph.database import Literal
+from repro.storage.checksum import crc32c
 
 MAGIC = b"REPROSNP"
-VERSION = 1
+VERSION = 2
+VERSION_V1 = 1
+SUPPORTED_VERSIONS = (VERSION_V1, VERSION)
 
-HEADER = struct.Struct("<8sII9Q")
+HEADER = struct.Struct("<8sII9Q")       # v1 (no checksum_table_off)
+HEADER_V2 = struct.Struct("<8sII10Q")
 BLOCK_ENTRY = struct.Struct("<IBBHQQQQ")
+
+#: Header ``flags`` bit 0: the file carries a checksum table.
+FLAG_CHECKSUMS = 1
+
+CHECKSUM_MAGIC = b"CRCS"
+CHECKSUM_ALGO_CRC32C = 1
+CHECKSUM_HEADER = struct.Struct("<4sHHQ")
 
 DIRECTION_FORWARD = 0
 DIRECTION_BACKWARD = 1
@@ -96,13 +129,32 @@ class Header:
     preds_off: int
     preds_len: int
     block_table_off: int
+    version: int = VERSION
+    checksum_table_off: int = 0   # 0 for v1 (no table)
+
+    @property
+    def size(self) -> int:
+        return HEADER.size if self.version == VERSION_V1 else HEADER_V2.size
+
+    @property
+    def has_checksums(self) -> bool:
+        return self.checksum_table_off != 0
 
     def pack(self) -> bytes:
-        return HEADER.pack(
-            MAGIC, VERSION, 0,
+        if self.version == VERSION_V1:
+            return HEADER.pack(
+                MAGIC, VERSION_V1, 0,
+                self.n_nodes, self.n_predicates, self.n_triples,
+                self.n_blocks,
+                self.nodes_off, self.nodes_len, self.preds_off,
+                self.preds_len,
+                self.block_table_off,
+            )
+        return HEADER_V2.pack(
+            MAGIC, VERSION, FLAG_CHECKSUMS if self.has_checksums else 0,
             self.n_nodes, self.n_predicates, self.n_triples, self.n_blocks,
             self.nodes_off, self.nodes_len, self.preds_off, self.preds_len,
-            self.block_table_off,
+            self.block_table_off, self.checksum_table_off,
         )
 
     @classmethod
@@ -112,24 +164,38 @@ class Header:
                 f"truncated snapshot: {len(buffer)} bytes, "
                 f"header needs {HEADER.size}"
             )
-        (magic, version, _flags, n_nodes, n_predicates, n_triples,
-         n_blocks, nodes_off, nodes_len, preds_off, preds_len,
-         block_table_off) = HEADER.unpack_from(buffer, 0)
+        magic, version = struct.unpack_from("<8sI", buffer, 0)
         if magic != MAGIC:
             raise SnapshotError(
                 f"not a repro snapshot (bad magic {magic!r})"
             )
-        if version != VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise SnapshotError(
                 f"unsupported snapshot version {version} "
-                f"(this build reads version {VERSION})"
+                f"(this build reads versions {SUPPORTED_VERSIONS})"
             )
+        checksum_table_off = 0
+        if version == VERSION_V1:
+            (_magic, _version, _flags, n_nodes, n_predicates, n_triples,
+             n_blocks, nodes_off, nodes_len, preds_off, preds_len,
+             block_table_off) = HEADER.unpack_from(buffer, 0)
+        else:
+            if len(buffer) < HEADER_V2.size:
+                raise SnapshotError(
+                    f"truncated snapshot: {len(buffer)} bytes, "
+                    f"v2 header needs {HEADER_V2.size}"
+                )
+            (_magic, _version, _flags, n_nodes, n_predicates, n_triples,
+             n_blocks, nodes_off, nodes_len, preds_off, preds_len,
+             block_table_off,
+             checksum_table_off) = HEADER_V2.unpack_from(buffer, 0)
         return cls(
             n_nodes=n_nodes, n_predicates=n_predicates,
             n_triples=n_triples, n_blocks=n_blocks,
             nodes_off=nodes_off, nodes_len=nodes_len,
             preds_off=preds_off, preds_len=preds_len,
             block_table_off=block_table_off,
+            version=version, checksum_table_off=checksum_table_off,
         )
 
 
@@ -236,3 +302,56 @@ def encode_term_section(terms) -> bytes:
 def pack_block_table(entries: Tuple[BlockEntry, ...] | List[BlockEntry]) -> bytes:
     body = b"".join(entry.pack() for entry in entries)
     return body + b"\x00" * pad8(len(body))
+
+
+# -- checksum table (v2) ----------------------------------------------------
+
+
+def pack_checksum_table(crcs: List[int]) -> bytes:
+    """Serialize the v2 checksum table (self-checksummed, unpadded —
+    the table sits at end of file, so every byte of the file ends up
+    covered by exactly one CRC)."""
+    body = CHECKSUM_HEADER.pack(
+        CHECKSUM_MAGIC, CHECKSUM_ALGO_CRC32C, 0, len(crcs)
+    )
+    body += struct.pack(f"<{len(crcs)}I", *crcs)
+    return body + struct.pack("<I", crc32c(body))
+
+
+def unpack_checksum_table(buffer, offset: int) -> List[int]:
+    """Parse and self-verify a checksum table; the per-section CRCs.
+
+    Raises :class:`SnapshotCorruptError` when the table itself is
+    truncated or fails its own CRC — a corrupt table must not look
+    like a clean bill of health for the sections it covers.
+    """
+    end = offset + CHECKSUM_HEADER.size
+    if end > len(buffer):
+        raise SnapshotCorruptError(
+            "checksum table truncated", section="checksum table"
+        )
+    magic, algorithm, _reserved, n_entries = CHECKSUM_HEADER.unpack_from(
+        buffer, offset
+    )
+    if magic != CHECKSUM_MAGIC:
+        raise SnapshotCorruptError(
+            f"bad checksum table magic {magic!r}",
+            section="checksum table",
+        )
+    if algorithm != CHECKSUM_ALGO_CRC32C:
+        raise SnapshotCorruptError(
+            f"unknown checksum algorithm {algorithm}",
+            section="checksum table",
+        )
+    body_end = end + 4 * n_entries
+    if body_end + 4 > len(buffer):
+        raise SnapshotCorruptError(
+            "checksum table truncated", section="checksum table"
+        )
+    stored = struct.unpack_from("<I", buffer, body_end)[0]
+    if crc32c(buffer[offset:body_end]) != stored:
+        raise SnapshotCorruptError(
+            "checksum table failed its own CRC32C",
+            section="checksum table",
+        )
+    return list(struct.unpack_from(f"<{n_entries}I", buffer, end))

@@ -42,10 +42,12 @@ mutation or set-based traversal surface of :class:`Graph` (``add_edge``,
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    Callable,
     Dict,
     Hashable,
     Iterable,
@@ -58,8 +60,41 @@ from typing import (
 )
 
 from repro.bitvec import Bitset, LabelMatrixPair
-from repro.errors import GraphError
+from repro.errors import GraphError, SnapshotError
 from repro.storage.reader import SnapshotReader
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient promotion I/O.
+
+    Promotions read mmap'd snapshot bytes; on network filesystems and
+    flaky disks those reads can fail *transiently* (``OSError`` /
+    ``EIO``-style).  A promotion wrapped in this policy retries up to
+    ``attempts`` total tries with ``base_delay * multiplier**k``
+    sleeps, capped at ``max_delay``.  Only :class:`OSError` is
+    retryable — a :class:`~repro.errors.SnapshotCorruptError` is a
+    *permanent* verdict about the bytes and propagates immediately.
+    ``sleep`` is injectable so tests run without real delays.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    max_delay: float = 0.5
+    multiplier: float = 4.0
+    sleep: Callable[[float], None] = field(default=time.sleep)
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise SnapshotError(
+                f"retry attempts must be >= 1, got {self.attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise SnapshotError("retry delays must be non-negative")
+        if self.multiplier < 1:
+            raise SnapshotError(
+                f"retry multiplier must be >= 1, got {self.multiplier}"
+            )
 
 
 @dataclass
@@ -77,6 +112,7 @@ class ResidencyReport:
     demoted_labels: Tuple[str, ...] = ()
     resident_labels: int = 0     # labels currently materialized
     residency_budget: Optional[int] = None
+    promotion_retries: int = 0   # transient I/O errors retried away
 
     @property
     def resident_ratio(self) -> float:
@@ -155,11 +191,16 @@ class TieredGraphView:
         self,
         source: Union[str, Path, SnapshotReader],
         residency_budget: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if isinstance(source, SnapshotReader):
             self.reader = source
         else:
             self.reader = SnapshotReader(source)
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self._promotion_retries = 0
         reader = self.reader
         self._names: List[Hashable] = reader.node_terms()
         self._index: Dict[Hashable, int] = {
@@ -195,20 +236,43 @@ class TieredGraphView:
             return None
         return self.promote(label)
 
+    def _with_retries(self, operation):
+        """Run one promotion read under the view's retry policy.
+
+        Only ``OSError`` retries (transient I/O); corruption verdicts
+        (:class:`~repro.errors.SnapshotCorruptError`) and every other
+        typed failure propagate on the first raise.
+        """
+        policy = self.retry_policy
+        delay = policy.base_delay
+        for attempt in range(policy.attempts):
+            try:
+                return operation()
+            except OSError:
+                if attempt + 1 >= policy.attempts:
+                    raise
+                self._promotion_retries += 1
+                policy.sleep(min(delay, policy.max_delay))
+                delay *= policy.multiplier
+
     def _materialize(self, label: str) -> LabelMatrixPair:
         """Build the resident pair for a label (no budget check)."""
         reader = self.reader
         pair = LabelMatrixPair(reader.n_nodes)
         if self._tiers[label] == "dense":
-            pair.forward = reader.dense_matrix(label, "forward")
-            pair.backward = reader.dense_matrix(label, "backward")
+            pair.forward = self._with_retries(
+                lambda: reader.dense_matrix(label, "forward")
+            )
+            pair.backward = self._with_retries(
+                lambda: reader.dense_matrix(label, "backward")
+            )
         else:
-            pair.forward = reader.gap_matrix(
-                label, "forward"
-            ).to_adjacency()
-            pair.backward = reader.gap_matrix(
-                label, "backward"
-            ).to_adjacency()
+            pair.forward = self._with_retries(
+                lambda: reader.gap_matrix(label, "forward").to_adjacency()
+            )
+            pair.backward = self._with_retries(
+                lambda: reader.gap_matrix(label, "backward").to_adjacency()
+            )
             self._promoted.append(label)
         self._pairs[label] = pair  # lands at the MRU end
         self._summaries.setdefault(
@@ -308,6 +372,11 @@ class TieredGraphView:
     def demotions(self) -> int:
         return len(self._demoted)
 
+    @property
+    def promotion_retries(self) -> int:
+        """Transient promotion I/O errors absorbed by backoff."""
+        return self._promotion_retries
+
     def is_resident(self, label: str) -> bool:
         return label in self._pairs
 
@@ -364,6 +433,7 @@ class TieredGraphView:
             demoted_labels=tuple(self._demoted),
             resident_labels=len(self._pairs),
             residency_budget=self.residency_budget,
+            promotion_retries=self._promotion_retries,
         )
 
     # -- Graph adjacency interface ------------------------------------------

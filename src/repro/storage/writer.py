@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.bitvec.gap import encode as gap_encode
 from repro.errors import SnapshotError
+from repro.storage.checksum import crc32c
 from repro.storage.format import (
     BlockEntry,
     DIRECTION_BACKWARD,
@@ -36,9 +37,14 @@ from repro.storage.format import (
     ENCODING_DENSE,
     ENCODING_GAP,
     HEADER,
+    HEADER_V2,
     Header,
+    SUPPORTED_VERSIONS,
+    VERSION,
+    VERSION_V1,
     encode_term_section,
     pack_block_table,
+    pack_checksum_table,
     pad8,
 )
 
@@ -110,13 +116,20 @@ class SnapshotWriter:
         self,
         path: Union[str, Path],
         cold_threshold: float = DEFAULT_COLD_THRESHOLD,
+        version: int = VERSION,
     ):
         if cold_threshold < 0:
             raise SnapshotError(
                 f"cold_threshold must be non-negative, got {cold_threshold}"
             )
+        if version not in SUPPORTED_VERSIONS:
+            raise SnapshotError(
+                f"cannot write snapshot version {version} "
+                f"(supported: {SUPPORTED_VERSIONS})"
+            )
         self.path = Path(path)
         self.cold_threshold = cold_threshold
+        self.version = version
 
     def write(self, db) -> WriteReport:
         start = time.perf_counter()
@@ -165,7 +178,10 @@ class SnapshotWriter:
 
         nodes_section = encode_term_section(names)
         preds_section = encode_term_section(labels)
-        nodes_off = HEADER.size
+        header_size = (
+            HEADER.size if self.version == VERSION_V1 else HEADER_V2.size
+        )
+        nodes_off = header_size
         preds_off = nodes_off + len(nodes_section)
         block_table_off = preds_off + len(preds_section)
         table_len = len(pack_block_table(entries))
@@ -201,11 +217,23 @@ class SnapshotWriter:
             preds_off=preds_off,
             preds_len=len(preds_section),
             block_table_off=block_table_off,
+            version=self.version,
+            # v2 only: the table lands right after the last payload.
+            checksum_table_off=(
+                0 if self.version == VERSION_V1 else cursor
+            ),
         )
-        blob = b"".join(
-            [header.pack(), nodes_section, preds_section,
-             pack_block_table(placed)] + payloads
-        )
+        header_bytes = header.pack()
+        table_bytes = pack_block_table(placed)
+        sections = [header_bytes, nodes_section, preds_section,
+                    table_bytes] + payloads
+        blob = b"".join(sections)
+        if self.version != VERSION_V1:
+            # Per-section CRC32C: header, nodes, predicates, block
+            # table, then each payload in block-table order — every
+            # byte of the file is covered by exactly one CRC (the
+            # trailing table checksums itself).
+            blob += pack_checksum_table([crc32c(s) for s in sections])
         # Atomic publish: snapshot paths double as build-once cache
         # keys (path.exists() gates regeneration), so a crash mid-write
         # must never leave a truncated file at the final path.
@@ -239,6 +267,13 @@ def write_snapshot(
     db,
     path: Union[str, Path],
     cold_threshold: float = DEFAULT_COLD_THRESHOLD,
+    version: int = VERSION,
 ) -> WriteReport:
-    """Convenience wrapper: ``SnapshotWriter(path, ...).write(db)``."""
-    return SnapshotWriter(path, cold_threshold=cold_threshold).write(db)
+    """Convenience wrapper: ``SnapshotWriter(path, ...).write(db)``.
+
+    ``version=1`` writes the legacy unchecksummed layout (kept so the
+    v1-compat path stays testable); the default is the current v2.
+    """
+    return SnapshotWriter(
+        path, cold_threshold=cold_threshold, version=version
+    ).write(db)

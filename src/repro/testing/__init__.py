@@ -1,0 +1,30 @@
+"""Test-support harnesses (fault injection, forced preemption).
+
+``repro.testing`` ships with the library so robustness properties are
+checkable against any installed build, not just a source checkout:
+
+* :mod:`repro.testing.faults` — deterministic corruption of snapshot
+  files (one case per integrity class), transient promotion-I/O
+  failures, and kernel-level fault injection for exercising the
+  batched → packed → reference degradation chain.
+"""
+
+from repro.testing.faults import (
+    CorruptionCase,
+    corrupt_copy,
+    corruption_cases,
+    failing_promotions,
+    kernel_fault,
+    preempt_after,
+    single_step,
+)
+
+__all__ = [
+    "CorruptionCase",
+    "corruption_cases",
+    "corrupt_copy",
+    "failing_promotions",
+    "kernel_fault",
+    "preempt_after",
+    "single_step",
+]

@@ -6,9 +6,14 @@ import pytest
 from repro.bench import (
     BenchComparison,
     compare_with_baseline,
+    kernel_aggregate_regressions,
     render_bench_compare,
 )
-from repro.bench.reporting import DRIFT_CLAMP
+from repro.bench.reporting import (
+    DRIFT_CLAMP,
+    KERNEL_DRIFT_CLAMP,
+    SMALL_ROW_RATIO,
+)
 from repro.bench.runner import KernelBenchRow
 from repro.errors import ReproError
 
@@ -130,6 +135,127 @@ class TestMachineDrift:
         assert all(
             c.is_regression() for c in comps if c.kernel == "packed"
         )
+
+
+class TestSubMillisecondGating:
+    """Best-of-repeats minima of sub-ms solves are noise-bound per
+    query: individually they gate only at SMALL_ROW_RATIO; systematic
+    slowdowns are caught by the kernel-geomean aggregate."""
+
+    def test_small_row_not_flagged_at_30_percent(self):
+        comps, _ = compare_with_baseline(
+            [_row(t_solve=0.00013)], _baseline([_bench(t_solve=0.0001)])
+        )
+        assert comps[0].ratio == pytest.approx(1.3)
+        assert not comps[0].is_regression()
+
+    def test_small_row_flagged_at_disaster_ratio(self):
+        comps, _ = compare_with_baseline(
+            [_row(t_solve=0.0001 * (SMALL_ROW_RATIO + 0.1))],
+            _baseline([_bench(t_solve=0.0001)]),
+        )
+        assert comps[0].is_regression()
+
+    def test_millisecond_row_still_gated_at_20_percent(self):
+        comps, _ = compare_with_baseline(
+            [_row(t_solve=0.0013)], _baseline([_bench(t_solve=0.001)])
+        )
+        assert comps[0].is_regression()
+
+    def test_render_marks_ungated_slow_rows(self):
+        # One noisy 1.3x row among steady neighbors: visible in its
+        # verdict cell, but neither it nor the kernel geomean gates.
+        rows = [_row(query="Q0", t_solve=0.00013)] + [
+            _row(query=f"Q{i}", t_solve=0.0001) for i in range(1, 5)
+        ]
+        benches = [
+            _bench(query=f"Q{i}", t_solve=0.0001) for i in range(5)
+        ]
+        comps, _ = compare_with_baseline(rows, _baseline(benches))
+        text = render_bench_compare(comps, [])
+        assert "slower (sub-ms)" in text
+        assert "REGRESSION" not in text
+
+    def test_systematic_small_row_slowdown_caught_by_aggregate(self):
+        # Five sub-ms packed queries, each 1.5x slower: none gates
+        # individually, but the geomean does — noise cancels in a
+        # geomean, a code slowdown does not.  (No reference rows, so
+        # no drift correction absorbs any of it.)
+        rows = [
+            _row(query=f"Q{i}", t_solve=0.00015) for i in range(5)
+        ]
+        benches = [
+            _bench(query=f"Q{i}", t_solve=0.0001) for i in range(5)
+        ]
+        comps, _ = compare_with_baseline(rows, _baseline(benches))
+        assert not any(c.is_regression() for c in comps)
+        flagged = kernel_aggregate_regressions(comps)
+        assert flagged["packed"] == pytest.approx(1.5, rel=0.15)
+        assert "kernel geomean REGRESSION" in render_bench_compare(
+            comps, []
+        )
+
+    def test_aggregate_quiet_on_uniform_noise(self):
+        # Independent over- and under-shoots cancel: no aggregate flag.
+        scales = [1.4, 0.7, 1.1, 0.9, 1.0]
+        rows = [
+            _row(query=f"Q{i}", t_solve=0.0001 * s)
+            for i, s in enumerate(scales)
+        ]
+        benches = [
+            _bench(query=f"Q{i}", t_solve=0.0001) for i in range(5)
+        ]
+        comps, _ = compare_with_baseline(rows, _baseline(benches))
+        assert kernel_aggregate_regressions(comps) == {}
+
+
+class TestPerKernelDrift:
+    """Drift is not uniform across kernels: reference tracks loop
+    throughput, the vectorized kernels' tiny solves track fixed
+    interpreter overhead.  Each kernel is normalized by its own
+    (reference-anchored) estimate."""
+
+    def _run(self, ref_scale, packed_scale):
+        rows, benches = [], []
+        for q in ("Q1", "Q2", "Q3"):
+            rows.append(_row(query=q, kernel="reference",
+                             t_solve=0.04 * ref_scale))
+            rows.append(_row(query=q, kernel="packed",
+                             t_solve=0.01 * packed_scale))
+            benches.append(_bench(query=q, kernel="reference",
+                                  t_solve=0.04))
+            benches.append(_bench(query=q, kernel="packed",
+                                  t_solve=0.01))
+        return compare_with_baseline(rows, _baseline(benches))
+
+    def test_nonuniform_host_drift_not_flagged(self):
+        # The host runs reference 0.87x of baseline but reproduces
+        # packed exactly (0.87 * 1.15 clamp window covers 1.0): under
+        # a global reference-drift model every packed row would read
+        # as 1/0.87 = 1.15x "slower"; per-kernel drift removes that.
+        comps, _ = self._run(ref_scale=0.87, packed_scale=1.0)
+        packed = [c for c in comps if c.kernel == "packed"]
+        assert all(c.ratio == pytest.approx(1.0) for c in packed)
+        assert all(not c.is_regression() for c in comps)
+
+    def test_kernel_wide_slowdown_not_absorbed(self):
+        # Packed uniformly 2x slower on a steady host: its own drift
+        # estimate is clamped to the reference estimate times
+        # KERNEL_DRIFT_CLAMP, so the slowdown survives into both the
+        # per-query ratios and the aggregate geomean.
+        comps, _ = self._run(ref_scale=1.0, packed_scale=2.0)
+        packed = [c for c in comps if c.kernel == "packed"]
+        assert all(
+            c.ratio == pytest.approx(2.0 / KERNEL_DRIFT_CLAMP)
+            for c in packed
+        )
+        assert all(c.is_regression() for c in packed)
+        assert "packed" in kernel_aggregate_regressions(comps)
+
+    def test_reference_rows_normalize_to_their_own_estimate(self):
+        comps, _ = self._run(ref_scale=1.25, packed_scale=1.0)
+        reference = [c for c in comps if c.kernel == "reference"]
+        assert all(not c.is_regression() for c in reference)
 
 
 class TestRender:

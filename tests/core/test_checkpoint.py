@@ -1,0 +1,239 @@
+"""Unit tests for execution limits, timers, and solver checkpoints."""
+
+import pytest
+
+from repro.core import (
+    ExecutionLimits,
+    SolverCheckpoint,
+    SolverOptions,
+    SystemOfInequalities,
+    solve,
+)
+from repro.core.checkpoint import PHASE_DYNAMIC, PHASE_STATIC
+from repro.errors import DeadlineExceededError, SolverError
+from repro.graph import figure4_database, figure4_pattern, random_database
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestExecutionLimits:
+    def test_validation(self):
+        with pytest.raises(SolverError, match="quantum_ms"):
+            ExecutionLimits(quantum_ms=-1)
+        with pytest.raises(SolverError, match="deadline_ms"):
+            ExecutionLimits(deadline_ms=0)
+        with pytest.raises(SolverError, match="preempt_after"):
+            ExecutionLimits(preempt_after=0)
+
+    def test_bounded(self):
+        assert not ExecutionLimits().bounded
+        assert ExecutionLimits(quantum_ms=0).bounded
+        assert ExecutionLimits(deadline_ms=5).bounded
+        assert ExecutionLimits(preempt_after=1).bounded
+
+    def test_zero_quantum_is_legal_single_step(self):
+        assert ExecutionLimits(quantum_ms=0.0).quantum_ms == 0.0
+
+
+class TestLimitTimer:
+    def test_progress_guarantee_no_preempt_at_zero_work(self):
+        timer = ExecutionLimits(quantum_ms=0.0).start()
+        assert not timer.should_preempt()
+        timer.note_work()
+        assert timer.should_preempt()
+
+    def test_preempt_after_counts_evaluations(self):
+        timer = ExecutionLimits(preempt_after=3).start()
+        for _ in range(2):
+            timer.note_work()
+            assert not timer.should_preempt()
+        timer.note_work()
+        assert timer.should_preempt()
+
+    def test_quantum_follows_injected_clock(self):
+        clock = FakeClock()
+        timer = ExecutionLimits(quantum_ms=10.0, clock=clock).start()
+        timer.note_work()
+        assert not timer.should_preempt()
+        clock.advance(0.011)  # 11 ms
+        assert timer.should_preempt()
+
+    def test_deadline_raises(self):
+        clock = FakeClock()
+        timer = ExecutionLimits(deadline_ms=5.0, clock=clock).start()
+        timer.check_deadline()  # within budget: no raise
+        clock.advance(0.006)
+        with pytest.raises(DeadlineExceededError, match="5 ms"):
+            timer.check_deadline()
+
+    def test_unbounded_timer_never_preempts(self):
+        timer = ExecutionLimits().start()
+        timer.note_work(1000)
+        assert not timer.should_preempt()
+        timer.check_deadline()
+
+
+def _fig4():
+    soi = SystemOfInequalities.from_pattern_graph(figure4_pattern())
+    return soi, figure4_database()
+
+
+def _drain(soi, data, options, limits):
+    """Run a preemptable solve to completion, collecting checkpoints."""
+    checkpoints = []
+    result = solve(soi, data, options, limits=limits)
+    while not result.complete:
+        checkpoints.append(result.checkpoint)
+        result = solve(
+            soi, data, options, limits=limits,
+            resume=result.checkpoint,
+        )
+    return result, checkpoints
+
+
+@pytest.mark.parametrize("ordering", ["fifo", "dynamic"])
+class TestPreemptResume:
+    def test_single_step_matches_uninterrupted(self, ordering):
+        soi, data = _fig4()
+        options = SolverOptions(ordering=ordering)
+        baseline = solve(soi, data, options)
+        stepped, checkpoints = _drain(
+            soi, data, options, ExecutionLimits(quantum_ms=0.0)
+        )
+        assert checkpoints, "quantum 0 must suspend at least once"
+        assert stepped.to_relation() == baseline.to_relation()
+        assert stepped.report.rounds == baseline.report.rounds
+        assert stepped.report.evaluations == baseline.report.evaluations
+        assert stepped.report.updates == baseline.report.updates
+        assert (
+            stepped.report.bits_removed == baseline.report.bits_removed
+        )
+
+    def test_checkpoint_phase_matches_ordering(self, ordering):
+        soi, data = _fig4()
+        options = SolverOptions(ordering=ordering)
+        result = solve(
+            soi, data, options, limits=ExecutionLimits(preempt_after=1)
+        )
+        assert not result.complete
+        expected = (
+            PHASE_STATIC if ordering == "fifo" else PHASE_DYNAMIC
+        )
+        assert result.checkpoint.phase == expected
+
+    def test_elapsed_accumulates_across_resumes(self, ordering):
+        soi, data = _fig4()
+        options = SolverOptions(ordering=ordering)
+        result = solve(
+            soi, data, options, limits=ExecutionLimits(preempt_after=1)
+        )
+        first = result.checkpoint.elapsed
+        assert first > 0
+        result = solve(
+            soi, data, options,
+            limits=ExecutionLimits(preempt_after=1),
+            resume=result.checkpoint,
+        )
+        later = (
+            result.checkpoint.elapsed
+            if not result.complete else result.report.elapsed
+        )
+        assert later > first
+
+
+class TestCheckpointSerialization:
+    def _checkpoint(self, ordering="fifo"):
+        soi, data = _fig4()
+        result = solve(
+            soi, data, SolverOptions(ordering=ordering),
+            limits=ExecutionLimits(preempt_after=2),
+        )
+        assert not result.complete
+        return soi, data, result.checkpoint
+
+    def test_round_trip_is_byte_identical(self):
+        _, _, checkpoint = self._checkpoint()
+        blob = checkpoint.to_bytes()
+        restored = SolverCheckpoint.from_bytes(blob)
+        assert restored.to_bytes() == blob
+        assert restored.phase == checkpoint.phase
+        assert restored.queue == checkpoint.queue
+        assert restored.updated == checkpoint.updated
+        assert restored.evaluations == checkpoint.evaluations
+        for vid, row in checkpoint.rows.items():
+            assert restored.rows[vid] == row
+
+    def test_restored_checkpoint_resumes_identically(self):
+        soi, data, checkpoint = self._checkpoint("dynamic")
+        options = SolverOptions(ordering="dynamic")
+        direct = solve(soi, data, options, resume=checkpoint)
+        restored = SolverCheckpoint.from_bytes(checkpoint.to_bytes())
+        via_wire = solve(soi, data, options, resume=restored)
+        assert via_wire.to_relation() == direct.to_relation()
+        assert (
+            via_wire.report.evaluations == direct.report.evaluations
+        )
+
+    def test_bit_flip_fails_crc(self):
+        _, _, checkpoint = self._checkpoint()
+        blob = bytearray(checkpoint.to_bytes())
+        blob[len(blob) // 2] ^= 0x40
+        with pytest.raises(SolverError, match="CRC32C"):
+            SolverCheckpoint.from_bytes(bytes(blob))
+
+    def test_truncation_rejected(self):
+        _, _, checkpoint = self._checkpoint()
+        blob = checkpoint.to_bytes()
+        with pytest.raises(SolverError, match="truncated|length"):
+            SolverCheckpoint.from_bytes(blob[: len(blob) // 2])
+        with pytest.raises(SolverError, match="truncated"):
+            SolverCheckpoint.from_bytes(b"")
+
+    def test_bad_magic_rejected(self):
+        _, _, checkpoint = self._checkpoint()
+        blob = bytearray(checkpoint.to_bytes())
+        blob[:4] = b"NOPE"
+        body = bytes(blob[:-4])
+        from repro.storage.checksum import crc32c
+        import struct
+
+        resealed = body + struct.pack("<I", crc32c(body))
+        with pytest.raises(SolverError, match="magic"):
+            SolverCheckpoint.from_bytes(resealed)
+
+
+class TestCheckpointValidation:
+    def test_resume_against_wrong_graph_raises(self):
+        soi, data = _fig4()
+        result = solve(
+            soi, data, SolverOptions(),
+            limits=ExecutionLimits(preempt_after=1),
+        )
+        other = random_database(97, 300, seed=3)
+        with pytest.raises(SolverError, match="nodes"):
+            solve(soi, other, SolverOptions(), resume=result.checkpoint)
+
+    def test_resume_with_wrong_ordering_raises(self):
+        soi, data = _fig4()
+        result = solve(
+            soi, data, SolverOptions(ordering="fifo"),
+            limits=ExecutionLimits(preempt_after=1),
+        )
+        with pytest.raises(SolverError, match="phase|ordering"):
+            solve(
+                soi, data, SolverOptions(ordering="dynamic"),
+                resume=result.checkpoint,
+            )
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(SolverError, match="phase"):
+            SolverCheckpoint(phase="quantum", n=4, rows={})

@@ -1,0 +1,140 @@
+"""CRC32C implementation and snapshot checksum-table behavior."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SnapshotCorruptError
+from repro.graph import example_movie_database
+from repro.storage.checksum import crc32c
+from repro.storage.reader import SnapshotReader
+from repro.storage.writer import SnapshotWriter
+
+
+class TestCrc32c:
+    def test_known_vectors(self):
+        # RFC 3720 Appendix B.4 / Castagnoli test vectors.
+        assert crc32c(b"") == 0x00000000
+        assert crc32c(b"123456789") == 0xE3069283
+        assert crc32c(b"\x00" * 32) == 0x8A9136AA
+        assert crc32c(b"\xff" * 32) == 0x62A8AB43
+        assert crc32c(bytes(range(32))) == 0x46DD794E
+
+    def test_incremental_matches_one_shot(self):
+        data = bytes(range(256)) * 7
+        split = len(data) // 3
+        partial = crc32c(data[:split])
+        assert crc32c(data[split:], partial) == crc32c(data)
+
+    @given(data=st.binary(max_size=512))
+    @settings(max_examples=60, deadline=None)
+    def test_any_split_is_equivalent(self, data):
+        mid = len(data) // 2
+        assert crc32c(data[mid:], crc32c(data[:mid])) == crc32c(data)
+
+    @given(
+        data=st.binary(min_size=1, max_size=256),
+        position=st.integers(0, 255),
+        bit=st.integers(0, 7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_bit_flips_always_change_the_crc(
+        self, data, position, bit
+    ):
+        position %= len(data)
+        flipped = bytearray(data)
+        flipped[position] ^= 1 << bit
+        assert crc32c(bytes(flipped)) != crc32c(data)
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = tmp_path / "movies.snap"
+    SnapshotWriter(path).write(example_movie_database())
+    return path
+
+
+class TestSnapshotChecksumTable:
+    def test_new_snapshots_are_v2_and_checksummed(self, snapshot):
+        with SnapshotReader(snapshot) as reader:
+            assert reader.version == 2
+            assert reader.checksummed
+            report = reader.verify()
+        assert report.ok
+        assert report.checksummed
+        names = [s.section for s in report.sections]
+        assert "header" in names
+        assert "nodes dictionary" in names
+        assert "block table" in names
+        assert any(n.startswith("payload ") for n in names)
+
+    def test_v1_opt_out_still_readable(self, tmp_path):
+        path = tmp_path / "v1.snap"
+        SnapshotWriter(path, version=1).write(example_movie_database())
+        with SnapshotReader(path) as reader:
+            assert reader.version == 1
+            assert not reader.checksummed
+            report = reader.verify()
+        # structural fallback: still a full pass, lower bar
+        assert report.ok
+        assert not report.checksummed
+        assert all(
+            "structural" in s.detail for s in report.sections
+        )
+
+    def test_checksum_table_self_corruption_detected(self, snapshot):
+        data = bytearray(snapshot.read_bytes())
+        with SnapshotReader(snapshot) as reader:
+            table_off = reader._header.checksum_table_off
+        data[table_off + 12] ^= 0xFF
+        snapshot.write_bytes(bytes(data))
+        with pytest.raises(SnapshotCorruptError) as exc_info:
+            SnapshotReader(snapshot)
+        assert exc_info.value.section == "checksum table"
+
+    def test_metadata_corruption_fails_at_open(self, snapshot):
+        with SnapshotReader(snapshot) as reader:
+            ranges = {
+                name: (start, length)
+                for name, start, length in reader._meta_ranges()
+            }
+        start, length = ranges["nodes dictionary"]
+        data = bytearray(snapshot.read_bytes())
+        data[start + length // 2] ^= 0x01
+        snapshot.write_bytes(bytes(data))
+        with pytest.raises(SnapshotCorruptError) as exc_info:
+            SnapshotReader(snapshot)
+        assert exc_info.value.section == "nodes dictionary"
+
+    def test_payload_corruption_is_lazy(self, snapshot):
+        """A damaged payload opens fine; the first *access* raises,
+        and verify() reports exactly the damaged section."""
+        with SnapshotReader(snapshot) as reader:
+            (label, direction), entry = sorted(reader._blocks.items())[0]
+            offset = entry.payload_off + entry.payload_len // 2
+        data = bytearray(snapshot.read_bytes())
+        data[offset] ^= 0xFF
+        snapshot.write_bytes(bytes(data))
+        with SnapshotReader(snapshot) as reader:  # opens: metadata ok
+            report = reader.verify()
+            assert not report.ok
+            assert report.corrupt_sections() == [
+                f"payload {label}/{direction}"
+            ]
+            accessor = (
+                reader.dense_matrix
+                if entry.encoding == 0 else reader.gap_matrix
+            )
+            with pytest.raises(SnapshotCorruptError, match="CRC32C"):
+                accessor(label, direction)
+
+    def test_verified_payloads_are_cached(self, snapshot):
+        with SnapshotReader(snapshot) as reader:
+            (label, direction), entry = sorted(reader._blocks.items())[0]
+            accessor = (
+                reader.dense_matrix
+                if entry.encoding == 0 else reader.gap_matrix
+            )
+            accessor(label, direction)
+            before = set(reader._verified)
+            accessor(label, direction)
+            assert set(reader._verified) == before

@@ -8,6 +8,7 @@ from repro.storage.format import (
     BLOCK_ENTRY,
     BlockEntry,
     HEADER,
+    HEADER_V2,
     Header,
     MAGIC,
     decode_terms,
@@ -30,7 +31,16 @@ class TestHeader:
         assert Header.unpack(header.pack()) == header
 
     def test_pack_size_matches_struct(self):
-        assert len(self._header().pack()) == HEADER.size
+        assert len(self._header().pack()) == HEADER_V2.size
+
+    def test_v1_pack_size_matches_struct(self):
+        header = Header(
+            n_nodes=10, n_predicates=3, n_triples=20, n_blocks=6,
+            nodes_off=88, nodes_len=40, preds_off=128, preds_len=24,
+            block_table_off=152, version=1,
+        )
+        assert len(header.pack()) == HEADER.size
+        assert Header.unpack(header.pack()) == header
 
     def test_bad_magic_rejected(self):
         blob = bytearray(self._header().pack())

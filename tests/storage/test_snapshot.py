@@ -171,14 +171,19 @@ class TestReader:
 
     def test_corrupt_row_node_id_raises_snapshot_error(self, tmp_path):
         """Out-of-range node ids in a block must fail as SnapshotError,
-        not index silently (negative wrap) or as a bare NumPy error."""
+        not index silently (negative wrap) or as a bare NumPy error.
+
+        Uses a v1 snapshot so the structural range check is what fires;
+        on v2 files the payload CRC intercepts the same corruption first
+        (covered by test_corrupt_payload_fails_crc_on_v2).
+        """
         import numpy as np
 
         from repro.storage.format import BLOCK_ENTRY, BlockEntry, Header
 
         db = example_movie_database()
         path = tmp_path / "hot.snap"
-        SnapshotWriter(path, cold_threshold=0.0).write(db)
+        SnapshotWriter(path, cold_threshold=0.0, version=1).write(db)
         blob = bytearray(path.read_bytes())
         header = Header.unpack(bytes(blob))
         entry = BlockEntry.unpack_from(bytes(blob), header.block_table_off)
@@ -196,6 +201,30 @@ class TestReader:
                 with pytest.raises(SnapshotError, match="out of range"):
                     reader.dense_matrix(label, "forward")
         assert BLOCK_ENTRY.size == 40  # layout assumption of the patch
+
+    def test_corrupt_payload_fails_crc_on_v2(self, tmp_path):
+        """On current-format files the payload checksum catches a
+        flipped row node id before the structural decoder sees it."""
+        import numpy as np
+
+        from repro.errors import SnapshotCorruptError
+        from repro.storage.format import BlockEntry, Header
+
+        db = example_movie_database()
+        path = tmp_path / "hot.snap"
+        SnapshotWriter(path, cold_threshold=0.0).write(db)
+        blob = bytearray(path.read_bytes())
+        header = Header.unpack(bytes(blob))
+        entry = BlockEntry.unpack_from(bytes(blob), header.block_table_off)
+        blob[entry.payload_off:entry.payload_off + 8] = (
+            np.int64(header.n_nodes).tobytes()
+        )
+        bad_path = tmp_path / "bad.snap"
+        bad_path.write_bytes(bytes(blob))
+        with SnapshotReader(bad_path) as reader:
+            label = reader.predicate_terms()[entry.label_id]
+            with pytest.raises(SnapshotCorruptError, match="CRC"):
+                reader.dense_matrix(label, "forward")
 
     def test_wrong_encoding_accessor_raises(self, tmp_path):
         db = example_movie_database()

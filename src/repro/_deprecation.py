@@ -19,11 +19,22 @@ _WARNED: Set[str] = set()
 
 
 def deprecated_call(key: str, message: str, stacklevel: int = 3) -> None:
-    """Emit ``DeprecationWarning`` for ``key`` the first time only."""
+    """Emit ``DeprecationWarning`` for ``key`` the first time only.
+
+    The hint also lands on the ``repro.deprecation`` logger (INFO), so
+    processes that silence ``DeprecationWarning`` still surface shim
+    usage under ``REPRO_LOG``.
+    """
     if key in _WARNED:
         return
     _WARNED.add(key)
     warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    # Deferred import: repro.obs.logs is stdlib-only, but keeping the
+    # module surface dependency-free at import time matters here (the
+    # graph/store/pipeline layers import this before repro.api exists).
+    from repro.obs.logs import get_logger
+
+    get_logger("deprecation").info("%s: %s", key, message)
 
 
 def reset_deprecation_registry() -> None:

@@ -21,6 +21,7 @@ session code runs over memory or snapshot storage byte-identically.
 
 from __future__ import annotations
 
+import time
 import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -57,6 +58,8 @@ from repro.api.result import (
 )
 from repro.core.degrade import DegradationEvent, capture_events
 from repro.errors import ContinuationError, ReproError
+from repro.obs.metrics import COUNT_BUCKETS, registry
+from repro.obs.trace import Tracer, activate, current_tracer
 from repro.storage.tiered import ResidencyReport
 
 ProfileLike = Union[ExecutionProfile, str, None]
@@ -98,6 +101,10 @@ class DatabaseStats:
     #: Kernel fallbacks recorded during this session's operations
     #: (batched → packed → reference), oldest first.
     degradations: Tuple[DegradationEvent, ...] = ()
+    #: Process-wide metrics snapshot (counters + histogram summaries
+    #: from :func:`repro.obs.metrics.registry`) taken when
+    #: :meth:`Database.stats` ran.
+    metrics: Optional[Dict[str, object]] = None
 
     def _live_residency(self) -> Optional[ResidencyReport]:
         if self.residency_source is not None:
@@ -149,6 +156,8 @@ class DatabaseStats:
             out["degradations"] = [
                 event.to_dict() for event in self.degradations
             ]
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
         return out
 
 
@@ -330,6 +339,7 @@ class Database:
         self,
         query,
         mode: Optional[str] = None,
+        trace: Optional[bool] = None,
         ) -> ResultSet:
         """Evaluate a SELECT query; returns a streaming
         :class:`ResultSet`.
@@ -340,6 +350,13 @@ class Database:
         answers; non-well-designed OPTIONALs may gain overapproximated
         ones, as in the paper), ``"auto"`` asks the advisor.
 
+        ``trace=True`` (or a profile ``trace=True``) collects a
+        query-lifecycle trace: the returned result carries a
+        :class:`~repro.obs.trace.Tracer` as ``.trace`` whose span tree
+        covers parse, advise, per-branch prune/solve, extraction, and
+        the join — render it with :func:`repro.obs.render_profile` or
+        export JSONL via ``result.trace.write_jsonl(path)``.
+
         Under a profile ``time_quantum_ms``, the dual-simulation stage
         is preemptable: when the quantum expires the call returns a
         *partial* :class:`ResultSet` (``complete`` is False, no rows)
@@ -348,29 +365,64 @@ class Database:
         A profile ``deadline_ms`` instead raises
         :class:`~repro.errors.DeadlineExceededError` on expiry.
         """
+        if not (self.profile.trace if trace is None else trace):
+            return self._execute_query(query, mode)
+        tracer = Tracer()
+        with activate(tracer), tracer.span(
+            "query",
+            engine=self.profile.engine,
+            kernel=self.profile.resolved_kernel(),
+        ) as root:
+            result = self._execute_query(query, mode)
+            root.set_attributes(
+                mode=result.mode, complete=result.complete
+            )
+        result.trace = tracer
+        return result
+
+    def _execute_query(self, query, mode: Optional[str]) -> ResultSet:
         mode = mode or self.profile.pruning
         if mode not in ("pruned", "full", "auto"):
             raise ReproError(
                 f"unknown query mode {mode!r}; choose from "
                 "('pruned', 'full', 'auto')"
             )
+        tracer = current_tracer()
         advised = False
         limits = self.profile.execution_limits()
+        started = time.perf_counter()
         self._arm_budget()
         with self.profile.kernel_context(), \
                 capture_events(self._degradations):
             if mode == "auto":
-                mode = "pruned" if self.advise(query).recommended else "full"
+                with tracer.span("advise") as span:
+                    mode = (
+                        "pruned" if self.advise(query).recommended
+                        else "full"
+                    )
+                    span.set_attribute("decision", mode)
                 advised = True
-            pipeline = self._pipeline_for()
+            with tracer.span("prepare"):
+                pipeline = self._pipeline_for()
             if mode == "full":
-                result = pipeline.evaluate_full(query)
+                with tracer.span("join", mode="full") as span:
+                    result = pipeline.evaluate_full(query)
+                    span.set_attribute(
+                        "solutions", len(result.solutions)
+                    )
                 summary = None
             else:
                 outcome = pipeline.prune(query, limits=limits)
                 if self._is_suspension(outcome):
+                    self._note_query(started, suspended=True)
                     return self._suspend(query, outcome, advised)
-                result, outcome = pipeline.evaluate_pruned(query, outcome)
+                with tracer.span("join", mode="pruned") as span:
+                    result, outcome = pipeline.evaluate_pruned(
+                        query, outcome
+                    )
+                    span.set_attribute(
+                        "solutions", len(result.solutions)
+                    )
                 summary = PruneSummary(
                     triples_total=self.backend.n_triples,
                     triples_after=outcome.triples_after_pruning,
@@ -378,7 +430,27 @@ class Database:
                     t_simulation=outcome.t_simulation,
                 )
         self._enforce_budget()
+        self._note_query(started, summary=summary)
         return ResultSet(result, mode=mode, pruning=summary, advised=advised)
+
+    @staticmethod
+    def _note_query(
+        started: float,
+        summary: Optional[PruneSummary] = None,
+        suspended: bool = False,
+    ) -> None:
+        """Record one query's process-wide metrics."""
+        reg = registry()
+        reg.counter("queries_total").inc()
+        reg.histogram("query_latency_ms").record(
+            (time.perf_counter() - started) * 1000.0
+        )
+        if suspended:
+            reg.counter("query_suspensions_total").inc()
+        if summary is not None:
+            reg.histogram("solver_rounds", COUNT_BUCKETS).record(
+                summary.rounds
+            )
 
     @staticmethod
     def _is_suspension(outcome) -> bool:
@@ -410,7 +482,11 @@ class Database:
             complete=False, continuation=token,
         )
 
-    def resume(self, token: Union[str, ResultSet]) -> ResultSet:
+    def resume(
+        self,
+        token: Union[str, ResultSet],
+        trace: Optional[bool] = None,
+    ) -> ResultSet:
         """Continue a query suspended by the time quantum.
 
         Accepts the token string or the partial :class:`ResultSet`
@@ -419,8 +495,22 @@ class Database:
         or tokens taken under different solver strategy raise
         :class:`~repro.errors.ContinuationError`.  The quantum applies
         afresh to this call, so resumption may itself suspend again;
-        loop until ``result.complete``.
+        loop until ``result.complete``.  ``trace`` works as in
+        :meth:`query`, rooting the span tree at ``resume``.
         """
+        registry().counter("continuation_resumes_total").inc()
+        if not (self.profile.trace if trace is None else trace):
+            return self._execute_resume(token)
+        tracer = Tracer()
+        with activate(tracer), tracer.span(
+            "resume", engine=self.profile.engine
+        ) as root:
+            result = self._execute_resume(token)
+            root.set_attribute("complete", result.complete)
+        result.trace = tracer
+        return result
+
+    def _execute_resume(self, token: Union[str, ResultSet]) -> ResultSet:
         if isinstance(token, ResultSet):
             if token.continuation is None:
                 raise ContinuationError(
@@ -439,7 +529,9 @@ class Database:
             )
         from repro.pipeline.pruned_query import PruneSuspension
 
+        tracer = current_tracer()
         limits = self.profile.execution_limits()
+        started = time.perf_counter()
         self._arm_budget()
         with self.profile.kernel_context(), \
                 capture_events(self._degradations):
@@ -454,12 +546,15 @@ class Database:
                 suspension.query_text, limits=limits, resume=resume_state
             )
             if self._is_suspension(outcome):
+                self._note_query(started, suspended=True)
                 return self._suspend(
                     suspension.query_text, outcome, suspension.advised
                 )
-            result, outcome = pipeline.evaluate_pruned(
-                suspension.query_text, outcome
-            )
+            with tracer.span("join", mode="pruned") as span:
+                result, outcome = pipeline.evaluate_pruned(
+                    suspension.query_text, outcome
+                )
+                span.set_attribute("solutions", len(result.solutions))
             summary = PruneSummary(
                 triples_total=self.backend.n_triples,
                 triples_after=outcome.triples_after_pruning,
@@ -467,6 +562,7 @@ class Database:
                 t_simulation=outcome.t_simulation,
             )
         self._enforce_budget()
+        self._note_query(started, summary=summary)
         return ResultSet(
             result, mode="pruned", pruning=summary,
             advised=suspension.advised,
@@ -600,6 +696,7 @@ class Database:
             residency=self.backend.residency(),
             residency_source=live_residency,
             degradations=tuple(self._degradations),
+            metrics=registry().snapshot(),
         )
 
     # -- lifecycle --------------------------------------------------------

@@ -71,6 +71,13 @@ class ExecutionProfile:
     * ``deadline_ms`` — hard wall-clock bound on the dual-simulation
       stage of ``query``/``ask``/``simulate``; exceeding it raises
       :class:`~repro.errors.DeadlineExceededError`.
+    * ``trace`` — collect a query-lifecycle trace for every query run
+      under this profile: each :meth:`Database.query` activates a
+      fresh :class:`~repro.obs.trace.Tracer` and attaches it to the
+      returned :class:`~repro.api.result.ResultSet` as ``.trace``
+      (render with :func:`repro.obs.render_profile`, export with
+      ``trace.write_jsonl``).  Off by default — the disabled path is a
+      single module-global read per hook site.
     """
 
     engine: str = "virtuoso-like"
@@ -80,6 +87,7 @@ class ExecutionProfile:
     residency_budget: Optional[int] = None
     time_quantum_ms: Optional[float] = None
     deadline_ms: Optional[float] = None
+    trace: bool = False
 
     def __post_init__(self):
         if self.engine not in PROFILES:

@@ -84,6 +84,10 @@ class ResultSet:
         self.advised = advised
         self.complete = complete
         self.continuation = continuation
+        #: The query's :class:`~repro.obs.trace.Tracer` when tracing
+        #: was requested (``Database.query(..., trace=True)`` or
+        #: ``ExecutionProfile(trace=True)``); ``None`` otherwise.
+        self.trace = None
         self._solutions = None  # projected/ordered, still id-encoded
 
     # -- lazy plumbing ----------------------------------------------------

@@ -20,6 +20,7 @@ from repro.core.naive import ma_dual_simulation
 from repro.core.hhk import hhk_dual_simulation
 from repro.core.solver import SolverOptions, largest_dual_simulation
 from repro.graph.database import GraphDatabase
+from repro.obs.trace import NULL_TRACER, activate
 from repro.pipeline.pruned_query import PipelineReport, PruningPipeline
 from repro.sparql.normalize import merge_bgps, strip_filters, strip_optional
 from repro.sparql.parser import parse_query
@@ -301,10 +302,13 @@ def run_kernel_bench(
     # each minimum converges on the quiet-host time.  One GC
     # quiescence spans each pass (collecting right before a timed
     # solve perturbs the allocator enough to swamp the signal).
+    # Timed solves run with tracing force-disabled: a tracer left
+    # active by an embedding caller must never poison the timings the
+    # perf-regression gate compares.
     rows: List[KernelBenchRow] = []
     for kernel in kernels:
         cells = []
-        with use_kernel(kernel):
+        with use_kernel(kernel), activate(NULL_TRACER):
             for name, db, pattern in prepared:
                 warm_start = time.perf_counter()
                 result = largest_dual_simulation(pattern, db, options)

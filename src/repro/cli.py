@@ -16,7 +16,8 @@ Commands:
 
       python -m repro query data.nt "SELECT * WHERE { ?s p ?o . }"
       python -m repro query data.nt query.rq --mode pruned
-      python -m repro query data.nt query.rq --prune --profile rdfox-like
+      python -m repro query data.nt query.rq --prune --engine rdfox-like
+      python -m repro query data.nt query.rq --profile --trace-out t.jsonl
 
 * ``simulate`` — print the system of inequalities and the largest
   dual simulation of a query (the Sect. 3/4 machinery)::
@@ -31,6 +32,7 @@ Commands:
       python -m repro db query data.snap query.rq --mode auto
       python -m repro db query data.snap query.rq --quantum 50 --token-out t.txt
       python -m repro db query data.snap --resume @t.txt
+      python -m repro db query data.snap query.rq --profile --stats-json
 
 * ``bench`` — regenerate one of the paper's tables::
 
@@ -68,7 +70,7 @@ def _add_execution_flags(
     parser, modes: bool = True, default_mode: str = "full"
 ) -> None:
     """The flags every query-running command shares."""
-    parser.add_argument("--profile", choices=sorted(PROFILES),
+    parser.add_argument("--engine", choices=sorted(PROFILES),
                         default="virtuoso-like",
                         help="join-engine profile")
     parser.add_argument("--kernel", choices=KERNELS, default=None,
@@ -81,6 +83,18 @@ def _add_execution_flags(
                                  "never prune, or let the statistics "
                                  "advisor decide "
                                  f"(default: {default_mode})")
+
+
+def _add_profiling_flags(parser) -> None:
+    """The observability flags of the query-running commands."""
+    parser.add_argument("--profile", action="store_true",
+                        help="trace the query and print an EXPLAIN "
+                             "ANALYZE-style span tree (per-stage total/"
+                             "self time and work counters)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export the query's trace as OTel-"
+                             "compatible JSONL (one span per line); "
+                             "implies tracing")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     qry.add_argument("--limit", type=int, default=20,
                      help="max solutions to print (0 = all)")
     _add_execution_flags(qry)
+    _add_profiling_flags(qry)
 
     sim = sub.add_parser("simulate", help="show SOI + largest dual simulation")
     sim.add_argument("data", help="N-Triples file")
@@ -206,7 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "query, least-recently-touched labels are "
                           "demoted back to disk until resident packed "
                           "bytes fit")
+    dbq.add_argument("--stats-json", action="store_true",
+                     help="after the query, print the full session "
+                          "stats (residency, degradations, process "
+                          "metrics — plus a trace summary under "
+                          "--profile) as JSON")
     _add_execution_flags(dbq)
+    _add_profiling_flags(dbq)
 
     return parser
 
@@ -221,7 +242,7 @@ def _read_query(argument: str) -> str:
 def _execution_profile(args, default_mode: str = "full") -> ExecutionProfile:
     """Build the session profile from the shared CLI flags."""
     return ExecutionProfile(
-        engine=getattr(args, "profile", "virtuoso-like"),
+        engine=getattr(args, "engine", "virtuoso-like"),
         pruning=getattr(args, "mode", None) or default_mode,
         kernel=getattr(args, "kernel", None),
         residency_budget=getattr(args, "budget", None),
@@ -269,16 +290,60 @@ def _emit_suspension(result, args, out) -> int:
     return 0
 
 
+def _want_trace(args) -> Optional[bool]:
+    """``--profile``/``--trace-out`` imply tracing (None = profile
+    default, so a ``trace=True`` ExecutionProfile still traces)."""
+    wanted = bool(
+        getattr(args, "profile", False)
+        or getattr(args, "trace_out", None)
+    )
+    return True if wanted else None
+
+
+def _emit_trace(result, args, out) -> None:
+    """Render/export a traced query per the profiling flags."""
+    if getattr(result, "trace", None) is None:
+        return
+    if getattr(args, "profile", False):
+        from repro.obs import render_profile
+
+        print(render_profile(result.trace), file=out)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        result.trace.write_jsonl(trace_out)
+        print(f"trace written to {trace_out}", file=out)
+
+
+def _emit_stats_json(db, result, args, out) -> None:
+    """``--stats-json``: the full session stats (plus a trace summary
+    when the query was traced) as one JSON document."""
+    if not getattr(args, "stats_json", False):
+        return
+    import json as json_module
+
+    stats = db.stats().to_dict()
+    if result is not None and getattr(result, "trace", None) is not None:
+        from repro.obs.render import trace_summary
+
+        stats["trace"] = trace_summary(result.trace)
+    print(json_module.dumps(stats, indent=2), file=out)
+
+
 def _run_session_query(db: Database, args, out) -> int:
     """Shared query flow of ``query`` and ``db query``."""
+    trace = _want_trace(args)
     resume_token = getattr(args, "resume", None)
     if resume_token is not None:
-        result = db.resume(_read_token(resume_token))
+        result = db.resume(_read_token(resume_token), trace=trace)
         if not result.complete:
-            return _emit_suspension(result, args, out)
-        print("resumed to completion", file=out)
-        _print_result(result, args, out)
-        return 0
+            code = _emit_suspension(result, args, out)
+        else:
+            print("resumed to completion", file=out)
+            _print_result(result, args, out)
+            code = 0
+        _emit_trace(result, args, out)
+        _emit_stats_json(db, result, args, out)
+        return code
     if args.query is None:
         raise ReproError("a query is required unless --resume is given")
     query = _read_query(args.query)
@@ -297,11 +362,15 @@ def _run_session_query(db: Database, args, out) -> int:
             f"results equal: {report.results_equal}",
             file=out,
         )
-    result = db.query(query)
+    result = db.query(query, trace=trace)
     if not result.complete:
-        return _emit_suspension(result, args, out)
-    _print_result(result, args, out)
-    return 0
+        code = _emit_suspension(result, args, out)
+    else:
+        _print_result(result, args, out)
+        code = 0
+    _emit_trace(result, args, out)
+    _emit_stats_json(db, result, args, out)
+    return code
 
 
 def _print_result(result, args, out) -> None:
@@ -396,8 +465,11 @@ def cmd_db(args, out) -> int:
         with SnapshotReader(Path(args.snapshot)) as reader:
             info = reader.info()
             if args.json_out:
-                print(json_module.dumps(info.to_dict(), indent=2),
-                      file=out)
+                from repro.obs.metrics import registry
+
+                payload = info.to_dict()
+                payload["metrics"] = registry().snapshot()
+                print(json_module.dumps(payload, indent=2), file=out)
                 return 0
             from repro.bench import render_table
 

@@ -29,6 +29,12 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Tuple
 
+from repro.obs.logs import get_logger
+from repro.obs.metrics import registry
+from repro.obs.trace import current_tracer
+
+logger = get_logger("core.degrade")
+
 #: Fallback order: index i degrades to index i+1.
 DEGRADATION_CHAIN: Tuple[str, ...] = ("batched", "packed", "reference")
 
@@ -78,6 +84,19 @@ def record(from_kernel: str, to_kernel: str, error: BaseException) -> Degradatio
     )
     _recent.append(event)
     del _recent[:-_RECENT_LIMIT]
+    registry().counter("kernel_degradations_total").inc()
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "degrade",
+            from_kernel=from_kernel,
+            to_kernel=to_kernel,
+            error_type=event.error_type,
+        )
+    logger.warning(
+        "kernel degradation: %s -> %s after %s: %s",
+        from_kernel, to_kernel, event.error_type, event.error,
+    )
     for sink in _sinks:
         sink(event)
     return event

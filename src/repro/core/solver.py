@@ -51,6 +51,8 @@ from repro.core.strategies import (
 )
 from repro.errors import ReproError, SolverError
 from repro.graph.graph import Graph
+from repro.obs.metrics import registry
+from repro.obs.trace import current_tracer
 
 INITIALIZATIONS = ("summary", "full")
 PRODUCTS = ("auto", "row", "column")
@@ -230,14 +232,14 @@ def solve(
     """
     options = options or SolverOptions()
     if not options.degrade_on_fault:
-        return _solve_once(
+        return _solve_segment(
             soi, data, options, prefilter, limits=limits, resume=resume
         )
     kernel = active_kernel()
     while True:
         try:
             with use_kernel(kernel):
-                return _solve_once(
+                return _solve_segment(
                     soi, data, options, prefilter,
                     limits=limits, resume=resume,
                 )
@@ -249,6 +251,58 @@ def solve(
                 raise
             record_degradation(kernel, fallback, error)
             kernel = fallback
+
+
+def _solve_segment(
+    soi: SystemOfInequalities,
+    data: Graph,
+    options: SolverOptions,
+    prefilter: Optional[Dict[int, Bitset]] = None,
+    *,
+    limits: Optional[ExecutionLimits] = None,
+    resume: Optional[SolverCheckpoint] = None,
+) -> SolverResult:
+    """One solve attempt, wrapped in a ``solve`` span when tracing.
+
+    Each preempted segment gets its own span (a resumed solve is a new
+    segment), with the cumulative work counters attached on close.
+    The disabled path adds exactly one ``tracer.enabled`` check around
+    the untouched inner loop — the perf-regression gate holds it to
+    the untraced baseline.
+    """
+    tracer = current_tracer()
+    if not tracer.enabled:
+        result = _solve_once(
+            soi, data, options, prefilter, limits=limits, resume=resume
+        )
+        if result.checkpoint is not None:
+            registry().counter("solver_checkpoints_total").inc()
+        return result
+    with tracer.span(
+        "solve",
+        kernel=active_kernel(),
+        ordering=options.ordering,
+        resumed=resume is not None,
+    ) as span:
+        result = _solve_once(
+            soi, data, options, prefilter, limits=limits, resume=resume
+        )
+        report = result.report
+        span.set_attributes(
+            rounds=report.rounds,
+            evaluations=report.evaluations,
+            updates=report.updates,
+            bits_removed=report.bits_removed,
+            complete=result.complete,
+        )
+        if result.checkpoint is not None:
+            registry().counter("solver_checkpoints_total").inc()
+            tracer.event(
+                "checkpoint",
+                phase=result.checkpoint.phase,
+                evaluations=report.evaluations,
+            )
+        return result
 
 
 def _solve_once(

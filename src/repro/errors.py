@@ -58,6 +58,25 @@ class SnapshotCorruptError(SnapshotError):
     def __init__(self, message, section=None):
         super().__init__(message)
         self.section = section
+        # Constructing this error *is* the corruption-detection event:
+        # every CRC-mismatch path (open-time sections, lazy payloads,
+        # verify sweeps) funnels through here, so observability hooks
+        # live at this single choke point.  Imports are deferred to
+        # keep the errors module dependency-free at import time.
+        from repro.obs.logs import get_logger
+        from repro.obs.metrics import registry
+        from repro.obs.trace import current_tracer
+
+        registry().counter("snapshot_corruptions_total").inc()
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "corruption", section=section or "", message=message
+            )
+        get_logger("storage.integrity").error(
+            "snapshot corruption detected (%s): %s",
+            section or "unknown section", message,
+        )
 
 
 class SolverError(ReproError):

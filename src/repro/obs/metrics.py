@@ -1,0 +1,192 @@
+"""Process-wide counters and bounded histograms.
+
+A :class:`MetricsRegistry` holds named :class:`Counter` and
+:class:`Histogram` instruments, created on first use.  The process
+default (:func:`registry`) accumulates across every
+:class:`~repro.api.database.Database` session — the per-query
+statistics surface a long-lived server aggregates over many clients —
+and is snapshotable as one flat JSON-friendly dict from
+``Database.stats()`` and ``repro db info --json``.
+
+Histograms are **bounded**: a fixed bucket-boundary list fixed at
+creation (no per-observation allocation, no unbounded reservoir), plus
+running count/sum/min/max.  The default boundaries cover query
+latencies from sub-millisecond to ten seconds; integer-ish series
+(solver rounds) pass their own.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "registry"]
+
+#: Default bucket upper bounds (ms) for latency-shaped histograms.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: Default bucket upper bounds for small-count series (rounds, ...).
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 3, 4, 5, 8, 12, 16, 24, 32, 64, 128, 256,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """Fixed-bucket distribution with running count/sum/min/max.
+
+    ``boundaries`` are inclusive upper bounds; one overflow bucket
+    catches everything above the last boundary, so memory is constant
+    no matter how many observations land.
+    """
+
+    __slots__ = (
+        "name", "boundaries", "bucket_counts",
+        "count", "sum", "min", "max",
+    )
+
+    def __init__(self, name: str, boundaries: Sequence[float]):
+        if not boundaries or list(boundaries) != sorted(boundaries):
+            raise ValueError(
+                f"histogram {name!r} needs ascending bucket boundaries"
+            )
+        self.name = name
+        self.boundaries: Tuple[float, ...] = tuple(boundaries)
+        self.bucket_counts: List[int] = [0] * (len(self.boundaries) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+        if self.count:
+            out["buckets"] = {
+                (f"le_{bound:g}" if i < len(self.boundaries) else "inf"):
+                    n
+                for i, (bound, n) in enumerate(
+                    zip(self.boundaries + (float("inf"),),
+                        self.bucket_counts)
+                )
+                if n
+            }
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, "
+            f"sum={self.sum:g})"
+        )
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    Re-requesting a name returns the same instrument; requesting an
+    existing name as the wrong kind raises.  ``snapshot()`` is a flat
+    dict (counter name -> int, histogram name -> summary dict) stable
+    under JSON round-trips.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name in self._histograms:
+                raise ValueError(f"{name!r} is already a histogram")
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def histogram(
+        self, name: str, boundaries: Sequence[float] = LATENCY_BUCKETS_MS
+    ) -> Histogram:
+        with self._lock:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is already a counter")
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, boundaries
+                )
+            return instrument
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat JSON-friendly view of every instrument (sorted)."""
+        with self._lock:
+            out: Dict[str, object] = {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            }
+            out.update(
+                (name, histogram.to_dict())
+                for name, histogram in sorted(self._histograms.items())
+            )
+        return out
+
+    def reset(self) -> None:
+        """Drop every instrument (test isolation helper)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._histograms)} histograms)"
+        )
+
+
+#: The process-wide registry all engine hooks record into.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY

@@ -1,0 +1,303 @@
+"""Nested, timestamped spans over a query's life.
+
+A :class:`Tracer` records a tree of :class:`Span` objects.  Spans nest
+via a stack (``with tracer.span("prune"):`` makes every span opened
+inside it a child), carry free-form attributes (work counters, labels,
+byte counts), and export as one-JSON-object-per-line text whose field
+names follow the OpenTelemetry span schema (``name``, ``trace_id``,
+``span_id``, ``parent_span_id``, ``start_time_unix_nano``,
+``end_time_unix_nano``, ``attributes``), so any OTel-speaking viewer
+ingests the file directly.
+
+Clocks are injectable: ``clock`` is a monotonic seconds source used
+for all durations (tests drive it deterministically), ``epoch_ns`` the
+wall-clock origin the monotonic values are rebased onto for export.
+
+The **disabled path is a no-op by construction**: the module-level
+:data:`NULL_TRACER` answers ``enabled = False`` and every engine hook
+is written as ``if tracer.enabled: ...`` — one attribute read, no
+allocation, no clock call.  :func:`activate` swaps the current tracer
+for the duration of a ``with`` block; :func:`current_tracer` is the
+single global the hooks consult.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "activate",
+    "current_tracer",
+]
+
+
+class Span:
+    """One timed operation (or point event) in a trace.
+
+    ``start`` / ``end`` are monotonic seconds from the tracer's clock;
+    ``end`` is ``None`` while the span is open.  Use as a context
+    manager, or call :meth:`finish` explicitly.
+    """
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent_id",
+        "start", "end", "attributes",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        attributes: Dict[str, object],
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes = attributes
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, **attrs: object) -> None:
+        self.attributes.update(attrs)
+
+    def finish(self) -> None:
+        """Close the span (idempotent) and pop it off the stack."""
+        if self.end is None:
+            self.end = self.tracer._clock()
+            self.tracer._pop(self)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.finish()
+
+    def to_dict(self) -> Dict[str, object]:
+        """OTel-compatible flat form (times rebased to unix nanos)."""
+        epoch = self.tracer.epoch_ns
+        start_ns = epoch + int(self.start * 1e9)
+        end_ns = (
+            start_ns if self.end is None
+            else epoch + int(self.end * 1e9)
+        )
+        out: Dict[str, object] = {
+            "name": self.name,
+            "trace_id": self.tracer.trace_id,
+            "span_id": f"{self.span_id:016x}",
+            "parent_span_id": (
+                "" if self.parent_id is None
+                else f"{self.parent_id:016x}"
+            ),
+            "start_time_unix_nano": start_ns,
+            "end_time_unix_nano": end_ns,
+        }
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        return out
+
+    def __repr__(self) -> str:
+        state = (
+            "open" if self.end is None
+            else f"{1000.0 * self.duration:.3f}ms"
+        )
+        return f"Span({self.name!r}, {state}, attrs={self.attributes})"
+
+
+class Tracer:
+    """Collects one trace: a forest of spans in start order.
+
+    ``enabled`` is checked inline by every engine hook; a regular
+    tracer answers True.  ``clock`` must be monotonic (seconds);
+    ``epoch_ns`` anchors exported timestamps (defaults to the wall
+    clock at construction, rebased so span 0 starts "now").
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter, epoch_ns: Optional[int] = None):
+        self._clock = clock
+        base = clock()
+        if epoch_ns is None:
+            epoch_ns = int(time.time() * 1e9) - int(base * 1e9)
+        self.epoch_ns = epoch_ns
+        #: Every span ever started, in start order (open ones included).
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self.trace_id = f"{id(self) & 0xFFFFFFFF:032x}"
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, **attributes: object) -> Span:
+        """Open a nested span; close it via ``with`` or ``finish()``."""
+        span = Span(
+            self, name, self._next_id,
+            self._stack[-1].span_id if self._stack else None,
+            self._clock(), attributes,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def event(self, name: str, **attributes: object) -> Span:
+        """A zero-duration span (a point event): opened and closed at
+        the same instant, parented to the innermost open span."""
+        span = Span(
+            self, name, self._next_id,
+            self._stack[-1].span_id if self._stack else None,
+            self._clock(), attributes,
+        )
+        self._next_id += 1
+        span.end = span.start
+        self.spans.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        # Close any abandoned inner spans too (an exception may have
+        # unwound past them), so the stack never corrupts nesting for
+        # later spans.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                return
+            if top.end is None:
+                top.end = span.end
+
+    # -- structure --------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        """Top-level spans (no parent), in start order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> List[Span]:
+        """Every span with this name, in start order."""
+        return [s for s in self.spans if s.name == name]
+
+    # -- export -----------------------------------------------------------
+
+    def to_dicts(self) -> Iterator[Dict[str, object]]:
+        return (span.to_dict() for span in self.spans)
+
+    def to_jsonl(self) -> str:
+        """One span per line, OTel field names, start order."""
+        return "".join(
+            json.dumps(d, sort_keys=True, default=str) + "\n"
+            for d in self.to_dicts()
+        )
+
+    def write_jsonl(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_jsonl())
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({len(self.spans)} spans, "
+            f"{len(self._stack)} open)"
+        )
+
+
+class NullTracer:
+    """The disabled tracer: every operation is an inert no-op.
+
+    Hot paths guard with ``if tracer.enabled`` and never call these;
+    the methods exist so *cold* call sites may skip the guard.
+    """
+
+    enabled = False
+
+    _NOOP_SPAN = None  # set after class body
+
+    def span(self, name: str, **attributes: object) -> "_NoopSpan":
+        return _NOOP_SPAN
+
+    def event(self, name: str, **attributes: object) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+class _NoopSpan:
+    """Reusable inert span for :class:`NullTracer.span` callers."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: object) -> None:
+        return None
+
+    def set_attributes(self, **attrs: object) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+NullTracer._NOOP_SPAN = _NOOP_SPAN
+
+#: The process-default tracer every engine hook consults.
+NULL_TRACER = NullTracer()
+
+_current = NULL_TRACER
+
+
+def current_tracer():
+    """The tracer engine hooks record into (NULL_TRACER by default)."""
+    return _current
+
+
+class _Activation:
+    """Context manager swapping the current tracer (re-entrant)."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer):
+        self._tracer = tracer
+        self._previous = None
+
+    def __enter__(self):
+        global _current
+        self._previous = _current
+        _current = self._tracer
+        return self._tracer
+
+    def __exit__(self, *exc) -> None:
+        global _current
+        _current = self._previous
+
+
+def activate(tracer) -> _Activation:
+    """``with activate(tracer):`` routes engine hooks into ``tracer``
+    for the duration of the block (restores the previous one after)."""
+    return _Activation(tracer)

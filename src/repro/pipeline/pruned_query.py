@@ -30,6 +30,7 @@ from repro.core.pruning import PruneResult, prune
 from repro.core.solver import SolverOptions, SolverResult, solve
 from repro.errors import DeadlineExceededError
 from repro.graph.database import GraphDatabase
+from repro.obs.trace import current_tracer
 from repro.sparql.ast import SelectQuery
 from repro.sparql.parser import parse_query
 from repro.store.engine import QueryEngine, QueryResult
@@ -244,7 +245,8 @@ class PruningPipeline:
 
     def parse(self, query: SelectQuery | str) -> SelectQuery:
         if isinstance(query, str):
-            return parse_query(query)
+            with current_tracer().span("parse", n_chars=len(query)):
+                return parse_query(query)
         return query
 
     def prune(
@@ -264,6 +266,7 @@ class PruningPipeline:
         :class:`~repro.errors.DeadlineExceededError`.
         """
         query = self.parse(query)
+        tracer = current_tracer()
         start = time.perf_counter()
         compiled = compile_query(query)
         results: List[SolverResult] = []
@@ -288,10 +291,15 @@ class PruningPipeline:
             branch_limits = _remaining_limits(
                 limits, (time.perf_counter() - start) * 1000.0
             )
-            result = solve(
-                compiled[number].soi, self.db, self.solver_options,
-                limits=branch_limits, resume=branch_resume,
-            )
+            with tracer.span("prune", branch=number) as span:
+                result = solve(
+                    compiled[number].soi, self.db, self.solver_options,
+                    limits=branch_limits, resume=branch_resume,
+                )
+                span.set_attributes(
+                    rounds=result.report.rounds,
+                    complete=result.complete,
+                )
             branch_resume = None
             if not result.complete:
                 ordering = self.solver_options.ordering
@@ -309,9 +317,13 @@ class PruningPipeline:
                     ),
                 )
             results.append(result)
-        prune_result = prune(self.db, results)
-        t_simulation = t_prior + time.perf_counter() - start
-        pruned_store = prune_result.to_store()
+        with tracer.span("extract") as span:
+            prune_result = prune(self.db, results)
+            t_simulation = t_prior + time.perf_counter() - start
+            pruned_store = prune_result.to_store()
+            span.set_attribute(
+                "triples_after", prune_result.n_triples_after
+            )
         return PruneOutcome(
             query=query,
             compiled=compiled,

@@ -61,7 +61,12 @@ from typing import (
 
 from repro.bitvec import Bitset, LabelMatrixPair
 from repro.errors import GraphError, SnapshotError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import registry
+from repro.obs.trace import current_tracer
 from repro.storage.reader import SnapshotReader
+
+logger = get_logger("storage.tiered")
 
 
 @dataclass(frozen=True)
@@ -248,15 +253,36 @@ class TieredGraphView:
         for attempt in range(policy.attempts):
             try:
                 return operation()
-            except OSError:
+            except OSError as error:
                 if attempt + 1 >= policy.attempts:
                     raise
                 self._promotion_retries += 1
+                registry().counter("promotion_retries_total").inc()
+                tracer = current_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "retry", attempt=attempt + 1,
+                        error_type=type(error).__name__,
+                    )
+                logger.warning(
+                    "transient promotion I/O error (attempt %d/%d): %s",
+                    attempt + 1, policy.attempts, error,
+                )
                 policy.sleep(min(delay, policy.max_delay))
                 delay *= policy.multiplier
 
     def _materialize(self, label: str) -> LabelMatrixPair:
         """Build the resident pair for a label (no budget check)."""
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._materialize_inner(label)
+        tier = self._tiers[label]
+        with tracer.span("promotion", label=label, tier=tier) as span:
+            pair = self._materialize_inner(label)
+            span.set_attribute("bytes", _pair_resident_bytes(pair))
+            return pair
+
+    def _materialize_inner(self, label: str) -> LabelMatrixPair:
         reader = self.reader
         pair = LabelMatrixPair(reader.n_nodes)
         if self._tiers[label] == "dense":
@@ -274,6 +300,7 @@ class TieredGraphView:
                 lambda: reader.gap_matrix(label, "backward").to_adjacency()
             )
             self._promoted.append(label)
+            registry().counter("promotions_total").inc()
         self._pairs[label] = pair  # lands at the MRU end
         self._summaries.setdefault(
             label, (pair.forward.summary, pair.backward.summary)
@@ -320,6 +347,10 @@ class TieredGraphView:
             raise GraphError(f"label not resident: {label!r}")
         freed = _pair_resident_bytes(pair)
         self._demoted.append(label)
+        registry().counter("demotions_total").inc()
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event("demotion", label=label, bytes=freed)
         if self._batched is not None:
             self._batched.invalidate(label)
         return freed

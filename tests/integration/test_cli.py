@@ -68,9 +68,9 @@ class TestQuery:
         assert "pruning: 20 -> 4 triples" in output
         assert "results equal: True" in output
 
-    def test_profile_flag(self, movie_nt):
+    def test_engine_flag(self, movie_nt):
         code, output = run_cli([
-            "query", movie_nt, self.X1, "--profile", "rdfox-like",
+            "query", movie_nt, self.X1, "--engine", "rdfox-like",
         ])
         assert code == 0
         assert "2 solutions" in output
@@ -242,11 +242,142 @@ class TestExplainCommand:
         assert "profile: virtuoso-like" in output
         assert "BGP (2 patterns)" in output
 
-    def test_explain_profile_flag(self, movie_nt):
+    def test_explain_engine_flag(self, movie_nt):
         code, output = run_cli([
             "explain", movie_nt,
             "SELECT * WHERE { ?d directed ?m . }",
-            "--profile", "rdfox-like",
+            "--engine", "rdfox-like",
         ])
         assert code == 0
         assert "rdfox-like" in output
+
+
+class TestProfiling:
+    X1 = ("SELECT * WHERE { ?director directed ?movie . "
+          "?director worked_with ?coworker . }")
+
+    def test_profile_renders_span_tree(self, movie_nt):
+        code, output = run_cli([
+            "query", movie_nt, self.X1, "--mode", "pruned", "--profile",
+        ])
+        assert code == 0
+        assert "2 solutions" in output
+        tree = [l for l in output.splitlines() if l.startswith("query")]
+        assert tree, output
+        assert "100.0%" in tree[0]
+        assert "solve" in output
+        assert "join" in output
+
+    def test_trace_out_writes_otel_jsonl(self, movie_nt, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        code, output = run_cli([
+            "query", movie_nt, self.X1, "--mode", "pruned",
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        assert f"trace written to {trace_path}" in output
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert records[0]["name"] == "query"
+        assert records[0]["parent_span_id"] == ""
+        for record in records:
+            assert record["end_time_unix_nano"] >= \
+                record["start_time_unix_nano"]
+
+    def test_profile_without_flag_prints_no_tree(self, movie_nt):
+        code, output = run_cli([
+            "query", movie_nt, self.X1, "--mode", "pruned",
+        ])
+        assert code == 0
+        assert not any(
+            line.startswith("query [") for line in output.splitlines()
+        )
+
+    def test_db_query_profile_coverage_on_pruned_lubm(self, tmp_path):
+        """Acceptance: the span tree of a pruned LUBM query accounts
+        for >= 95% of measured wall clock."""
+        import json
+
+        nt = tmp_path / "lubm.nt"
+        snap = tmp_path / "lubm.snap"
+        trace_path = tmp_path / "trace.jsonl"
+        code, _ = run_cli([
+            "generate", "lubm", "--out", str(nt), "--universities", "2",
+        ])
+        assert code == 0
+        code, _ = run_cli(["db", "build", str(nt), "-o", str(snap)])
+        assert code == 0
+        code, output = run_cli([
+            "db", "query", str(snap),
+            "SELECT * WHERE { ?x advisor ?y . ?x takesCourse ?z . }",
+            "--mode", "pruned", "--profile",
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        assert "pruning:" in output
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        root = next(r for r in records if r["parent_span_id"] == "")
+        assert root["name"] == "query"
+        total = root["end_time_unix_nano"] - root["start_time_unix_nano"]
+        covered = sum(
+            r["end_time_unix_nano"] - r["start_time_unix_nano"]
+            for r in records
+            if r["parent_span_id"] == root["span_id"]
+        )
+        assert total > 0
+        assert covered / total >= 0.95, covered / total
+
+    def test_db_query_stats_json(self, tmp_path, movie_nt):
+        import json
+
+        snap = tmp_path / "movies.snap"
+        code, _ = run_cli(["db", "build", movie_nt, "-o", str(snap)])
+        assert code == 0
+        code, output = run_cli([
+            "db", "query", str(snap), self.X1,
+            "--mode", "pruned", "--stats-json",
+        ])
+        assert code == 0
+        start, end = output.index("{"), output.rindex("}") + 1
+        stats = json.loads(output[start:end])
+        assert stats["backend"] == "snapshot"
+        assert "residency" in stats
+        assert "promotion_retries" in stats["residency"]
+        assert stats["metrics"]["queries_total"] >= 1
+        assert "trace" not in stats
+
+    def test_db_query_stats_json_with_profile_adds_trace(
+        self, tmp_path, movie_nt
+    ):
+        import json
+
+        snap = tmp_path / "movies2.snap"
+        code, _ = run_cli(["db", "build", movie_nt, "-o", str(snap)])
+        assert code == 0
+        code, output = run_cli([
+            "db", "query", str(snap), self.X1,
+            "--mode", "pruned", "--stats-json", "--profile",
+        ])
+        assert code == 0
+        start, end = output.index("{"), output.rindex("}") + 1
+        stats = json.loads(output[start:end])
+        assert "trace" in stats
+        assert stats["trace"]["coverage"] > 0
+        assert "query" in stats["trace"]["spans"]
+
+    def test_db_info_json_includes_metrics(self, tmp_path, movie_nt):
+        import json
+
+        snap = tmp_path / "movies3.snap"
+        code, _ = run_cli(["db", "build", movie_nt, "-o", str(snap)])
+        assert code == 0
+        code, output = run_cli(["db", "info", str(snap), "--json"])
+        assert code == 0
+        assert "metrics" in json.loads(output)

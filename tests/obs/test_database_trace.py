@@ -1,0 +1,165 @@
+"""Tracing and metrics through the `repro.Database` façade."""
+
+import json
+
+import pytest
+
+from repro.api import Database, ExecutionProfile
+from repro.obs import registry, render_profile, trace_coverage
+
+QUERY = (
+    "SELECT * WHERE { ?director directed ?movie . "
+    "?director worked_with ?coworker . }"
+)
+
+
+@pytest.fixture
+def movie_session(movie_db):
+    return Database.in_memory(movie_db)
+
+
+class TestQueryTracing:
+    def test_untraced_by_default(self, movie_session):
+        result = movie_session.query(QUERY)
+        assert result.trace is None
+
+    def test_trace_kwarg(self, movie_session):
+        result = movie_session.query(QUERY, mode="pruned", trace=True)
+        assert result.trace is not None
+        names = [span.name for span in result.trace.spans]
+        assert names[0] == "query"
+        for expected in ("parse", "prune", "solve", "extract", "join"):
+            assert expected in names, expected
+
+    def test_profile_trace_flag(self, movie_db):
+        session = Database.in_memory(
+            movie_db, profile=ExecutionProfile(trace=True)
+        )
+        result = session.query(QUERY)
+        assert result.trace is not None
+        # Explicit trace=False overrides the profile default.
+        assert session.query(QUERY, trace=False).trace is None
+
+    def test_root_span_records_mode_and_closes(self, movie_session):
+        result = movie_session.query(QUERY, mode="pruned", trace=True)
+        root, = result.trace.roots()
+        assert root.name == "query"
+        assert root.attributes["mode"] == "pruned"
+        assert root.attributes["complete"] is True
+        assert root.end is not None
+
+    def test_solve_span_carries_work_counters(self, movie_session):
+        result = movie_session.query(QUERY, mode="pruned", trace=True)
+        solve, = result.trace.find("solve")
+        report = result.pruning
+        assert solve.attributes["rounds"] == report.rounds
+        for key in ("evaluations", "updates", "bits_removed"):
+            assert solve.attributes[key] >= 0
+
+    def test_advise_span_in_auto_mode(self, movie_session):
+        result = movie_session.query(QUERY, mode="auto", trace=True)
+        advise, = result.trace.find("advise")
+        assert advise.attributes["decision"] == result.mode
+
+    def test_union_branches_get_one_prune_span_each(self, movie_session):
+        union = (
+            "SELECT * WHERE { { ?d directed ?m . } UNION "
+            "{ ?d worked_with ?c . } }"
+        )
+        result = movie_session.query(union, mode="pruned", trace=True)
+        branches = [
+            s.attributes["branch"] for s in result.trace.find("prune")
+        ]
+        assert branches == [0, 1]
+
+    def test_traced_answers_equal_untraced(self, movie_session):
+        traced = movie_session.query(QUERY, mode="pruned", trace=True)
+        plain = movie_session.query(QUERY, mode="pruned")
+        assert traced.as_set() == plain.as_set()
+
+    def test_jsonl_export_roundtrip(self, movie_session, tmp_path):
+        result = movie_session.query(QUERY, mode="pruned", trace=True)
+        path = tmp_path / "trace.jsonl"
+        result.trace.write_jsonl(path)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert len(records) == len(result.trace.spans)
+        root = records[0]
+        assert root["parent_span_id"] == ""
+        assert {r["trace_id"] for r in records} == {root["trace_id"]}
+
+
+class TestCoverageAcceptance:
+    def test_pruned_lubm_coverage_at_least_95_percent(self, small_lubm):
+        """The acceptance bar: top-level spans account for >= 95% of
+        the traced query's wall clock."""
+        session = Database.in_memory(small_lubm)
+        query = (
+            "SELECT * WHERE { ?x advisor ?y . ?x takesCourse ?z . }"
+        )
+        result = session.query(query, mode="pruned", trace=True)
+        assert result.pruning is not None
+        assert trace_coverage(result.trace) >= 0.95
+        rendered = render_profile(result.trace)
+        assert rendered.splitlines()[0].startswith("query")
+        assert "100.0%" in rendered.splitlines()[0]
+
+
+class TestResumeTracing:
+    def test_suspension_and_resume_spans(self, movie_db):
+        session = Database.in_memory(
+            movie_db,
+            profile=ExecutionProfile(pruning="pruned", time_quantum_ms=0),
+        )
+        partial = session.query(QUERY, trace=True)
+        assert not partial.complete
+        assert partial.trace is not None
+        assert partial.trace.find("checkpoint")
+        result = partial
+        while not result.complete:
+            result = session.resume(result, trace=True)
+            root, = result.trace.roots()
+            assert root.name == "resume"
+        assert result.trace.find("join")
+
+
+class TestMetricsSurface:
+    def test_query_metrics_accumulate(self, movie_session):
+        before = registry().counter("queries_total").value
+        movie_session.query(QUERY, mode="pruned")
+        stats = movie_session.stats()
+        assert stats.metrics is not None
+        assert stats.metrics["queries_total"] == before + 1
+        assert stats.metrics["query_latency_ms"]["count"] >= 1
+        assert stats.metrics["solver_rounds"]["count"] >= 1
+
+    def test_stats_dict_includes_metrics(self, movie_session):
+        movie_session.query(QUERY)
+        payload = movie_session.stats().to_dict()
+        assert "metrics" in payload
+        json.dumps(payload)  # JSON-clean end to end
+
+    def test_suspension_and_resume_counters(self, movie_db):
+        session = Database.in_memory(
+            movie_db,
+            profile=ExecutionProfile(pruning="pruned", time_quantum_ms=0),
+        )
+        suspended_before = registry().counter(
+            "query_suspensions_total"
+        ).value
+        resumes_before = registry().counter(
+            "continuation_resumes_total"
+        ).value
+        result = session.query(QUERY)
+        n_resumes = 0
+        while not result.complete:
+            result = session.resume(result)
+            n_resumes += 1
+        assert n_resumes >= 1
+        assert registry().counter(
+            "query_suspensions_total"
+        ).value > suspended_before
+        assert registry().counter(
+            "continuation_resumes_total"
+        ).value == resumes_before + n_resumes

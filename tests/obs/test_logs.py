@@ -1,0 +1,89 @@
+"""The ``repro.*`` logger hierarchy and the ``REPRO_LOG`` policy."""
+
+import logging
+
+import pytest
+
+from repro.obs import logs
+from repro.obs.logs import configure_from_env, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging_state():
+    """Leave the ``repro`` logger silent-by-default after each test."""
+    yield
+    root = _fresh_root()
+    root.addHandler(logging.NullHandler())
+    logs._configured = True
+
+
+def _fresh_root():
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    logs._configured = False
+    return root
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger("storage.tiered").name == "repro.storage.tiered"
+        assert get_logger("repro.core").name == "repro.core"
+        assert get_logger("repro").name == "repro"
+
+    def test_child_propagates_to_repro_root(self):
+        logger = get_logger("core.degrade")
+        assert logger.parent.name in ("repro.core", "repro")
+
+
+class TestConfigureFromEnv:
+    def test_silent_by_default(self, monkeypatch):
+        root = _fresh_root()
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        configure_from_env()
+        assert len(root.handlers) == 1
+        assert isinstance(root.handlers[0], logging.NullHandler)
+
+    def test_env_attaches_stderr_handler_at_level(self):
+        root = _fresh_root()
+        configure_from_env("warning")
+        stream_handlers = [
+            h for h in root.handlers
+            if isinstance(h, logging.StreamHandler)
+            and not isinstance(h, logging.NullHandler)
+        ]
+        assert len(stream_handlers) == 1
+        assert stream_handlers[0].level == logging.WARNING
+        assert root.level == logging.WARNING
+
+    def test_unknown_level_falls_back_to_info(self):
+        root = _fresh_root()
+        configure_from_env("shouting")
+        assert root.level == logging.INFO
+
+    def test_configures_once(self, monkeypatch):
+        root = _fresh_root()
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        configure_from_env()
+        configure_from_env()
+        assert len(root.handlers) == 1
+
+    def test_warning_routes_through_hierarchy(self):
+        root = _fresh_root()
+        configure_from_env("debug")
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        capture = Capture()
+        root.addHandler(capture)
+        try:
+            get_logger("core.degrade").warning("kernel degradation: x")
+        finally:
+            root.removeHandler(capture)
+        assert any(
+            r.name == "repro.core.degrade" for r in records
+        )

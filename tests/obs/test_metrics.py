@@ -1,0 +1,103 @@
+"""Counters, bounded histograms, and the process-wide registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("events")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+
+class TestHistogram:
+    def test_needs_ascending_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", [])
+        with pytest.raises(ValueError):
+            Histogram("bad", [2.0, 1.0])
+
+    def test_running_aggregates(self):
+        histogram = Histogram("lat", [1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 50.0, 5.0):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.sum == 60.5
+        assert histogram.min == 0.5
+        assert histogram.max == 50.0
+        assert histogram.mean == pytest.approx(15.125)
+
+    def test_bucket_assignment_is_bounded(self):
+        histogram = Histogram("lat", [1.0, 10.0])
+        histogram.record(0.5)    # le_1
+        histogram.record(1.0)    # le_1 (inclusive upper bound)
+        histogram.record(2.0)    # le_10
+        histogram.record(999.0)  # overflow
+        assert histogram.bucket_counts == [2, 1, 1]
+        # Constant memory: bucket list never grows with observations.
+        for _ in range(100):
+            histogram.record(12345.0)
+        assert len(histogram.bucket_counts) == 3
+
+    def test_empty_histogram_summary(self):
+        summary = Histogram("lat", [1.0]).to_dict()
+        assert summary["count"] == 0
+        assert summary["mean"] is None
+        assert "buckets" not in summary
+
+    def test_to_dict_is_json_stable(self):
+        histogram = Histogram("lat", [1.0, 10.0])
+        histogram.record(0.5)
+        histogram.record(42.0)
+        summary = json.loads(json.dumps(histogram.to_dict()))
+        assert summary["buckets"] == {"le_1": 1, "inf": 1}
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        reg.histogram("y")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+        with pytest.raises(ValueError):
+            reg.counter("y")
+
+    def test_snapshot_is_flat_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total").inc(2)
+        reg.counter("a_total").inc()
+        reg.histogram("rounds", COUNT_BUCKETS).record(3)
+        snap = reg.snapshot()
+        assert snap["a_total"] == 1
+        assert snap["b_total"] == 2
+        assert snap["rounds"]["count"] == 1
+        assert list(snap)[:2] == ["a_total", "b_total"]
+        json.dumps(snap)  # JSON-friendly end to end
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+        assert reg.counter("x").value == 0
+
+    def test_process_default_is_shared(self):
+        assert registry() is registry()

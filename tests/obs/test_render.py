@@ -1,0 +1,89 @@
+"""EXPLAIN ANALYZE rendering, coverage, and the JSON trace summary."""
+
+import pytest
+
+from repro.obs.render import render_profile, trace_coverage, trace_summary
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+def _sample_tracer():
+    """query(10ms) -> prune(6ms, with a checkpoint event), join(3ms)."""
+    clock = FakeClock()
+    tracer = Tracer(clock=clock, epoch_ns=0)
+    with tracer.span("query", mode="pruned"):
+        with tracer.span("prune", branch=0):
+            clock.tick(0.004)
+            tracer.event("checkpoint", phase="worklist")
+            clock.tick(0.002)
+        with tracer.span("join"):
+            clock.tick(0.003)
+        clock.tick(0.001)
+    return tracer
+
+
+class TestRenderProfile:
+    def test_tree_shape_and_timings(self):
+        lines = render_profile(_sample_tracer()).splitlines()
+        assert lines[0].startswith("query [mode=pruned]")
+        assert "total    10.000ms" in lines[0]
+        assert "100.0%" in lines[0]
+        assert lines[1].startswith("├─ prune [branch=0]")
+        assert "total     6.000ms" in lines[1]
+        assert " 60.0%" in lines[1]
+        assert "checkpoint" in lines[2]
+        assert "(event)" in lines[2]
+        assert lines[3].startswith("└─ join")
+        assert " 30.0%" in lines[3]
+
+    def test_self_time_subtracts_children(self):
+        lines = render_profile(_sample_tracer()).splitlines()
+        # query total 10ms, children 6+3 -> self 1ms.
+        assert "self     1.000ms" in lines[0]
+        # prune total 6ms, its only child is the zero-duration event.
+        assert "self     6.000ms" in lines[1]
+
+    def test_empty_tracer_renders_empty(self):
+        assert render_profile(Tracer(clock=FakeClock())) == ""
+
+
+class TestCoverage:
+    def test_sample_coverage(self):
+        assert trace_coverage(_sample_tracer()) == pytest.approx(0.9)
+
+    def test_full_coverage_caps_at_one(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("query"):
+            with tracer.span("only"):
+                clock.tick(1.0)
+        assert trace_coverage(tracer) == 1.0
+
+    def test_zero_duration_root_counts_as_covered(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("query"):
+            pass
+        assert trace_coverage(tracer) == 1.0
+
+    def test_no_spans(self):
+        assert trace_coverage(Tracer(clock=FakeClock())) == 0.0
+
+
+class TestSummary:
+    def test_summary_digest(self):
+        summary = trace_summary(_sample_tracer())
+        assert summary["wall_ms"] == pytest.approx(10.0)
+        assert summary["coverage"] == pytest.approx(0.9)
+        assert summary["spans"]["prune"]["count"] == 1
+        assert summary["spans"]["prune"]["total_ms"] == pytest.approx(6.0)
+        assert summary["spans"]["checkpoint"]["count"] == 1

@@ -1,0 +1,200 @@
+"""The tracing core: nesting, clocks, export, and the null path."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    activate,
+    current_tracer,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances only when told."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestSpans:
+    def test_nesting_follows_the_stack(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("query") as root:
+            with tracer.span("prune") as prune:
+                with tracer.span("solve") as solve:
+                    pass
+            with tracer.span("join") as join:
+                pass
+        assert root.parent_id is None
+        assert prune.parent_id == root.span_id
+        assert solve.parent_id == prune.span_id
+        assert join.parent_id == root.span_id
+        assert tracer.children(root) == [prune, join]
+        assert tracer.roots() == [root]
+
+    def test_durations_from_injected_clock(self, clock):
+        tracer = Tracer(clock=clock)
+        span = tracer.span("work")
+        clock.tick(1.5)
+        span.finish()
+        assert span.duration == 1.5
+
+    def test_open_span_has_zero_duration(self, clock):
+        tracer = Tracer(clock=clock)
+        span = tracer.span("open")
+        clock.tick(3.0)
+        assert span.duration == 0.0
+
+    def test_finish_is_idempotent(self, clock):
+        tracer = Tracer(clock=clock)
+        span = tracer.span("once")
+        clock.tick(1.0)
+        span.finish()
+        clock.tick(1.0)
+        span.finish()
+        assert span.duration == 1.0
+
+    def test_attributes(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("solve", kernel="packed") as span:
+            span.set_attribute("rounds", 4)
+            span.set_attributes(updates=7, bits_removed=12)
+        assert span.attributes == {
+            "kernel": "packed", "rounds": 4,
+            "updates": 7, "bits_removed": 12,
+        }
+
+    def test_event_is_a_zero_duration_child(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("prune") as parent:
+            clock.tick(0.25)
+            event = tracer.event("checkpoint", phase="worklist")
+        assert event.parent_id == parent.span_id
+        assert event.duration == 0.0
+        assert event.start == 0.25
+
+    def test_exception_unwind_closes_abandoned_spans(self, clock):
+        tracer = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                inner = tracer.span("inner")  # never finished by hand
+                clock.tick(1.0)
+                raise RuntimeError("boom")
+        assert inner.end is not None
+        assert not tracer._stack
+        # A later span must parent to the root level, not the wreck.
+        follow = tracer.span("later")
+        assert follow.parent_id is None
+
+    def test_find(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("prune", branch=0):
+            pass
+        with tracer.span("prune", branch=1):
+            pass
+        assert [s.attributes["branch"] for s in tracer.find("prune")] \
+            == [0, 1]
+
+
+class TestExport:
+    def test_jsonl_uses_otel_field_names(self, clock):
+        tracer = Tracer(clock=clock, epoch_ns=1_000_000_000)
+        with tracer.span("query", mode="pruned"):
+            clock.tick(0.001)
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert set(record) == {
+            "name", "trace_id", "span_id", "parent_span_id",
+            "start_time_unix_nano", "end_time_unix_nano", "attributes",
+        }
+        assert record["name"] == "query"
+        assert record["parent_span_id"] == ""
+        assert record["start_time_unix_nano"] == 1_000_000_000
+        assert record["end_time_unix_nano"] == 1_001_000_000
+        assert record["attributes"] == {"mode": "pruned"}
+
+    def test_parent_links_survive_export(self, clock):
+        tracer = Tracer(clock=clock, epoch_ns=0)
+        with tracer.span("query"):
+            with tracer.span("solve"):
+                pass
+        root, child = [json.loads(l) for l in tracer.to_jsonl().splitlines()]
+        assert child["parent_span_id"] == root["span_id"]
+        assert child["trace_id"] == root["trace_id"]
+
+    def test_write_jsonl(self, clock, tmp_path):
+        tracer = Tracer(clock=clock, epoch_ns=0)
+        with tracer.span("query"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        assert json.loads(path.read_text().splitlines()[0])["name"] == "query"
+
+    def test_non_json_attributes_stringify(self, clock):
+        tracer = Tracer(clock=clock, epoch_ns=0)
+        with tracer.span("span", path=object()):
+            pass
+        json.loads(tracer.to_jsonl().splitlines()[0])  # must not raise
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_span_is_reusable_noop(self):
+        a = NULL_TRACER.span("x", attr=1)
+        b = NULL_TRACER.span("y")
+        assert a is b
+        with a as span:
+            span.set_attribute("k", "v")
+            span.set_attributes(n=2)
+        a.finish()
+
+    def test_event_returns_none(self):
+        assert NULL_TRACER.event("x") is None
+
+    def test_fresh_null_tracer_shares_noop_span(self):
+        assert NullTracer().span("z") is NULL_TRACER.span("z")
+
+
+class TestActivation:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_activate_swaps_and_restores(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_activation_nests(self):
+        outer, inner = Tracer(), Tracer()
+        with activate(outer):
+            with activate(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+        assert current_tracer() is NULL_TRACER
+
+    def test_activation_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with activate(tracer):
+                raise RuntimeError("boom")
+        assert current_tracer() is NULL_TRACER

@@ -1,0 +1,70 @@
+"""Live smoke test for `repro serve`, run by the CI serve job.
+
+Usage: serve_smoke.py SERVER_URL SNAPSHOT_PATH
+
+Waits for the server to come up, runs the pruned LUBM query mix
+through a RemoteBackend session, diffs every answer against a local
+session over the same snapshot, and sanity-checks /metrics.  Exits
+non-zero on any divergence — byte-identity over the wire is the
+acceptance bar, not just liveness.
+"""
+
+import sys
+import time
+
+from repro.api.database import Database
+from repro.serve import RemoteBackend
+from repro.serve.protocol import ProtocolError
+from repro.workloads import LUBM_QUERIES
+
+QUERY_MIX = ("L0", "L1", "L2", "L3")
+
+
+def wait_for(url: str, timeout_s: float = 30.0) -> RemoteBackend:
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            return RemoteBackend(url, timeout=10.0)
+        except ProtocolError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def main() -> int:
+    url, snapshot = sys.argv[1], sys.argv[2]
+    backend = wait_for(url)
+    remote = Database(backend)
+    local = Database.open(snapshot)
+
+    failures = 0
+    for name in QUERY_MIX:
+        query = LUBM_QUERIES[name]
+        got = remote.query(query, mode="pruned")
+        want = local.query(query, mode="pruned")
+        identical = got.as_set() == want.as_set()
+        print(
+            f"{name}: remote {len(got.rows())} rows in "
+            f"{got.resubmissions} resubmissions, local "
+            f"{len(want.rows())} rows -> "
+            f"{'identical' if identical else 'DIVERGED'}"
+        )
+        failures += 0 if identical else 1
+
+    metrics = backend.metrics()
+    for counter in ("server_requests_total", "server_suspensions_total"):
+        value = metrics.get(counter, 0)
+        print(f"{counter}: {value}")
+        if value <= 0:
+            print(f"error: {counter} never incremented", file=sys.stderr)
+            failures += 1
+
+    if failures:
+        print(f"error: {failures} smoke check(s) failed", file=sys.stderr)
+        return 1
+    print("serve smoke: all remote answers byte-identical to local")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -182,9 +182,14 @@ class SnapshotBackend:
 
     The solver side is a :class:`TieredGraphView` — hot labels
     resident from open, cold labels promoted on first query touch.
-    The join-engine store is decoded from the snapshot's blocks
-    lazily, on the first :meth:`triple_store` call, so sessions that
-    only solve/prune open in milliseconds.
+    The join-engine store is a
+    :class:`~repro.store.lazy.LazySnapshotStore`: constructing it
+    adopts the dictionaries and block-table statistics in
+    O(dictionary) and fills pso/pos indexes one predicate at a time
+    on first engine touch, so even sessions that *do* join open in
+    milliseconds and only decode the predicates their queries use.
+    :meth:`stats` reports ``join_index_fills`` next to the residency
+    promotion counters.
     """
 
     kind = "snapshot"
@@ -211,7 +216,9 @@ class SnapshotBackend:
 
     def triple_store(self) -> TripleStore:
         if self._store is None:
-            self._store = TripleStore._from_snapshot_reader(self.reader)
+            from repro.store.lazy import LazySnapshotStore
+
+            self._store = LazySnapshotStore(self.reader)
         return self._store
 
     @property
@@ -244,9 +251,13 @@ class SnapshotBackend:
 
     def stats(self) -> Dict[str, object]:
         residency = self.residency()
+        fills = getattr(self._store, "fill_count", 0)
+        filled = getattr(self._store, "filled_predicates", frozenset())
         return {
             "kind": self.kind,
             "path": str(self.path),
+            "join_index_fills": fills,
+            "join_filled_predicates": len(filled),
             "n_triples": self.n_triples,
             "n_nodes": self.n_nodes,
             "n_labels": len(self.labels),

@@ -213,6 +213,31 @@ class Database:
         return cls(InMemoryBackend(db), profile)
 
     @classmethod
+    def connect(
+        cls,
+        url: str,
+        profile: ProfileLike = None,
+        timeout: float = 30.0,
+    ) -> "Database":
+        """Connect to a ``repro serve`` HTTP endpoint.
+
+        The session speaks the same surface as a local one —
+        :meth:`query`, :meth:`ask`, :meth:`resume`, :meth:`stats` —
+        over a :class:`~repro.serve.client.RemoteBackend`.  When the
+        server suspends a query at its time quantum (HTTP 206), the
+        client re-submits the continuation transparently until the
+        result completes, so calling code never sees a partial
+        result.  Execution knobs (engine, kernel, quantum, budget)
+        are the *server's*; of the local profile only the pruning
+        mode travels with each request.  Server-side operations
+        (``simulate``, ``explain``, ``benchmark``) raise
+        :class:`~repro.errors.ReproError` on a remote session.
+        """
+        from repro.serve.client import RemoteBackend
+
+        return cls(RemoteBackend(url, timeout=timeout), profile)
+
+    @classmethod
     def from_triples(
         cls,
         triples: Iterable[NameTriple],
@@ -305,9 +330,20 @@ class Database:
     def _engine(self):
         return self._pipeline_for().engine
 
+    def _require_local(self, operation: str) -> None:
+        """Operations that need the engine in-process cannot run over
+        a remote connection."""
+        if getattr(self.backend, "remote_query", None) is not None:
+            raise ReproError(
+                f"{operation} is not available over a remote "
+                "connection; run it in the serving process (or open "
+                "the snapshot locally)"
+            )
+
     def advise(self, query):
         """The Sect. 5.3 statistics advisor's verdict for one query
         under this session's engine profile."""
+        self._require_local("advise")
         if self._advisor is None:
             from repro.pipeline.advisor import PruningAdvisor
 
@@ -387,6 +423,16 @@ class Database:
                 f"unknown query mode {mode!r}; choose from "
                 "('pruned', 'full', 'auto')"
             )
+        remote = getattr(self.backend, "remote_query", None)
+        if remote is not None:
+            if not isinstance(query, str):
+                raise ReproError(
+                    "remote execution needs the query as SPARQL text"
+                )
+            started = time.perf_counter()
+            result = remote(query, mode=mode)
+            self._note_query(started)
+            return result
         tracer = current_tracer()
         advised = False
         limits = self.profile.execution_limits()
@@ -511,12 +557,19 @@ class Database:
         return result
 
     def _execute_resume(self, token: Union[str, ResultSet]) -> ResultSet:
-        if isinstance(token, ResultSet):
-            if token.continuation is None:
+        if isinstance(token, ResultSet) or not isinstance(token, str):
+            continuation = getattr(token, "continuation", None)
+            if continuation is None:
                 raise ContinuationError(
                     "this ResultSet is complete; nothing to resume"
                 )
-            token = token.continuation
+            token = continuation
+        remote = getattr(self.backend, "remote_resume", None)
+        if remote is not None:
+            started = time.perf_counter()
+            result = remote(token)
+            self._note_query(started)
+            return result
         fp, suspension = decode_token(token)
         expected = fingerprint(
             suspension.query_text, self.backend, self.profile.solver
@@ -525,7 +578,8 @@ class Database:
             raise ContinuationError(
                 "stale continuation token: it was issued for a "
                 "different query, database snapshot, or solver "
-                "configuration"
+                "configuration",
+                reason="stale",
             )
         from repro.pipeline.pruned_query import PruneSuspension
 
@@ -574,6 +628,9 @@ class Database:
 
         Honors the profile ``deadline_ms`` (never suspends — ASK has
         no continuation surface)."""
+        remote = getattr(self.backend, "remote_ask", None)
+        if remote is not None:
+            return remote(query)
         limits = self.profile.execution_limits(include_quantum=False)
         self._arm_budget()
         with self.profile.kernel_context(), \
@@ -590,6 +647,7 @@ class Database:
         session promotes only the labels the query touches and never
         builds the join-engine store.
         """
+        self._require_local("simulate")
         from repro.core.compiler import compile_query
         from repro.core.solver import solve
 
@@ -625,6 +683,7 @@ class Database:
     def explain(self, query) -> str:
         """Human-readable account of how this session would run the
         query: backend, pruning decision, then the join engine's plan."""
+        self._require_local("explain")
         stats = self.backend.stats()
         lines = [
             f"backend: {self.backend.kind} "
@@ -649,6 +708,7 @@ class Database:
         """Run the paper's full per-query experiment (full vs pruned
         evaluation, Tables 3-5); returns a
         :class:`~repro.pipeline.PipelineReport`."""
+        self._require_local("benchmark")
         self._arm_budget()
         with self.profile.kernel_context(), \
                 capture_events(self._degradations):

@@ -91,6 +91,21 @@ class StorageBenchResult:
     promotions: int = 0
     resident_bytes: int = 0
     churn: Optional[ChurnScenario] = None
+    # Counters sampled right after the query-ready pipeline open,
+    # before any query ran: a lazy cold open decodes no adjacency
+    # payloads (no label promotions) and fills no join indexes.
+    cold_open_promotions: int = 0
+    cold_open_join_fills: int = 0
+    join_fills_after_queries: int = 0
+
+    @property
+    def cold_open_lazy(self) -> bool:
+        """True when the query-ready open performed no full-edge scan:
+        zero join-index fills and zero label promotions."""
+        return (
+            self.cold_open_join_fills == 0
+            and self.cold_open_promotions == 0
+        )
 
     @property
     def answers_all_equal(self) -> bool:
@@ -141,11 +156,15 @@ def run_storage_bench(
         view = TieredGraphView(snap_path)
         t_cold_open_view = time.perf_counter() - start
         start = time.perf_counter()
+        snap_backend = SnapshotBackend(snap_path)
         snap_pipeline = PruningPipeline(
-            profile=profile, backend=SnapshotBackend(snap_path)
+            profile=profile, backend=snap_backend
         )
         t_cold_open_pipeline = time.perf_counter() - start
         snap_view = snap_pipeline.db
+        cold_stats = snap_backend.stats()
+        cold_open_promotions = int(cold_stats["promotions"])
+        cold_open_join_fills = int(cold_stats["join_index_fills"])
 
         rows: List[StorageQueryRow] = []
         expected: Dict[str, frozenset] = {}
@@ -193,6 +212,11 @@ def run_storage_bench(
             promotions=residency.promotions,
             resident_bytes=residency.resident_bytes,
             churn=churn,
+            cold_open_promotions=cold_open_promotions,
+            cold_open_join_fills=cold_open_join_fills,
+            join_fills_after_queries=int(
+                snap_backend.stats()["join_index_fills"]
+            ),
         )
 
 
@@ -257,6 +281,11 @@ def render_storage_bench(result: StorageBenchResult) -> str:
         f"residency: {result.hot_labels} hot, {result.cold_labels} cold, "
         f"{result.promotions} promoted; {result.resident_bytes} B resident "
         f"vs {result.snapshot_bytes} B on disk",
+        f"cold open: {result.cold_open_join_fills} join fills, "
+        f"{result.cold_open_promotions} promotions "
+        f"(lazy: {'yes' if result.cold_open_lazy else 'NO'}); "
+        f"{result.join_fills_after_queries} predicates filled by the "
+        f"query set",
     ]
     if result.churn is not None:
         churn = result.churn
@@ -297,14 +326,17 @@ def render_storage_bench(result: StorageBenchResult) -> str:
 def write_storage_bench_json(
     path: Union[str, Path], result: StorageBenchResult
 ) -> Dict:
-    """Machine-readable record (schema ``repro-storage-bench/v2``).
+    """Machine-readable record (schema ``repro-storage-bench/v3``).
 
-    v2 adds the ``churn`` section (demotion counts and steady-state
+    v2 added the ``churn`` section (demotion counts and steady-state
     resident bytes under an enforced budget); ``churn`` is ``null``
-    when the scenario was skipped (``churn_rounds=0``).
+    when the scenario was skipped (``churn_rounds=0``).  v3 adds the
+    ``cold_open`` section: join-index fills and label promotions
+    sampled right after the query-ready open, plus the ``lazy`` flag
+    asserting the open performed no full-edge scan.
     """
     document = {
-        "schema": "repro-storage-bench/v2",
+        "schema": "repro-storage-bench/v3",
         "python": platform.python_version(),
         "workload": {
             "dataset": "lubm",
@@ -320,6 +352,12 @@ def write_storage_bench_json(
             "t_text_open": result.t_text_open,
             "t_cold_open_view": result.t_cold_open_view,
             "t_cold_open_pipeline": result.t_cold_open_pipeline,
+        },
+        "cold_open": {
+            "join_fills": result.cold_open_join_fills,
+            "promotions": result.cold_open_promotions,
+            "lazy": result.cold_open_lazy,
+            "join_fills_after_queries": result.join_fills_after_queries,
         },
         "residency": {
             "hot_labels": result.hot_labels,

@@ -44,6 +44,7 @@ Commands:
 import argparse
 import contextlib
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -228,6 +229,36 @@ def build_parser() -> argparse.ArgumentParser:
                           "--profile) as JSON")
     _add_execution_flags(dbq)
     _add_profiling_flags(dbq)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a snapshot over HTTP with preemption-fair "
+             "round-robin query scheduling",
+    )
+    serve.add_argument("data", help="snapshot path (or an .nt file)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 = ephemeral; default 8080)")
+    serve.add_argument("--quantum", type=float, default=None, metavar="MS",
+                       help="server-enforced time quantum per request "
+                            "slice; over-quantum queries answer HTTP "
+                            "206 with a continuation token (0 = "
+                            "single-step; default 100)")
+    serve.add_argument("--deadline", type=float, default=None, metavar="MS",
+                       help="default hard wall-clock bound per query "
+                            "(requests may tighten it with their own "
+                            "deadline_ms)")
+    serve.add_argument("--max-body", type=int, default=None, metavar="BYTES",
+                       help="largest accepted request body "
+                            "(default 1 MiB; larger bodies answer 413)")
+    serve.add_argument("--budget", type=int, default=None,
+                       help="residency budget in bytes for the served "
+                            "snapshot")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="append every request's trace as OTel-"
+                            "compatible JSONL (one span per line)")
+    _add_execution_flags(serve, default_mode="auto")
 
     return parser
 
@@ -807,8 +838,75 @@ def _run_bench_table(args, out) -> int:
                 file=sys.stderr,
             )
             return 1
+        if not result.cold_open_lazy:
+            # The query-ready open must not decode adjacency: a fill
+            # or promotion at open is the full-edge-scan regression
+            # the lazy join indexes exist to prevent.
+            print(
+                "error: cold open was not lazy "
+                f"({result.cold_open_join_fills} join fills, "
+                f"{result.cold_open_promotions} promotions before any "
+                "query)",
+                file=sys.stderr,
+            )
+            return 1
     else:
         print(render_hypothesis(run_hhk_hypothesis()), file=out)
+    return 0
+
+
+def cmd_serve(args, out) -> int:
+    import signal
+
+    from repro.serve import DEFAULT_MAX_BODY, DEFAULT_QUANTUM_MS
+    from repro.serve.server import ReproServer, ServeConfig
+
+    path = Path(args.data)
+    profile = _execution_profile(args, default_mode="auto")
+    if path.suffix == ".nt":
+        db = Database.from_ntriples(path, profile=profile)
+    else:
+        db = Database.open(path, profile=profile)
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        quantum_ms=(
+            DEFAULT_QUANTUM_MS if args.quantum is None else args.quantum
+        ),
+        deadline_ms=args.deadline,
+        max_body_bytes=(
+            DEFAULT_MAX_BODY if args.max_body is None else args.max_body
+        ),
+        trace_out=args.trace_out,
+    )
+    server = ReproServer(db, config)
+    print(
+        f"serving {path} at {server.url} "
+        f"(quantum {config.quantum_ms:g} ms, kind {db.backend.kind}); "
+        "SIGTERM or Ctrl-C drains and exits",
+        file=out,
+    )
+
+    def _drain(signum, frame) -> None:
+        # shutdown() must not run on the serve_forever thread — hand
+        # the stop to a helper so the handler returns immediately.
+        threading.Thread(
+            target=server.stop, name="repro-serve-drain", daemon=True
+        ).start()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _drain),
+        signal.SIGINT: signal.signal(signal.SIGINT, _drain),
+    }
+    try:
+        server.serve_forever()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.stop()
+        db.close()
+    print("drained: all in-flight requests finished", file=out)
     return 0
 
 
@@ -824,6 +922,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "explain": cmd_explain,
         "bench": cmd_bench,
         "db": cmd_db,
+        "serve": cmd_serve,
     }
     try:
         return handlers[args.command](args, out)

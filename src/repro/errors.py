@@ -98,7 +98,15 @@ class ContinuationError(ReproError):
     Raised for structurally corrupt tokens (truncation, bad CRC,
     unknown version) and for stale tokens whose fingerprint no longer
     matches the session (different query, snapshot, or solver
-    configuration)."""
+    configuration).  ``reason`` distinguishes the two — ``"corrupt"``
+    (the default: the token is not a byte-exact token this build
+    wrote) vs ``"stale"`` (structurally valid but bound to a
+    different session) — so protocol boundaries such as the HTTP
+    server can map them to distinct status codes."""
+
+    def __init__(self, message, reason: str = "corrupt"):
+        super().__init__(message)
+        self.reason = reason
 
 
 class WorkloadError(ReproError):

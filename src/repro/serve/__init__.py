@@ -1,0 +1,49 @@
+"""``repro serve`` — preemption-fair HTTP query serving.
+
+A zero-dependency (stdlib-only) HTTP server that exposes one shared
+:class:`~repro.api.database.Database` session over a JSON wire
+protocol, and a :class:`RemoteBackend` client that plugs back into
+``Database`` so local query code runs unchanged against a remote
+snapshot.
+
+Fairness is by construction, SaGe-style: every ``POST /query`` runs
+under the server's ``time_quantum_ms``; a query that exceeds it is
+suspended into a continuation token and answered with HTTP 206, and
+the client re-submits the token for the next slice.  A strict-FIFO
+gate around the shared session turns that re-submission loop into
+round-robin scheduling across concurrent clients — no query can hold
+the engine for more than one quantum at a time.
+"""
+
+from repro.serve.client import RemoteBackend, RemoteResultSet
+from repro.serve.protocol import (
+    ERROR_STATUS,
+    WIRE_PROTOCOL,
+    ProtocolError,
+    decode_rows,
+    encode_rows,
+    error_body,
+)
+from repro.serve.server import (
+    DEFAULT_MAX_BODY,
+    DEFAULT_QUANTUM_MS,
+    FifoGate,
+    ReproServer,
+    ServeConfig,
+)
+
+__all__ = [
+    "DEFAULT_MAX_BODY",
+    "DEFAULT_QUANTUM_MS",
+    "ERROR_STATUS",
+    "FifoGate",
+    "ProtocolError",
+    "RemoteBackend",
+    "RemoteResultSet",
+    "ReproServer",
+    "ServeConfig",
+    "WIRE_PROTOCOL",
+    "decode_rows",
+    "encode_rows",
+    "error_body",
+]

@@ -1,0 +1,142 @@
+"""The ``repro serve`` JSON wire protocol.
+
+One protocol version (:data:`WIRE_PROTOCOL`), shared by the server
+(:mod:`repro.serve.server`) and the client
+(:mod:`repro.serve.client`).  Everything on the wire is JSON; this
+module is the single place that knows how result values, prune
+summaries, and errors are shaped.
+
+Value encoding
+--------------
+
+Decoded solution values are node names (plain JSON scalars pass
+through untouched) or :class:`~repro.graph.database.Literal` wrappers.
+Literals travel as a one-key tagged object so the object and literal
+universes stay disjoint across the wire, exactly as they are in
+memory::
+
+    "Turing"                    # node name
+    {"@literal": "1912-06-23"}  # Literal("1912-06-23")
+
+A node name that is not JSON-representable (an exotic hashable) is a
+server-side error — the reproduction's workloads use strings and
+literal-wrapped scalars only.
+
+Error bodies
+------------
+
+Every non-2xx response carries a typed JSON error body::
+
+    {"error": {"code": "stale_token", "message": "..."}}
+
+with a distinct HTTP status per code (:data:`ERROR_STATUS`), so
+clients can branch on ``code`` without parsing prose: a corrupt
+continuation token is a 400, a stale one (snapshot or query changed
+under it) a 409, a blown ``deadline_ms`` a 408.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.api.result import PruneSummary
+from repro.errors import ReproError
+from repro.graph.database import Literal
+
+#: Protocol identifier, embedded in ``GET /info`` and checked by the
+#: client on connect.
+WIRE_PROTOCOL = "repro-serve/v1"
+
+#: Typed error code -> HTTP status.
+ERROR_STATUS: Dict[str, int] = {
+    "bad_request": 400,       # malformed JSON, missing/unknown fields
+    "corrupt_token": 400,     # continuation token fails CRC/structure
+    "deadline_exceeded": 408, # per-request deadline_ms elapsed
+    "stale_token": 409,       # token bound to a different session
+    "body_too_large": 413,    # request body over --max-body
+    "invalid_query": 422,     # SPARQL parse/semantic error
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "internal": 500,
+    "shutting_down": 503,     # SIGTERM drain in progress
+}
+
+
+class ProtocolError(ReproError):
+    """A message violated the ``repro-serve/v1`` wire protocol."""
+
+
+def encode_value(value: Hashable) -> object:
+    """One solution value -> its JSON form."""
+    if isinstance(value, Literal):
+        inner = value.value
+        if not isinstance(inner, (str, int, float, bool, type(None))):
+            raise ProtocolError(
+                f"literal value {inner!r} is not JSON-representable"
+            )
+        return {"@literal": inner}
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    raise ProtocolError(
+        f"node name {value!r} is not JSON-representable"
+    )
+
+
+def decode_value(value: object) -> Hashable:
+    """JSON form -> the in-memory solution value."""
+    if isinstance(value, dict):
+        if set(value) == {"@literal"}:
+            return Literal(value["@literal"])
+        raise ProtocolError(
+            f"unknown tagged value {sorted(value)!r} on the wire"
+        )
+    if isinstance(value, list):
+        raise ProtocolError("arrays are not valid solution values")
+    return value
+
+
+def encode_rows(rows: List[Dict[str, Hashable]]) -> List[Dict[str, object]]:
+    return [
+        {name: encode_value(value) for name, value in row.items()}
+        for row in rows
+    ]
+
+
+def decode_rows(rows: List[Dict[str, object]]) -> List[Dict[str, Hashable]]:
+    return [
+        {name: decode_value(value) for name, value in row.items()}
+        for row in rows
+    ]
+
+
+def encode_pruning(summary: Optional[PruneSummary]) -> Optional[Dict]:
+    if summary is None:
+        return None
+    return {
+        "triples_total": summary.triples_total,
+        "triples_after": summary.triples_after,
+        "rounds": summary.rounds,
+        "t_simulation": summary.t_simulation,
+    }
+
+
+def decode_pruning(doc: Optional[Dict]) -> Optional[PruneSummary]:
+    if doc is None:
+        return None
+    try:
+        return PruneSummary(
+            triples_total=int(doc["triples_total"]),
+            triples_after=int(doc["triples_after"]),
+            rounds=int(doc["rounds"]),
+            t_simulation=float(doc["t_simulation"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(
+            f"malformed pruning summary on the wire: {error}"
+        ) from None
+
+
+def error_body(code: str, message: str) -> Tuple[int, Dict]:
+    """(HTTP status, JSON body) of one typed error."""
+    status = ERROR_STATUS.get(code, 500)
+    return status, {"error": {"code": code, "message": message}}

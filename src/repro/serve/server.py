@@ -1,0 +1,527 @@
+"""``repro serve`` — a preemption-fair HTTP query server.
+
+One process, one shared :class:`~repro.api.database.Database` session,
+many concurrent clients.  The zero-dependency stdlib stack
+(:class:`http.server.ThreadingHTTPServer` + the JSON wire protocol of
+:mod:`repro.serve.protocol`) exposes:
+
+* ``POST /query`` — evaluate a SELECT query *or* resume a
+  continuation.  Every execution slice runs under the server's
+  ``time_quantum_ms``; a query that outlives its quantum comes back
+  as **HTTP 206** with a continuation token, and the client
+  re-submits it to proceed.
+* ``POST /ask`` — ASK semantics (dual-simulation fast path).
+* ``GET /info`` — protocol version, backend identity, server config.
+* ``GET /metrics`` — the process-wide metrics registry snapshot.
+* ``GET /health`` — 200 while serving, 503 once draining.
+
+**Fairness by construction** (the SaGe web-preemption model, Minier
+et al., WWW'19): the engine is single-threaded by contract, so every
+execution slice passes through a strict FIFO gate — one quantum of
+work per acquisition, re-submissions join the back of the line.  With
+N concurrent clients, no query can hold the engine longer than one
+quantum before every other waiting request gets its turn; long
+queries make progress in round-robin slices instead of starving short
+ones.
+
+Each request increments ``server_requests_total``, records its
+wall-clock in the ``server_request_latency_ms`` histogram, and counts
+suspensions/resumes/errors — the PR 7 observability layer aggregated
+across clients, snapshotable at ``GET /metrics``.  With a configured
+``trace_out``, every request appends its span tree (gate wait,
+execution slice, nested engine spans) as OTel JSONL.
+
+Graceful drain: SIGTERM (wired by the CLI) flips ``/health`` to 503,
+rejects new queries with ``shutting_down``, stops accepting
+connections, and waits for in-flight requests to finish before the
+process exits.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.api.database import Database
+from repro.api.profile import PRUNING_MODES
+from repro.errors import (
+    ContinuationError,
+    DeadlineExceededError,
+    ParseError,
+    QueryError,
+    ReproError,
+)
+from repro.obs.logs import get_logger
+from repro.obs.metrics import registry
+from repro.obs.trace import Tracer, activate
+from repro.serve.protocol import (
+    WIRE_PROTOCOL,
+    encode_pruning,
+    encode_rows,
+    error_body,
+)
+
+__all__ = ["ServeConfig", "ReproServer", "FifoGate"]
+
+_LOG = get_logger("serve")
+
+#: Default execution quantum per slice, milliseconds.
+DEFAULT_QUANTUM_MS = 100.0
+
+#: Default request-body ceiling, bytes (queries are text; anything
+#: bigger than 1 MiB is a client bug or abuse).
+DEFAULT_MAX_BODY = 1 << 20
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server-side execution policy (the client has no say in it)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    quantum_ms: float = DEFAULT_QUANTUM_MS
+    deadline_ms: Optional[float] = None   # server-wide hard cap
+    max_body_bytes: int = DEFAULT_MAX_BODY
+    trace_out: Optional[str] = None       # append OTel JSONL per request
+    drain_timeout_s: float = 10.0
+
+
+class FifoGate:
+    """Strict first-in-first-out mutual exclusion.
+
+    ``threading.Lock`` makes no fairness promise; this gate does —
+    waiters are woken in arrival order, and release hands the gate
+    directly to the head waiter.  That ordering *is* the round-robin
+    schedule: each HTTP request holds the gate for at most one
+    execution quantum, and a resumed query's next slice queues behind
+    every request that arrived while it ran.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._waiters: collections.deque = collections.deque()
+        self._busy = False
+
+    def acquire(self) -> None:
+        with self._lock:
+            if not self._busy:
+                self._busy = True
+                return
+            ticket = threading.Event()
+            self._waiters.append(ticket)
+        ticket.wait()
+
+    def release(self) -> None:
+        with self._lock:
+            if self._waiters:
+                # Hand-off: the gate stays busy, the head waiter runs.
+                self._waiters.popleft().set()
+            else:
+                self._busy = False
+
+    def __enter__(self) -> "FifoGate":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class ReproServer:
+    """The serving loop around one shared :class:`Database` session.
+
+    ``db``'s profile is re-armed with the server's ``quantum_ms`` and
+    ``deadline_ms``; whatever quantum the caller's profile carried is
+    replaced — preemption policy belongs to the server, not to
+    clients.
+    """
+
+    def __init__(self, db: Database, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.db = db
+        db.profile = db.profile.replace(
+            time_quantum_ms=self.config.quantum_ms,
+            deadline_ms=self.config.deadline_ms,
+        )
+        self.gate = FifoGate()
+        self._draining = False
+        self._inflight = 0
+        self._idle = threading.Condition()
+        self._trace_lock = threading.Lock()
+        self._stop_lock = threading.Lock()
+        self._stopped = False
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`stop` (or SIGTERM via
+        the CLI) shuts the accept loop down."""
+        _LOG.info(
+            "serving %s on %s (quantum %.6gms)",
+            self.db.backend.kind, self.url, self.config.quantum_ms,
+        )
+        self._httpd.serve_forever(poll_interval=0.05)
+
+    def start(self) -> "ReproServer":
+        """Serve on a background thread (tests, embedding)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def begin_drain(self) -> None:
+        """Flip to draining: health 503, new queries rejected."""
+        self._draining = True
+
+    def stop(self, graceful: bool = True) -> None:
+        """Stop accepting, optionally drain in-flight requests.
+
+        Graceful shutdown (the SIGTERM path): mark draining so
+        load-balancer health checks and new queries turn away, close
+        the accept loop, then wait up to ``drain_timeout_s`` for
+        requests already executing to write their responses.
+        """
+        with self._stop_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        self.begin_drain()
+        self._httpd.shutdown()
+        if graceful:
+            deadline = time.monotonic() + self.config.drain_timeout_s
+            with self._idle:
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        _LOG.warning(
+                            "drain timeout with %d request(s) in "
+                            "flight", self._inflight,
+                        )
+                        break
+                    self._idle.wait(remaining)
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=self.config.drain_timeout_s)
+            self._thread = None
+        _LOG.info("server stopped (drained: %s)", graceful)
+
+    # -- request accounting ------------------------------------------------
+
+    def _enter_request(self) -> None:
+        with self._idle:
+            self._inflight += 1
+
+    def _exit_request(self) -> None:
+        with self._idle:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    def _write_trace(self, tracer: Tracer) -> None:
+        if self.config.trace_out is None:
+            return
+        payload = tracer.to_jsonl()
+        with self._trace_lock:
+            with open(self.config.trace_out, "a") as sink:
+                sink.write(payload)
+
+    # -- endpoint bodies ---------------------------------------------------
+
+    def info_doc(self) -> Dict[str, object]:
+        backend = self.db.backend
+        return {
+            "protocol": WIRE_PROTOCOL,
+            "kind": backend.kind,
+            "n_nodes": backend.n_nodes,
+            "n_triples": backend.n_triples,
+            "labels": sorted(backend.labels),
+            "engine": self.db.profile.engine,
+            "default_mode": self.db.profile.pruning,
+            "quantum_ms": self.config.quantum_ms,
+            "deadline_ms": self.config.deadline_ms,
+            "stats": backend.stats(),
+        }
+
+    def execute_query(self, payload: Dict) -> Tuple[int, Dict]:
+        """One execution slice; (status, body) per the wire protocol."""
+        session = self._session_for(payload)
+        token = payload.get("continuation")
+        if token is not None:
+            registry().counter("server_resumes_total").inc()
+            with self.gate:
+                result = session.resume(token)
+        else:
+            mode = payload.get("mode") or None
+            with self.gate:
+                result = session.query(payload["query"], mode=mode)
+        if not result.complete:
+            registry().counter("server_suspensions_total").inc()
+            return 206, {
+                "protocol": WIRE_PROTOCOL,
+                "complete": False,
+                "mode": result.mode,
+                "advised": result.advised,
+                "continuation": result.continuation,
+            }
+        return 200, {
+            "protocol": WIRE_PROTOCOL,
+            "complete": True,
+            "mode": result.mode,
+            "advised": result.advised,
+            "variables": list(result.variables),
+            "rows": encode_rows(result.rows()),
+            "pruning": encode_pruning(result.pruning),
+        }
+
+    def execute_ask(self, payload: Dict) -> Tuple[int, Dict]:
+        session = self._session_for(payload)
+        with self.gate:
+            answer = session.ask(payload["query"])
+        return 200, {"protocol": WIRE_PROTOCOL, "answer": bool(answer)}
+
+    def _session_for(self, payload: Dict) -> Database:
+        """The shared session — or a per-request view of it when the
+        request carries its own (tighter) ``deadline_ms``.
+
+        The view shares the backend and the prepared pipeline (join
+        store, engine, statistics), so it costs one small object, not
+        a cold open."""
+        deadline = payload.get("deadline_ms")
+        if deadline is None:
+            return self.db
+        cap = self.config.deadline_ms
+        if cap is not None:
+            deadline = min(float(deadline), cap)
+        session = Database(
+            self.db.backend,
+            self.db.profile.replace(deadline_ms=float(deadline)),
+        )
+        session._pipeline = self.db._pipeline_for()
+        session._advisor = self.db._advisor
+        return session
+
+
+def _validate_query_payload(payload: object) -> Optional[str]:
+    """None when valid, else a bad_request message."""
+    if not isinstance(payload, dict):
+        return "request body must be a JSON object"
+    query = payload.get("query")
+    token = payload.get("continuation")
+    if (query is None) == (token is None):
+        return "exactly one of 'query' or 'continuation' is required"
+    if query is not None and not isinstance(query, str):
+        return "'query' must be SPARQL text"
+    if token is not None and not isinstance(token, str):
+        return "'continuation' must be a token string"
+    mode = payload.get("mode")
+    if mode is not None and mode not in PRUNING_MODES:
+        return (
+            f"unknown mode {mode!r}; choose from {PRUNING_MODES}"
+        )
+    deadline = payload.get("deadline_ms")
+    if deadline is not None and (
+        not isinstance(deadline, (int, float)) or deadline < 0
+    ):
+        return "'deadline_ms' must be a non-negative number"
+    return None
+
+
+def _validate_ask_payload(payload: object) -> Optional[str]:
+    if not isinstance(payload, dict):
+        return "request body must be a JSON object"
+    if not isinstance(payload.get("query"), str):
+        return "'query' (SPARQL text) is required"
+    deadline = payload.get("deadline_ms")
+    if deadline is not None and (
+        not isinstance(deadline, (int, float)) or deadline < 0
+    ):
+        return "'deadline_ms' must be a non-negative number"
+    return None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes; all protocol/error shaping lives here."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> ReproServer:
+        return self.server.app  # type: ignore[attr-defined]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        _LOG.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, body: Dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_body(self, code: str, message: str) -> None:
+        registry().counter("server_errors_total").inc()
+        status, body = error_body(code, message)
+        self._send_json(status, body)
+
+    def _read_body(self) -> Optional[Dict]:
+        """Parsed JSON body, or None after an error response."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error_body("bad_request", "bad Content-Length")
+            return None
+        if length > self.app.config.max_body_bytes:
+            self._send_error_body(
+                "body_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"server's {self.app.config.max_body_bytes}-byte limit",
+            )
+            self.close_connection = True
+            return None
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._send_error_body(
+                "bad_request", f"request body is not valid JSON: {error}"
+            )
+            return None
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server convention)
+        self._observed(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._observed(self._route_post)
+
+    def _observed(self, route) -> None:
+        """Metrics + optional per-request span around one route call."""
+        app = self.app
+        app._enter_request()
+        registry().counter("server_requests_total").inc()
+        started = time.perf_counter()
+        tracer = (
+            Tracer() if app.config.trace_out is not None else None
+        )
+        try:
+            if tracer is None:
+                route()
+            else:
+                with activate(tracer), tracer.span(
+                    "http_request",
+                    method=self.command, path=self.path,
+                ):
+                    route()
+                app._write_trace(tracer)
+        except Exception as error:  # noqa: BLE001 — last-resort 500
+            _LOG.exception("unhandled error on %s %s", self.command,
+                           self.path)
+            try:
+                self._send_error_body("internal", str(error))
+            except OSError:
+                pass  # client already gone
+        finally:
+            registry().histogram("server_request_latency_ms").record(
+                (time.perf_counter() - started) * 1000.0
+            )
+            app._exit_request()
+
+    def _route_get(self) -> None:
+        if self.path == "/health":
+            if self.app.draining:
+                self._send_error_body("shutting_down", "server draining")
+            else:
+                self._send_json(200, {"status": "ok"})
+        elif self.path == "/info":
+            self._send_json(200, self.app.info_doc())
+        elif self.path == "/metrics":
+            self._send_json(200, registry().snapshot())
+        elif self.path in ("/query", "/ask"):
+            self._send_error_body(
+                "method_not_allowed", f"{self.path} is POST-only"
+            )
+        else:
+            self._send_error_body(
+                "not_found", f"no such endpoint: {self.path}"
+            )
+
+    def _route_post(self) -> None:
+        if self.path not in ("/query", "/ask"):
+            if self.path in ("/health", "/info", "/metrics"):
+                self._send_error_body(
+                    "method_not_allowed", f"{self.path} is GET-only"
+                )
+            else:
+                self._send_error_body(
+                    "not_found", f"no such endpoint: {self.path}"
+                )
+            return
+        if self.app.draining:
+            self._send_error_body(
+                "shutting_down",
+                "server is draining; re-submit to a live replica",
+            )
+            return
+        payload = self._read_body()
+        if payload is None:
+            return
+        validator = (
+            _validate_query_payload if self.path == "/query"
+            else _validate_ask_payload
+        )
+        problem = validator(payload)
+        if problem is not None:
+            self._send_error_body("bad_request", problem)
+            return
+        try:
+            if self.path == "/query":
+                status, body = self.app.execute_query(payload)
+            else:
+                status, body = self.app.execute_ask(payload)
+        except ContinuationError as error:
+            code = (
+                "stale_token"
+                if getattr(error, "reason", "corrupt") == "stale"
+                else "corrupt_token"
+            )
+            self._send_error_body(code, str(error))
+        except DeadlineExceededError as error:
+            self._send_error_body("deadline_exceeded", str(error))
+        except (ParseError, QueryError) as error:
+            self._send_error_body("invalid_query", str(error))
+        except ReproError as error:
+            self._send_error_body("internal", str(error))
+        else:
+            self._send_json(status, body)

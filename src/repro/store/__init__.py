@@ -12,6 +12,7 @@ from repro.store.bindings import (
     solution_key,
 )
 from repro.store.engine import PROFILES, QueryEngine, QueryResult
+from repro.store.lazy import LazySnapshotStore
 from repro.store.reference import ReferenceEvaluator
 from repro.store.executor import Executor
 from repro.store.optimizer import order_bgp, order_greedy, order_static
@@ -20,6 +21,7 @@ from repro.store.triple_store import IdTriple, NameTriple, TripleStore
 
 __all__ = [
     "TripleStore",
+    "LazySnapshotStore",
     "IdTriple",
     "NameTriple",
     "StoreStatistics",

@@ -85,7 +85,9 @@ class TestRendering:
     def test_json_document(self, result, tmp_path):
         path = tmp_path / "storage.json"
         doc = write_storage_bench_json(path, result)
-        assert doc["schema"] == "repro-storage-bench/v2"
+        assert doc["schema"] == "repro-storage-bench/v3"
+        assert doc["cold_open"]["join_fills"] == result.cold_open_join_fills
+        assert doc["cold_open"]["lazy"] is result.cold_open_lazy
         assert doc["answers_all_equal"] is True
         assert doc["residency"]["promotions"] == result.promotions
         assert doc["residency"]["on_disk_bytes"] == result.snapshot_bytes

@@ -245,8 +245,20 @@ class TestStorageBench:
         assert "storage bench" in output
         assert "residency:" in output
         doc = json.loads(json_path.read_text())
-        assert doc["schema"] == "repro-storage-bench/v2"
+        assert doc["schema"] == "repro-storage-bench/v3"
+        assert doc["cold_open"]["lazy"] is True
         assert doc["churn"] is None  # stubbed result skipped the churn
+
+    def test_storage_non_lazy_cold_open_fails(self, monkeypatch):
+        """A join-index fill (or promotion) before any query ran is
+        the full-edge-scan regression the lazy store prevents."""
+        result = self._result()
+        result.cold_open_join_fills = 5
+        monkeypatch.setattr(
+            bench_module, "run_storage_bench", lambda: result
+        )
+        code, _ = run_cli(["bench", "storage"])
+        assert code == 1
 
     def test_storage_answer_mismatch_fails(self, monkeypatch):
         result = self._result()

@@ -1,0 +1,59 @@
+"""Fixtures for the ``repro serve`` suite.
+
+Servers run in-process on an ephemeral port (``port=0``) so the suite
+needs no free well-known ports and leaks nothing across tests.  The
+metrics registry is process-global, so assertions on ``server_*`` /
+``client_*`` counters must be **deltas** around the observed calls,
+never absolutes.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.database import Database
+from repro.serve import ReproServer, ServeConfig
+
+
+@pytest.fixture
+def lubm_server(small_lubm):
+    """A running server over the shared LUBM graph, single-step
+    quantum (0 ms) so every solver round suspends — continuation
+    traffic is deterministic, not timing-dependent."""
+    db = Database.in_memory(small_lubm)
+    server = ReproServer(db, ServeConfig(port=0, quantum_ms=0.0))
+    server.start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def movie_server(movie_db):
+    """A running server over the movie example, generous quantum —
+    for tests about the protocol rather than preemption."""
+    db = Database.in_memory(movie_db)
+    server = ReproServer(db, ServeConfig(port=0, quantum_ms=10_000.0))
+    server.start()
+    yield server
+    server.stop()
+
+
+def _http(url, payload=None, method=None):
+    """Raw HTTP helper returning (status, decoded JSON body) without
+    raising on 4xx/5xx — token-lifecycle tests assert on both."""
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture
+def http():
+    return _http

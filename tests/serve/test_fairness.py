@@ -1,0 +1,152 @@
+"""The PR's acceptance bar: preemption fairness under concurrency.
+
+One shared server session, single-step quantum (so every solver round
+suspends — at least 3 suspensions per L-query, deterministically), 8
+concurrent remote clients racing the LUBM query mix.  Every client
+must finish with results byte-identical to a local single-threaded
+run: the FIFO gate hands the engine around in arrival order, one
+quantum slice at a time, and suspended solver state must never bleed
+between interleaved queries.
+
+Also pins the lazy join-index property end to end: a server cold-open
+performs no full-edge-scan join fill (``join_index_fills`` stays 0
+until a query touches a predicate).
+"""
+
+import threading
+
+import pytest
+
+from repro.api.backend import SnapshotBackend
+from repro.api.database import Database
+from repro.serve import ReproServer, ServeConfig
+from repro.storage import write_snapshot
+from repro.workloads import LUBM_QUERIES
+
+QUERY_MIX = ("L0", "L1", "L2", "L3")
+N_CLIENTS = 8
+
+
+@pytest.fixture(scope="module")
+def expected(small_lubm_module):
+    """Local single-threaded ground truth per query, computed once."""
+    local = Database.in_memory(small_lubm_module)
+    return {
+        name: local.query(LUBM_QUERIES[name], mode="pruned").as_set()
+        for name in QUERY_MIX
+    }
+
+
+@pytest.fixture(scope="module")
+def small_lubm_module():
+    from repro.workloads import generate_lubm
+
+    return generate_lubm(n_universities=2, seed=3, spiral_length=10)
+
+
+@pytest.fixture(scope="module")
+def fair_server(small_lubm_module):
+    db = Database.in_memory(small_lubm_module)
+    server = ReproServer(db, ServeConfig(port=0, quantum_ms=0.0))
+    server.start()
+    yield server
+    server.stop()
+
+
+class TestConcurrentFairness:
+    def test_eight_clients_byte_identical(self, fair_server, expected):
+        """8 threads, each its own RemoteBackend, each running the
+        full mix; every result equals the local ground truth."""
+        outcomes = []
+        errors = []
+
+        def client(index: int) -> None:
+            try:
+                session = Database.connect(fair_server.url)
+                # stagger starting points so the mix interleaves
+                names = (
+                    QUERY_MIX[index % len(QUERY_MIX):]
+                    + QUERY_MIX[: index % len(QUERY_MIX)]
+                )
+                for name in names:
+                    result = session.query(
+                        LUBM_QUERIES[name], mode="pruned"
+                    )
+                    outcomes.append(
+                        (index, name, result.as_set(),
+                         result.resubmissions)
+                    )
+            except Exception as error:  # surfaced below
+                errors.append((index, error))
+
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(N_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        assert len(outcomes) == N_CLIENTS * len(QUERY_MIX)
+
+        for index, name, got, _ in outcomes:
+            assert got == expected[name], (
+                f"client {index} query {name} diverged from local "
+                "single-threaded execution"
+            )
+
+    def test_every_query_suspended_at_least_three_times(
+        self, fair_server, expected
+    ):
+        """Single-step quantum: each L-query needs >= 3 slices, so
+        concurrency above genuinely interleaved partial executions."""
+        session = Database.connect(fair_server.url)
+        for name in QUERY_MIX:
+            result = session.query(LUBM_QUERIES[name], mode="pruned")
+            assert result.resubmissions >= 3, (
+                f"{name} finished in {result.resubmissions} "
+                "resubmissions; quantum not preemption-fair"
+            )
+            assert result.as_set() == expected[name]
+
+
+class TestColdOpenStaysLazy:
+    def test_served_snapshot_cold_open_fills_nothing(
+        self, small_lubm_module, tmp_path
+    ):
+        """Opening + serving a snapshot must not eagerly build join
+        indexes; only queried predicates get filled."""
+        snap = tmp_path / "lubm.snap"
+        write_snapshot(small_lubm_module, snap)
+
+        backend = SnapshotBackend(snap)
+        db = Database(backend)
+        server = ReproServer(db, ServeConfig(port=0, quantum_ms=0.0))
+        server.start()
+        try:
+            stats = backend.stats()
+            assert stats["join_index_fills"] == 0, (
+                "server cold-open performed a join fill"
+            )
+            assert stats["promotions"] == 0, (
+                "server cold-open promoted label payloads"
+            )
+
+            session = Database.connect(server.url)
+            result = session.query(LUBM_QUERIES["L0"], mode="pruned")
+            assert result.complete
+
+            # pruned mode evaluates over the simulation-pruned subset,
+            # never the base join indexes: still zero fills
+            stats = backend.stats()
+            assert stats["join_index_fills"] == 0
+
+            result = session.query(LUBM_QUERIES["L1"], mode="full")
+            assert result.complete
+            stats = backend.stats()
+            assert 0 < stats["join_index_fills"] < stats["n_labels"], (
+                "a full-mode query should fill only its own predicates"
+            )
+        finally:
+            server.stop()

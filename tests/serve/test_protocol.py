@@ -1,0 +1,100 @@
+"""Wire-protocol unit tests: value/row/pruning codecs and error bodies."""
+
+import pytest
+
+from repro.api.result import PruneSummary
+from repro.serve.protocol import (
+    ERROR_STATUS,
+    ProtocolError,
+    decode_pruning,
+    decode_rows,
+    decode_value,
+    encode_pruning,
+    encode_rows,
+    encode_value,
+    error_body,
+)
+from repro.graph.database import Literal
+
+
+class TestValueCodec:
+    def test_plain_scalars_pass_through(self):
+        for value in ("Turing", 42, 3.5, True, None):
+            assert encode_value(value) == value
+            assert decode_value(encode_value(value)) == value
+
+    def test_literal_round_trip(self):
+        wire = encode_value(Literal("1912-06-23"))
+        assert wire == {"@literal": "1912-06-23"}
+        back = decode_value(wire)
+        assert isinstance(back, Literal)
+        assert back == Literal("1912-06-23")
+
+    def test_numeric_literal_round_trip(self):
+        assert decode_value(encode_value(Literal(1912))) == Literal(1912)
+
+    def test_non_json_node_name_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_value(frozenset({"a"}))
+
+    def test_non_json_literal_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_value(Literal(frozenset({"a"})))
+
+    def test_unknown_tagged_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_value({"@blob": "x"})
+        with pytest.raises(ProtocolError):
+            decode_value({"@literal": "x", "extra": 1})
+
+    def test_array_value_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_value(["a", "b"])
+
+
+class TestRowCodec:
+    def test_rows_round_trip(self):
+        rows = [
+            {"x": "Kubrick", "y": Literal("1928")},
+            {"x": "Nolan", "y": Literal(1970)},
+        ]
+        assert decode_rows(encode_rows(rows)) == rows
+
+    def test_empty(self):
+        assert decode_rows(encode_rows([])) == []
+
+
+class TestPruningCodec:
+    def test_round_trip(self):
+        summary = PruneSummary(
+            triples_total=100, triples_after=7, rounds=3,
+            t_simulation=0.004,
+        )
+        assert decode_pruning(encode_pruning(summary)) == summary
+
+    def test_none_passes_through(self):
+        assert encode_pruning(None) is None
+        assert decode_pruning(None) is None
+
+    def test_malformed_doc_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_pruning({"triples_total": 1})
+
+
+class TestErrorBody:
+    def test_every_code_has_a_distinct_shape(self):
+        for code, status in ERROR_STATUS.items():
+            got_status, body = error_body(code, "boom")
+            assert got_status == status
+            assert body == {"error": {"code": code, "message": "boom"}}
+
+    def test_distinct_statuses_for_token_failures(self):
+        # the satellite's contract: stale and corrupt tokens are
+        # client-distinguishable without parsing prose
+        assert ERROR_STATUS["corrupt_token"] == 400
+        assert ERROR_STATUS["stale_token"] == 409
+        assert ERROR_STATUS["deadline_exceeded"] == 408
+
+    def test_unknown_code_maps_to_500(self):
+        status, body = error_body("no_such_code", "x")
+        assert status == 500

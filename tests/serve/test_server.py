@@ -1,0 +1,149 @@
+"""HTTP endpoint behavior: routing, status codes, drain, metrics."""
+
+from repro.api.database import Database
+from repro.serve import ReproServer, ServeConfig, WIRE_PROTOCOL
+from repro.workloads import LUBM_QUERIES
+
+X1_QUERY = (
+    "SELECT * WHERE { ?director directed ?movie . "
+    "?director worked_with ?coworker . }"
+)
+
+
+class TestInfoAndHealth:
+    def test_health_ok(self, movie_server, http):
+        status, body = http(movie_server.url + "/health")
+        assert status == 200
+        assert body == {"status": "ok"}
+
+    def test_info_describes_the_session(self, movie_server, movie_db, http):
+        status, info = http(movie_server.url + "/info")
+        assert status == 200
+        assert info["protocol"] == WIRE_PROTOCOL
+        assert info["kind"] == "memory"
+        assert info["n_nodes"] == movie_db.n_nodes
+        assert info["n_triples"] == movie_db.n_triples
+        assert info["labels"] == sorted(movie_db.labels)
+        assert info["quantum_ms"] == 10_000.0
+
+    def test_metrics_snapshot(self, movie_server, http):
+        http(movie_server.url + "/query", {"query": X1_QUERY})
+        status, metrics = http(movie_server.url + "/metrics")
+        assert status == 200
+        assert metrics["server_requests_total"] >= 1
+
+
+class TestQueryEndpoint:
+    def test_complete_query_is_200(self, movie_server, movie_db, http):
+        status, body = http(
+            movie_server.url + "/query",
+            {"query": X1_QUERY, "mode": "pruned"},
+        )
+        assert status == 200
+        assert body["complete"] is True
+        assert body["mode"] == "pruned"
+        expected = Database.in_memory(movie_db).query(
+            X1_QUERY, mode="pruned"
+        )
+        assert sorted(body["variables"]) == sorted(expected.variables)
+        assert len(body["rows"]) == len(expected.rows())
+
+    def test_ask(self, movie_server, http):
+        status, body = http(
+            movie_server.url + "/ask", {"query": X1_QUERY}
+        )
+        assert status == 200
+        assert body["answer"] is True
+
+    def test_single_step_quantum_suspends_with_206(self, lubm_server, http):
+        status, body = http(
+            lubm_server.url + "/query",
+            {"query": LUBM_QUERIES["L0"], "mode": "pruned"},
+        )
+        assert status == 206
+        assert body["complete"] is False
+        assert isinstance(body["continuation"], str)
+
+
+class TestRequestValidation:
+    def test_unknown_path_404(self, movie_server, http):
+        status, body = http(movie_server.url + "/nope")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_get_on_query_is_405(self, movie_server, http):
+        status, body = http(movie_server.url + "/query")
+        assert status == 405
+        assert body["error"]["code"] == "method_not_allowed"
+
+    def test_post_on_info_is_405(self, movie_server, http):
+        status, body = http(movie_server.url + "/info", {"x": 1})
+        assert status == 405
+        assert body["error"]["code"] == "method_not_allowed"
+
+    def test_missing_query_field_400(self, movie_server, http):
+        status, body = http(movie_server.url + "/query", {})
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_query_and_continuation_together_400(self, movie_server, http):
+        status, body = http(
+            movie_server.url + "/query",
+            {"query": "SELECT * WHERE { ?a b ?c . }", "continuation": "x"},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_bad_mode_400(self, movie_server, http):
+        status, body = http(
+            movie_server.url + "/query",
+            {"query": X1_QUERY, "mode": "turbo"},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_unparsable_query_422(self, movie_server, http):
+        status, body = http(
+            movie_server.url + "/query", {"query": "SELECT WHERE {{{"}
+        )
+        assert status == 422
+        assert body["error"]["code"] == "invalid_query"
+
+    def test_oversized_body_413(self, movie_db, http):
+        db = Database.in_memory(movie_db)
+        server = ReproServer(
+            db, ServeConfig(port=0, quantum_ms=1000.0, max_body_bytes=64)
+        )
+        server.start()
+        try:
+            status, body = http(
+                server.url + "/query", {"query": "x" * 200}
+            )
+            assert status == 413
+            assert body["error"]["code"] == "body_too_large"
+        finally:
+            server.stop()
+
+
+class TestDrain:
+    def test_draining_server_rejects_new_queries(self, movie_db, http):
+        db = Database.in_memory(movie_db)
+        server = ReproServer(db, ServeConfig(port=0, quantum_ms=1000.0))
+        server.start()
+        try:
+            server.begin_drain()
+            status, body = http(server.url + "/health")
+            assert status == 503
+            assert body["error"]["code"] == "shutting_down"
+            status, body = http(
+                server.url + "/query", {"query": X1_QUERY}
+            )
+            assert status == 503
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent(self, movie_db):
+        db = Database.in_memory(movie_db)
+        server = ReproServer(db, ServeConfig(port=0)).start()
+        server.stop()
+        server.stop()

@@ -27,6 +27,7 @@ stores) remain importable for paper-level experiments.
 """
 
 from repro.api import (
+    BackendCapabilities,
     Database,
     DatabaseStats,
     ExecutionProfile,
@@ -56,6 +57,7 @@ from repro.errors import (
     DeadlineExceededError,
     ReproError,
     SnapshotCorruptError,
+    UnsupportedOperationError,
 )
 from repro.graph import (
     Graph,
@@ -79,6 +81,7 @@ __all__ = [
     "ResultSet",
     "SimulationOutcome",
     "GraphBackend",
+    "BackendCapabilities",
     "InMemoryBackend",
     "SnapshotBackend",
     # errors
@@ -86,6 +89,7 @@ __all__ = [
     "ContinuationError",
     "DeadlineExceededError",
     "SnapshotCorruptError",
+    "UnsupportedOperationError",
     # graphs
     "Graph",
     "GraphDatabase",

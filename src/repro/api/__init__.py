@@ -4,20 +4,26 @@ Entry points::
 
     Database.open("data.snap")              # snapshot store session
     Database.in_memory(graph_db)            # in-memory session
+    Database.writable()                     # mutable overlay session
+    Database.edit("data.snap")              # edit a snapshot (overlay)
     Database.from_triples([...])            # build from triples
     Database.from_ntriples("data.nt")       # parse N-Triples
     Database.from_workload("lubm", scale=2) # synthetic workloads
 
 Sessions expose ``query()`` / ``ask()`` / ``explain()`` /
-``simulate()`` / ``stats()``; execution knobs travel in an
+``simulate()`` / ``stats()``; writable sessions add ``add()`` /
+``retract()`` / ``compact()``; execution knobs travel in an
 :class:`ExecutionProfile`; storage connectors implement the
-:class:`GraphBackend` protocol.
+:class:`GraphBackend` protocol and declare what they support via
+:class:`BackendCapabilities`.
 """
 
 from repro.api.backend import (
+    BackendCapabilities,
     GraphBackend,
     InMemoryBackend,
     SnapshotBackend,
+    backend_capabilities,
 )
 from repro.api.database import (
     Database,
@@ -38,6 +44,8 @@ __all__ = [
     "ExecutionProfile",
     "PRUNING_MODES",
     "GraphBackend",
+    "BackendCapabilities",
+    "backend_capabilities",
     "InMemoryBackend",
     "SnapshotBackend",
     "ResultSet",

@@ -23,6 +23,7 @@ layers.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     Dict,
@@ -44,12 +45,53 @@ from repro.store.triple_store import TripleStore
 NameTriple = Tuple[Hashable, str, Hashable]
 
 
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend can do, declared instead of duck-typed.
+
+    The façade gates operations on these flags — writes need
+    ``writable``, in-process operations (``simulate``, ``explain``,
+    ``benchmark``, ``advise``) need ``not remote`` — and raises a
+    typed :class:`~repro.errors.UnsupportedOperationError` when the
+    capability is missing, replacing the old ad-hoc
+    ``hasattr(backend, "remote_query")`` probes.
+    """
+
+    #: Accepts :meth:`add`/:meth:`retract` delta batches.
+    writable: bool = False
+    #: Backed by an on-disk snapshot (directly or through an overlay).
+    snapshot_backed: bool = False
+    #: Executes queries in another process; the engine is not local.
+    remote: bool = False
+
+
+def backend_capabilities(backend) -> BackendCapabilities:
+    """A backend's declared capabilities, inferred for legacy ones.
+
+    Third-party backends predating :meth:`GraphBackend.capabilities`
+    fall back to the old duck-typed probe: a ``remote_query`` method
+    marks a remote connector; everything else is a local read-only
+    store.
+    """
+    probe = getattr(backend, "capabilities", None)
+    if callable(probe):
+        return probe()
+    return BackendCapabilities(
+        remote=callable(getattr(backend, "remote_query", None))
+    )
+
+
 @runtime_checkable
 class GraphBackend(Protocol):
     """What a storage connector must provide to power a session."""
 
     #: Stable connector kind (``"memory"``, ``"snapshot"``, ...).
     kind: str
+
+    def capabilities(self) -> BackendCapabilities:
+        """What this backend supports; the façade gates on the flags
+        instead of probing attributes."""
+        ...
 
     @property
     def graph(self):
@@ -128,6 +170,17 @@ class InMemoryBackend:
             )
         self._graph = graph_db
         self._store = store
+        # Mark the database as session-owned so direct GraphDatabase
+        # mutation (the pre-write-API idiom) can warn once and point at
+        # Database.add/retract.  Foreign graph-likes (TieredGraphView,
+        # mocks with __slots__) simply skip the marker.
+        try:
+            graph_db._session_attached = True
+        except AttributeError:
+            pass
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities()
 
     @property
     def graph(self):
@@ -203,6 +256,9 @@ class SnapshotBackend:
         self.path: Path = reader.path
         self._view = TieredGraphView(reader)
         self._store: Optional[TripleStore] = None
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(snapshot_backed=True)
 
     @property
     def graph(self) -> TieredGraphView:

@@ -42,6 +42,7 @@ from repro.api.backend import (
     InMemoryBackend,
     NameTriple,
     SnapshotBackend,
+    backend_capabilities,
 )
 from repro.api.continuation import (
     SuspendedQuery,
@@ -57,7 +58,11 @@ from repro.api.result import (
     SimulationOutcome,
 )
 from repro.core.degrade import DegradationEvent, capture_events
-from repro.errors import ContinuationError, ReproError
+from repro.errors import (
+    ContinuationError,
+    ReproError,
+    UnsupportedOperationError,
+)
 from repro.obs.metrics import COUNT_BUCKETS, registry
 from repro.obs.trace import Tracer, activate, current_tracer
 from repro.storage.tiered import ResidencyReport
@@ -171,6 +176,9 @@ class Database:
         self._advisor = None
         self._cache_key: Optional[Tuple[str, int, int]] = None
         self._degradations: list = []
+        # Per-query cached fixpoints for incremental maintenance on
+        # writable sessions; epochs (not resets) handle staleness.
+        self._fixpoint_cache = None
 
     # -- constructors -----------------------------------------------------
 
@@ -211,6 +219,37 @@ class Database:
         """Wrap a :class:`~repro.graph.database.GraphDatabase` (or
         start empty) as an in-memory session."""
         return cls(InMemoryBackend(db), profile)
+
+    @classmethod
+    def writable(cls, db=None, profile: ProfileLike = None) -> "Database":
+        """An in-memory session that accepts writes.
+
+        Wraps the (possibly empty) database in an
+        :class:`~repro.store.overlay.OverlayBackend` so :meth:`add`,
+        :meth:`retract` and :meth:`compact` work, and repeated queries
+        after small deltas are maintained incrementally (see
+        ``ExecutionProfile.incremental``).
+        """
+        from repro.store.overlay import OverlayBackend
+
+        return cls(OverlayBackend(InMemoryBackend(db)), profile)
+
+    @classmethod
+    def edit(
+        cls, path: Union[str, Path], profile: ProfileLike = None
+    ) -> "Database":
+        """Open a snapshot for editing.
+
+        The snapshot file itself stays immutable: writes accumulate in
+        an in-memory :class:`~repro.store.overlay.OverlayBackend`
+        delta on top of it, and :meth:`compact` folds base + delta
+        into a fresh snapshot.  The backend is private to this session
+        (never shared through the open-cache — a cached read-only
+        backend must not see another session's delta).
+        """
+        from repro.store.overlay import OverlayBackend
+
+        return cls(OverlayBackend(SnapshotBackend(path)), profile)
 
     @classmethod
     def connect(
@@ -314,7 +353,97 @@ class Database:
             "('lubm', 'dbpedia', 'movies')"
         )
 
+    # -- write surface ----------------------------------------------------
+
+    def capabilities(self):
+        """This session's declared
+        :class:`~repro.api.backend.BackendCapabilities`."""
+        return backend_capabilities(self.backend)
+
+    def _require_writable(self, operation: str) -> None:
+        if not backend_capabilities(self.backend).writable:
+            raise UnsupportedOperationError(
+                f"{operation} needs a writable backend; open the "
+                "session with Database.writable() or "
+                "Database.edit(path) instead (this backend is "
+                f"{self.backend.kind!r})"
+            )
+
+    def add(self, triples: Iterable[NameTriple]) -> int:
+        """Assert (subject, predicate, object) triples; returns how
+        many were actually new (RDF set semantics — re-adding a
+        present triple is a no-op).
+
+        Unknown subjects/objects extend the node space; adding a
+        triple retracted earlier simply cancels the retraction.
+        Cached query fixpoints are maintained incrementally, not
+        discarded (see :mod:`repro.core.incremental`).
+        """
+        self._require_writable("add")
+        applied = self.backend.add(triples)
+        if applied:
+            self._advisor = None
+        return applied
+
+    def retract(self, triples: Iterable[NameTriple]) -> int:
+        """Retract triples; returns how many were actually present.
+        Retracting an absent triple is a no-op; nodes are never
+        removed (the index space only grows)."""
+        self._require_writable("retract")
+        applied = self.backend.retract(triples)
+        if applied:
+            self._advisor = None
+        return applied
+
+    def compact(
+        self,
+        out_path: Union[str, Path],
+        cold_threshold: Optional[float] = None,
+    ):
+        """Fold base + delta into a fresh snapshot at ``out_path``.
+
+        The written file is byte-equivalent to building a snapshot
+        from a database that never had the delta: reopening it with
+        :meth:`open` (or :meth:`edit`) answers every query exactly as
+        this overlay session does.  Returns the writer's
+        :class:`~repro.storage.writer.WriteReport`.
+        """
+        self._require_writable("compact")
+        from repro.storage.writer import SnapshotWriter
+
+        if cold_threshold is None:
+            writer = SnapshotWriter(Path(out_path))
+        else:
+            writer = SnapshotWriter(
+                Path(out_path), cold_threshold=cold_threshold
+            )
+        return writer.write(self.backend.graph)
+
     # -- internals --------------------------------------------------------
+
+    def _incremental_for(self, query, limits):
+        """An :class:`~repro.core.incremental.IncrementalSolver` for
+        this (query, session), or None to solve normally.
+
+        Incremental maintenance needs an epoch-tracking backend (the
+        overlay), the profile knob on, unbounded execution (a
+        preempted cascade would checkpoint synthetic state), and the
+        query as text (it is the cache key).
+        """
+        if limits is not None or not self.profile.incremental:
+            return None
+        if not isinstance(query, str):
+            return None
+        if not hasattr(self.backend.graph, "changed_since"):
+            return None
+        from repro.core.incremental import FixpointCache, IncrementalSolver
+
+        if self._fixpoint_cache is None:
+            self._fixpoint_cache = FixpointCache()
+        return IncrementalSolver(
+            self._fixpoint_cache.entry(query),
+            self.profile.incremental_fallback_fraction,
+        )
 
     def _pipeline_for(self):
         if self._pipeline is None:
@@ -333,8 +462,8 @@ class Database:
     def _require_local(self, operation: str) -> None:
         """Operations that need the engine in-process cannot run over
         a remote connection."""
-        if getattr(self.backend, "remote_query", None) is not None:
-            raise ReproError(
+        if backend_capabilities(self.backend).remote:
+            raise UnsupportedOperationError(
                 f"{operation} is not available over a remote "
                 "connection; run it in the serving process (or open "
                 "the snapshot locally)"
@@ -458,7 +587,10 @@ class Database:
                     )
                 summary = None
             else:
-                outcome = pipeline.prune(query, limits=limits)
+                outcome = pipeline.prune(
+                    query, limits=limits,
+                    incremental=self._incremental_for(query, limits),
+                )
                 if self._is_suspension(outcome):
                     self._note_query(started, suspended=True)
                     return self._suspend(query, outcome, advised)
@@ -721,6 +853,13 @@ class Database:
     @property
     def n_triples(self) -> int:
         return self.backend.n_triples
+
+    @property
+    def epoch(self) -> Optional[int]:
+        """The backend's mutation epoch (None on read-only backends).
+        Bumps once per :meth:`add`/:meth:`retract` batch that changed
+        anything."""
+        return getattr(self.backend, "epoch", None)
 
     @property
     def n_nodes(self) -> int:

@@ -78,6 +78,15 @@ class ExecutionProfile:
       (render with :func:`repro.obs.render_profile`, export with
       ``trace.write_jsonl``).  Off by default — the disabled path is a
       single module-global read per hook site.
+    * ``incremental`` — maintain cached dual-simulation fixpoints
+      incrementally on writable (overlay) sessions: after a delta, a
+      repeated query re-solves only the cone of influence the touched
+      labels can reach (:mod:`repro.core.incremental`), bit-identical
+      to a cold re-solve.  Ignored on read-only backends; on by
+      default.
+    * ``incremental_fallback_fraction`` — give up on the bounded
+      cascade and re-solve cold when the delta re-activates more than
+      this fraction of the query's inequalities.
     """
 
     engine: str = "virtuoso-like"
@@ -88,6 +97,8 @@ class ExecutionProfile:
     time_quantum_ms: Optional[float] = None
     deadline_ms: Optional[float] = None
     trace: bool = False
+    incremental: bool = True
+    incremental_fallback_fraction: float = 0.5
 
     def __post_init__(self):
         if self.engine not in PROFILES:
@@ -116,6 +127,11 @@ class ExecutionProfile:
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ReproError(
                 f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
+        if not 0.0 <= self.incremental_fallback_fraction <= 1.0:
+            raise ReproError(
+                f"incremental_fallback_fraction must be in [0, 1], "
+                f"got {self.incremental_fallback_fraction}"
             )
 
     @classmethod

@@ -1,0 +1,285 @@
+"""Update benchmark: incremental fixpoint maintenance vs full re-solve.
+
+Measures what :mod:`repro.core.incremental` buys on the
+update-then-query loop of a writable session: two overlay sessions
+over the *same* LUBM snapshot apply identical single-edge deltas
+(retract an existing triple, query, re-assert it, query), one with
+``ExecutionProfile(incremental=True)`` and one with the maintenance
+switched off, so every timed step covers mutation + re-query.  The
+incremental session re-solves only the delta's cone of influence; the
+control re-solves every query cold.
+
+Answers must match between the two sessions at every step; the bench
+asserts that per step rather than trusting Theorem 2's machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api.database import Database
+from repro.api.profile import ExecutionProfile
+from repro.bench.reporting import render_table
+from repro.obs.metrics import registry
+from repro.workloads import LUBM_QUERIES, generate_lubm
+
+#: Default scale, as in the storage bench: visible effect, CI-sized.
+DEFAULT_UPDATES_UNIVERSITIES = 2
+
+#: Distinct existing triples retracted/re-asserted per query.
+DEFAULT_DELTAS_PER_QUERY = 3
+
+#: Incremental-mode counters sampled around the incremental session.
+_MODE_COUNTERS = (
+    "incremental_reuses_total",
+    "incremental_cascades_total",
+    "incremental_fallbacks_total",
+    "incremental_cold_solves_total",
+)
+
+
+@dataclass
+class UpdateQueryRow:
+    """Update-then-query timings of one query on both sessions."""
+
+    query: str
+    n_steps: int           # timed mutation+query steps (2 per delta)
+    t_incremental: float   # total across steps, maintenance on
+    t_full: float          # total across steps, maintenance off
+    answers_equal: bool
+    modes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.t_incremental <= 0:
+            return float("inf")
+        return self.t_full / self.t_incremental
+
+
+@dataclass
+class UpdatesBenchResult:
+    """One full updates-bench run."""
+
+    lubm_universities: int
+    deltas_per_query: int
+    engine: str
+    t_warmup_incremental: float = 0.0
+    t_warmup_full: float = 0.0
+    queries: List[UpdateQueryRow] = field(default_factory=list)
+
+    @property
+    def answers_all_equal(self) -> bool:
+        return all(row.answers_equal for row in self.queries)
+
+    @property
+    def total_incremental(self) -> float:
+        return sum(row.t_incremental for row in self.queries)
+
+    @property
+    def total_full(self) -> float:
+        return sum(row.t_full for row in self.queries)
+
+    @property
+    def total_speedup(self) -> float:
+        if self.total_incremental <= 0:
+            return float("inf")
+        return self.total_full / self.total_incremental
+
+
+def _delta_triples(session: Database, count: int, stride: int):
+    """``count`` existing triples, deterministically spread out.
+
+    The start point rotates per query (``stride``) so different
+    queries exercise deltas on different labels.
+    """
+    triples = sorted(session.triples(), key=repr)
+    if not triples:
+        return []
+    offset = (stride * 17) % len(triples)
+    rotated = triples[offset:] + triples[:offset]
+    step = max(1, len(rotated) // max(1, count))
+    return rotated[::step][:count]
+
+
+def _canonical(result) -> frozenset:
+    return frozenset(
+        tuple(sorted(row.items(), key=repr)) for row in result
+    )
+
+
+def run_updates_bench(
+    lubm_universities: int = DEFAULT_UPDATES_UNIVERSITIES,
+    queries: Optional[Sequence[str]] = None,
+    engine: str = "virtuoso-like",
+    deltas_per_query: int = DEFAULT_DELTAS_PER_QUERY,
+    workdir: Optional[Union[str, Path]] = None,
+    seed: int = 7,
+) -> UpdatesBenchResult:
+    """Build the snapshot, open two overlay sessions, run the deltas.
+
+    Per query: warm both sessions (the incremental one caches its
+    fixpoint), then for each chosen triple retract it + re-query and
+    re-assert it + re-query on *both* sessions, timing each
+    mutation+query step end to end and asserting answer equality.
+    """
+    from repro.storage import write_snapshot
+
+    names = list(queries) if queries is not None else sorted(LUBM_QUERIES)
+    with tempfile.TemporaryDirectory() as scratch:
+        base = Path(workdir) if workdir is not None else Path(scratch)
+        base.mkdir(parents=True, exist_ok=True)
+        snap_path = base / "updates-bench.snap"
+        write_snapshot(
+            generate_lubm(n_universities=lubm_universities, seed=seed),
+            snap_path,
+        )
+
+        profile = ExecutionProfile(engine=engine, pruning="pruned")
+        inc = Database.edit(snap_path, profile)
+        full = Database.edit(
+            snap_path, profile.replace(incremental=False)
+        )
+        try:
+            result = UpdatesBenchResult(
+                lubm_universities=lubm_universities,
+                deltas_per_query=deltas_per_query,
+                engine=engine,
+            )
+            # Warm-up: both sessions pay the cold solve once per query
+            # (this is where the incremental session fills its cache).
+            start = time.perf_counter()
+            for name in names:
+                inc.query(LUBM_QUERIES[name])
+            result.t_warmup_incremental = time.perf_counter() - start
+            start = time.perf_counter()
+            for name in names:
+                full.query(LUBM_QUERIES[name])
+            result.t_warmup_full = time.perf_counter() - start
+
+            for stride, name in enumerate(names):
+                query = LUBM_QUERIES[name]
+                deltas = _delta_triples(inc, deltas_per_query, stride)
+                before = {
+                    key: registry().counter(key).value
+                    for key in _MODE_COUNTERS
+                }
+                t_inc = t_full = 0.0
+                n_steps = 0
+                answers_equal = True
+                for triple in deltas:
+                    for operation in ("retract", "add"):
+                        start = time.perf_counter()
+                        getattr(inc, operation)([triple])
+                        inc_rows = list(inc.query(query))
+                        t_inc += time.perf_counter() - start
+                        start = time.perf_counter()
+                        getattr(full, operation)([triple])
+                        full_rows = list(full.query(query))
+                        t_full += time.perf_counter() - start
+                        n_steps += 1
+                        answers_equal = answers_equal and (
+                            _canonical(inc_rows) == _canonical(full_rows)
+                        )
+                modes = {
+                    key.replace("incremental_", "").replace("_total", ""):
+                        registry().counter(key).value - before[key]
+                    for key in _MODE_COUNTERS
+                }
+                result.queries.append(
+                    UpdateQueryRow(
+                        query=name,
+                        n_steps=n_steps,
+                        t_incremental=t_inc,
+                        t_full=t_full,
+                        answers_equal=answers_equal,
+                        modes={k: v for k, v in modes.items() if v},
+                    )
+                )
+            return result
+        finally:
+            inc.close()
+            full.close()
+
+
+def render_updates_bench(result: UpdatesBenchResult) -> str:
+    """Human-readable report of one updates-bench run."""
+    lines = [
+        f"updates bench: LUBM({result.lubm_universities}), "
+        f"engine {result.engine}, "
+        f"{result.deltas_per_query} deltas/query "
+        "(each retracted then re-asserted)",
+        f"warmup (cold solves): incremental session "
+        f"{result.t_warmup_incremental:.4f}s, control "
+        f"{result.t_warmup_full:.4f}s",
+        f"update-then-query total: incremental "
+        f"{result.total_incremental:.4f}s vs full re-solve "
+        f"{result.total_full:.4f}s ({result.total_speedup:.2f}x)",
+    ]
+    lines.append(
+        render_table(
+            ["Query", "steps", "t_incremental", "t_full", "speedup",
+             "modes", "equal"],
+            (
+                [
+                    row.query,
+                    str(row.n_steps),
+                    f"{row.t_incremental:.5f}",
+                    f"{row.t_full:.5f}",
+                    f"{row.speedup:.2f}x",
+                    ",".join(
+                        f"{mode}:{count}"
+                        for mode, count in sorted(row.modes.items())
+                    ) or "-",
+                    "yes" if row.answers_equal else "NO",
+                ]
+                for row in result.queries
+            ),
+        )
+    )
+    return "\n".join(lines)
+
+
+def write_updates_bench_json(
+    path: Union[str, Path], result: UpdatesBenchResult
+) -> Dict:
+    """Machine-readable record (schema ``repro-updates-bench/v1``)."""
+    document = {
+        "schema": "repro-updates-bench/v1",
+        "python": platform.python_version(),
+        "workload": {
+            "dataset": "lubm",
+            "lubm_universities": result.lubm_universities,
+            "engine": result.engine,
+            "deltas_per_query": result.deltas_per_query,
+        },
+        "warmup": {
+            "t_incremental": result.t_warmup_incremental,
+            "t_full": result.t_warmup_full,
+        },
+        "totals": {
+            "t_incremental": result.total_incremental,
+            "t_full": result.total_full,
+            "speedup": result.total_speedup,
+        },
+        "queries": [
+            {
+                "query": row.query,
+                "n_steps": row.n_steps,
+                "t_incremental": row.t_incremental,
+                "t_full": row.t_full,
+                "speedup": row.speedup,
+                "modes": row.modes,
+                "answers_equal": row.answers_equal,
+            }
+            for row in result.queries
+        ],
+        "answers_all_equal": result.answers_all_equal,
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    return document

@@ -29,6 +29,7 @@ Commands:
       python -m repro db build data.nt -o data.snap
       python -m repro db info data.snap
       python -m repro db verify data.snap
+      python -m repro db compact data.snap -o new.snap --add delta.nt
       python -m repro db query data.snap query.rq --mode auto
       python -m repro db query data.snap query.rq --quantum 50 --token-out t.txt
       python -m repro db query data.snap --resume @t.txt
@@ -57,7 +58,7 @@ from repro.workloads import generate_dbpedia, generate_lubm
 
 BENCH_TABLES = (
     "table2", "table3", "table4", "table5", "iterations", "hypothesis",
-    "kernels", "storage",
+    "kernels", "storage", "updates",
 )
 
 #: Exit code of ``bench kernels --compare`` when a query regressed.
@@ -191,6 +192,21 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--json", dest="json_out", action="store_true",
                         help="print machine-readable JSON instead")
 
+    compact = db_sub.add_parser(
+        "compact",
+        help="apply N-Triples deltas to a snapshot and write the "
+             "compacted result as a fresh snapshot",
+    )
+    compact.add_argument("snapshot", help="snapshot path to edit")
+    compact.add_argument("-o", "--out", required=True,
+                         help="compacted snapshot output path")
+    compact.add_argument("--add", default=None, metavar="FILE.nt",
+                         help="N-Triples file of triples to assert")
+    compact.add_argument("--retract", default=None, metavar="FILE.nt",
+                         help="N-Triples file of triples to retract")
+    compact.add_argument("--cold-threshold", type=float, default=None,
+                         help="as in `db build`")
+
     dbq = db_sub.add_parser(
         "query", help="evaluate a SPARQL query over a snapshot"
     )
@@ -271,15 +287,26 @@ def _read_query(argument: str) -> str:
 
 
 def _execution_profile(args, default_mode: str = "full") -> ExecutionProfile:
-    """Build the session profile from the shared CLI flags."""
-    return ExecutionProfile(
-        engine=getattr(args, "engine", "virtuoso-like"),
-        pruning=getattr(args, "mode", None) or default_mode,
-        kernel=getattr(args, "kernel", None),
-        residency_budget=getattr(args, "budget", None),
-        time_quantum_ms=getattr(args, "quantum", None),
-        deadline_ms=getattr(args, "deadline", None),
-    )
+    """Build the session profile from the shared CLI flags.
+
+    Starts from the profile's own defaults and folds in only the
+    flags the user actually set (:meth:`ExecutionProfile.replace`),
+    so default values live in exactly one place — adding a profile
+    field no longer means threading another ``getattr`` default
+    through here.
+    """
+    overrides = {"pruning": getattr(args, "mode", None) or default_mode}
+    for flag, field in (
+        ("engine", "engine"),
+        ("kernel", "kernel"),
+        ("budget", "residency_budget"),
+        ("quantum", "time_quantum_ms"),
+        ("deadline", "deadline_ms"),
+    ):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[field] = value
+    return ExecutionProfile().replace(**overrides)
 
 
 def _read_token(argument: str) -> str:
@@ -458,6 +485,34 @@ def cmd_db(args, out) -> int:
         )
         return 0
 
+    if args.db_command == "compact":
+        from repro.graph.io import load_ntriples
+
+        db = Database.edit(Path(args.snapshot))
+        try:
+            n_added = n_retracted = 0
+            if args.add:
+                n_added = db.add(load_ntriples(Path(args.add)).triples())
+            if args.retract:
+                n_retracted = db.retract(
+                    load_ntriples(Path(args.retract)).triples()
+                )
+            kwargs = {}
+            if args.cold_threshold is not None:
+                kwargs["cold_threshold"] = args.cold_threshold
+            report = db.compact(args.out, **kwargs)
+        finally:
+            db.close()
+        print(
+            f"applied +{n_added}/-{n_retracted} triples to "
+            f"{args.snapshot}; wrote {report.path} "
+            f"({report.file_bytes} bytes): {report.n_triples} triples, "
+            f"{report.n_nodes} nodes, {report.n_predicates} predicates "
+            f"in {report.elapsed:.3f}s",
+            file=out,
+        )
+        return 0
+
     if args.db_command == "verify":
         import json as json_module
 
@@ -628,9 +683,12 @@ def cmd_explain(args, out) -> int:
 
 
 def cmd_bench(args, out) -> int:
-    if args.json_out is not None and args.table not in ("kernels", "storage"):
+    if args.json_out is not None and args.table not in (
+        "kernels", "storage", "updates"
+    ):
         print(
-            "error: --json only applies to `bench kernels`/`bench storage`",
+            "error: --json only applies to "
+            "`bench kernels`/`bench storage`/`bench updates`",
             file=sys.stderr,
         )
         return 2
@@ -820,6 +878,25 @@ def _run_bench_table(args, out) -> int:
                 return EXIT_REGRESSION
             if any(c.is_regression() for c in comparisons):
                 return EXIT_REGRESSION
+    elif args.table == "updates":
+        from repro.bench import (
+            render_updates_bench,
+            run_updates_bench,
+            write_updates_bench_json,
+        )
+
+        result = run_updates_bench()
+        print(render_updates_bench(result), file=out)
+        if args.json_out:
+            write_updates_bench_json(args.json_out, result)
+            print(f"wrote {args.json_out}", file=out)
+        if not result.answers_all_equal:
+            print(
+                "error: incremental answers differ from cold-solve "
+                "answers",
+                file=sys.stderr,
+            )
+            return 1
     elif args.table == "storage":
         from repro.bench import (
             render_storage_bench,

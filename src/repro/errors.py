@@ -111,3 +111,15 @@ class ContinuationError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload-generator parameters."""
+
+
+class UnsupportedOperationError(ReproError):
+    """The backend cannot perform the requested operation.
+
+    Raised when an operation needs a capability the session's backend
+    does not advertise (see
+    :meth:`repro.api.backend.GraphBackend.capabilities`) — most
+    prominently writes (``Database.add``/``retract``/``compact``) on a
+    read-only backend, and in-process operations (``simulate``,
+    ``explain``, ``benchmark``) on a remote session.  Protocol
+    boundaries map it to HTTP 405."""

@@ -45,6 +45,27 @@ class GraphDatabase(Graph):
         super().__init__()
         self._literal_indices: Set[int] = set()
 
+    def _warn_session_mutation(self) -> None:
+        """Mutating a database *behind a session's back* is the
+        pre-write-API idiom: the session's matrices, stores and caches
+        never hear about the edge.  Warn once and point at the
+        first-class write surface.  Standalone databases (not yet
+        attached to a session) mutate silently, as always.
+        """
+        if getattr(self, "_session_attached", False):
+            from repro._deprecation import deprecated_call
+
+            deprecated_call(
+                "GraphDatabase.add_triple:session",
+                "mutating a GraphDatabase already attached to a "
+                "session (add_triple/add_edge) is deprecated — the "
+                "session's indexes will not see the change; use "
+                "Database.add() / Database.retract() on a writable "
+                "session (Database.writable()/Database.edit()) "
+                "instead",
+                stacklevel=4,
+            )
+
     def add_triple(self, subject: Hashable, predicate: str, obj: Hashable) -> None:
         """Add the triple (s, p, o); ``o`` may be a :class:`Literal`."""
         if isinstance(subject, Literal):
@@ -61,6 +82,7 @@ class GraphDatabase(Graph):
             raise GraphError(
                 f"literals may only occur as objects, not subjects: {src!r}"
             )
+        self._warn_session_mutation()
         super().add_edge(src, label, dst)
         if isinstance(dst, Literal):
             self._literal_indices.add(self.node_index(dst))

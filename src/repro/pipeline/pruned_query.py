@@ -254,6 +254,7 @@ class PruningPipeline:
         query: SelectQuery | str,
         limits: Optional[ExecutionLimits] = None,
         resume: Optional[PruneSuspension] = None,
+        incremental=None,
     ) -> Union[PruneOutcome, PruneSuspension]:
         """Stage 1-3: compile, solve, prune.  ``t_simulation`` covers
         the whole dual simulation processing (as in the paper).
@@ -264,6 +265,12 @@ class PruningPipeline:
         counters, and ``t_simulation`` accounting match an
         uninterrupted one.  A blown deadline raises
         :class:`~repro.errors.DeadlineExceededError`.
+
+        ``incremental`` (an
+        :class:`~repro.core.incremental.IncrementalSolver`) swaps the
+        per-branch solve for cached-fixpoint maintenance; it only
+        engages on unbounded, non-resumed runs — a branch resumed from
+        a real checkpoint must continue that exact trajectory.
         """
         query = self.parse(query)
         tracer = current_tracer()
@@ -292,10 +299,21 @@ class PruningPipeline:
                 limits, (time.perf_counter() - start) * 1000.0
             )
             with tracer.span("prune", branch=number) as span:
-                result = solve(
-                    compiled[number].soi, self.db, self.solver_options,
-                    limits=branch_limits, resume=branch_resume,
-                )
+                if (
+                    incremental is not None
+                    and branch_resume is None
+                    and branch_limits is None
+                ):
+                    result = incremental.solve_branch(
+                        number, compiled[number].soi, self.db,
+                        self.solver_options,
+                    )
+                else:
+                    result = solve(
+                        compiled[number].soi, self.db,
+                        self.solver_options,
+                        limits=branch_limits, resume=branch_resume,
+                    )
                 span.set_attributes(
                     rounds=result.report.rounds,
                     complete=result.complete,

@@ -38,6 +38,7 @@ from repro.errors import (
     DeadlineExceededError,
     QueryError,
     ReproError,
+    UnsupportedOperationError,
 )
 from repro.obs.metrics import registry
 from repro.serve.protocol import (
@@ -55,6 +56,7 @@ _CODE_ERRORS = {
     "corrupt_token": lambda msg: ContinuationError(msg, reason="corrupt"),
     "deadline_exceeded": DeadlineExceededError,
     "invalid_query": QueryError,
+    "unsupported_operation": UnsupportedOperationError,
 }
 
 #: Safety valve on the transparent resume loop: a server cutting one
@@ -160,6 +162,11 @@ class RemoteBackend:
                 f"server at {self.url} speaks {protocol!r}, "
                 f"expected {WIRE_PROTOCOL!r}"
             )
+
+    def capabilities(self):
+        from repro.api.backend import BackendCapabilities
+
+        return BackendCapabilities(remote=True)
 
     # -- transport ---------------------------------------------------------
 

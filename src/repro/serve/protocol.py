@@ -57,6 +57,7 @@ ERROR_STATUS: Dict[str, int] = {
     "invalid_query": 422,     # SPARQL parse/semantic error
     "not_found": 404,
     "method_not_allowed": 405,
+    "unsupported_operation": 405,  # backend lacks the capability (e.g. writes)
     "internal": 500,
     "shutting_down": 503,     # SIGTERM drain in progress
 }

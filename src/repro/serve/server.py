@@ -55,6 +55,7 @@ from repro.errors import (
     ParseError,
     QueryError,
     ReproError,
+    UnsupportedOperationError,
 )
 from repro.obs.logs import get_logger
 from repro.obs.metrics import registry
@@ -521,6 +522,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_body("deadline_exceeded", str(error))
         except (ParseError, QueryError) as error:
             self._send_error_body("invalid_query", str(error))
+        except UnsupportedOperationError as error:
+            self._send_error_body("unsupported_operation", str(error))
         except ReproError as error:
             self._send_error_body("internal", str(error))
         else:

@@ -13,6 +13,11 @@ from repro.store.bindings import (
 )
 from repro.store.engine import PROFILES, QueryEngine, QueryResult
 from repro.store.lazy import LazySnapshotStore
+from repro.store.overlay import (
+    OverlayBackend,
+    OverlayGraphView,
+    OverlayTripleStore,
+)
 from repro.store.reference import ReferenceEvaluator
 from repro.store.executor import Executor
 from repro.store.optimizer import order_bgp, order_greedy, order_static
@@ -22,6 +27,9 @@ from repro.store.triple_store import IdTriple, NameTriple, TripleStore
 __all__ = [
     "TripleStore",
     "LazySnapshotStore",
+    "OverlayBackend",
+    "OverlayGraphView",
+    "OverlayTripleStore",
     "IdTriple",
     "NameTriple",
     "StoreStatistics",

@@ -281,3 +281,94 @@ class TestKernelMatrix:
         self, lubm_sessions, name
     ):
         self._assert_matrix(lubm_sessions, LUBM_QUERIES[name])
+
+
+class TestOverlayColumn:
+    """The PR-9 column of the equivalence matrix: an overlay session
+    carrying live deltas (retractions of base triples plus additions,
+    including brand-new nodes) must answer every movie + LUBM query
+    identically to a read-only session over its own compacted
+    snapshot — on every kernel, in every mode."""
+
+    def _deltas(self, db):
+        triples = sorted(db.triples(), key=repr)
+        retracts = triples[:: max(1, len(triples) // 3)][:3]
+        s, p, o = retracts[0]
+        adds = [("overlay-new-node", p, o), (s, p, "overlay-new-leaf")]
+        return retracts, adds
+
+    def _sessions_for(self, db, tmp, name):
+        base_path = tmp / f"{name}.snap"
+        SnapshotWriter(base_path, cold_threshold=1e9).write(db)
+        retracts, adds = self._deltas(db)
+        compacted_path = tmp / f"{name}-compacted.snap"
+        editor = Database.edit(base_path)
+        editor.retract(retracts)
+        editor.add(adds)
+        editor.compact(compacted_path)
+        editor.close()
+        sessions = {}
+        for kernel in KERNELS:
+            profile = ExecutionProfile(kernel=kernel)
+            overlay = Database.edit(base_path, profile=profile)
+            overlay.retract(retracts)
+            overlay.add(adds)
+            compacted = Database.open(
+                compacted_path, profile=profile, cached=False
+            )
+            sessions[kernel] = (overlay, compacted)
+        return sessions
+
+    @pytest.fixture(scope="class")
+    def movie_overlay_sessions(self, tmp_path_factory):
+        sessions = self._sessions_for(
+            example_movie_database(),
+            tmp_path_factory.mktemp("overlay"),
+            "movies",
+        )
+        yield sessions
+        for overlay, compacted in sessions.values():
+            overlay.close()
+            compacted.close()
+
+    @pytest.fixture(scope="class")
+    def lubm_overlay_sessions(self, tmp_path_factory):
+        sessions = self._sessions_for(
+            generate_lubm(n_universities=1, seed=7, spiral_length=8),
+            tmp_path_factory.mktemp("overlay"),
+            "lubm",
+        )
+        yield sessions
+        for overlay, compacted in sessions.values():
+            overlay.close()
+            compacted.close()
+
+    def _assert_column(self, sessions, query, mode):
+        expected = None
+        for kernel in KERNELS:
+            overlay, compacted = sessions[kernel]
+            live = _canonical(overlay.query(query, mode=mode))
+            folded = _canonical(compacted.query(query, mode=mode))
+            assert live == folded, kernel
+            if expected is None:
+                expected = live
+            else:
+                assert live == expected, kernel
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("name", sorted(MOVIE_QUERIES))
+    def test_movie_overlay_equals_compacted(
+        self, movie_overlay_sessions, name, mode
+    ):
+        self._assert_column(
+            movie_overlay_sessions, MOVIE_QUERIES[name], mode
+        )
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("name", sorted(LUBM_QUERIES))
+    def test_lubm_overlay_equals_compacted(
+        self, lubm_overlay_sessions, name, mode
+    ):
+        self._assert_column(
+            lubm_overlay_sessions, LUBM_QUERIES[name], mode
+        )

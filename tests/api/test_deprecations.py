@@ -129,3 +129,41 @@ class TestKernelEnvVar:
         ])
         assert len(caught) == 1
         assert "REPRO_KERNEL" in str(caught[0].message)
+
+
+class TestSessionMutationShim:
+    """Mutating a GraphDatabase behind an attached session's back is
+    the pre-write-API idiom: it still works (the graph accepts the
+    edge) but warns once, pointing at Database.add/retract."""
+
+    def test_attached_database_warns_once(self):
+        from repro import Database
+
+        db = example_movie_database()
+        session = Database.in_memory(db)
+        caught, _ = _count_deprecations([
+            lambda: db.add_triple("a", "p", "b"),
+            lambda: db.add_triple("a", "p", "c"),
+        ])
+        assert len(caught) == 1
+        message = str(caught[0].message)
+        assert "Database.add" in message
+        assert "Database.writable" in message
+        del session
+
+    def test_standalone_database_is_silent(self):
+        db = example_movie_database()
+        caught, _ = _count_deprecations([
+            lambda: db.add_triple("a", "p", "b"),
+        ])
+        assert caught == []
+
+    def test_write_api_is_silent(self):
+        from repro import Database
+
+        session = Database.writable(example_movie_database())
+        caught, _ = _count_deprecations([
+            lambda: session.add([("a", "p", "b")]),
+            lambda: session.retract([("a", "p", "b")]),
+        ])
+        assert caught == []

@@ -1,0 +1,63 @@
+"""Updates bench: incremental vs full re-solve on single-edge deltas."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    render_updates_bench,
+    run_updates_bench,
+    write_updates_bench_json,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_updates_bench(
+        lubm_universities=1, queries=["L0", "L3"], deltas_per_query=1
+    )
+
+
+class TestRunUpdatesBench:
+    def test_answers_identical_on_both_paths(self, result):
+        assert result.answers_all_equal
+        assert [row.query for row in result.queries] == ["L0", "L3"]
+
+    def test_timings_positive(self, result):
+        assert result.t_warmup_incremental > 0
+        assert result.t_warmup_full > 0
+        for row in result.queries:
+            assert row.t_incremental > 0 and row.t_full > 0
+            assert row.n_steps == 2  # one delta = one retract + one add
+
+    def test_modes_account_for_every_step(self, result):
+        for row in result.queries:
+            assert sum(row.modes.values()) > 0
+
+    def test_totals(self, result):
+        assert result.total_incremental == pytest.approx(
+            sum(row.t_incremental for row in result.queries)
+        )
+        assert result.total_full == pytest.approx(
+            sum(row.t_full for row in result.queries)
+        )
+        assert result.total_speedup > 0
+
+
+class TestRendering:
+    def test_render_mentions_queries_and_workload(self, result):
+        text = render_updates_bench(result)
+        assert "L0" in text and "L3" in text
+        assert "incremental" in text
+
+    def test_json_schema(self, result, tmp_path):
+        path = tmp_path / "updates.json"
+        write_updates_bench_json(path, result)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-updates-bench/v1"
+        assert doc["answers_all_equal"] is True
+        assert {row["query"] for row in doc["queries"]} == {"L0", "L3"}
+        for row in doc["queries"]:
+            assert row["t_incremental"] > 0
+            assert row["t_full"] > 0
+            assert isinstance(row["modes"], dict)

@@ -1,0 +1,227 @@
+"""Incremental fixpoint maintenance: cone, seeds, cache, mode logic.
+
+The cone of influence must over-approximate every variable a delta
+can re-activate (soundness of reuse), the cascade must converge to
+the same gfp as a cold solve (bit-identity), and the solver driver
+must pick reuse/cascade/fallback/cold exactly per the documented
+rules.
+"""
+
+import pytest
+
+from repro.core import SolverOptions, solve
+from repro.core.incremental import (
+    CacheEntry,
+    FixpointCache,
+    IncrementalSolver,
+    cascade_seeds,
+    cone_of_influence,
+)
+from repro.api.backend import InMemoryBackend
+from repro.core.soi import SystemOfInequalities
+from repro.graph import example_movie_database
+from repro.obs.metrics import registry
+from repro.store.overlay import OverlayGraphView
+
+
+def _chain_soi():
+    """a -p-> b -q-> c (dual): the bidirectional-inequality shape."""
+    soi = SystemOfInequalities()
+    a = soi.new_variable("a")
+    b = soi.new_variable("b")
+    c = soi.new_variable("c")
+    soi.add_edge_constraint(a, "p", b)
+    soi.add_edge_constraint(b, "q", c)
+    return soi, (a, b, c)
+
+
+def _two_components_soi():
+    """a -p-> b and c -q-> d, disconnected."""
+    soi = SystemOfInequalities()
+    a = soi.new_variable("a")
+    b = soi.new_variable("b")
+    c = soi.new_variable("c")
+    d = soi.new_variable("d")
+    soi.add_edge_constraint(a, "p", b)
+    soi.add_edge_constraint(c, "q", d)
+    return soi, (a, b, c, d)
+
+
+class TestConeOfInfluence:
+    def test_connected_query_cones_whole_component(self):
+        # Dual edges put inequalities in both directions, so a delta
+        # on any label of a connected query reaches every variable.
+        soi, (a, b, c) = _chain_soi()
+        assert cone_of_influence(soi, {"p"}) == {a, b, c}
+        assert cone_of_influence(soi, {"q"}) == {a, b, c}
+
+    def test_cone_stays_within_component(self):
+        soi, (a, b, c, d) = _two_components_soi()
+        assert cone_of_influence(soi, {"q"}) == {c, d}
+        assert cone_of_influence(soi, {"p"}) == {a, b}
+
+    def test_untouched_labels_give_empty_cone(self):
+        soi, _ = _chain_soi()
+        assert cone_of_influence(soi, {"unrelated"}) == set()
+        assert cascade_seeds(soi, set()) == []
+
+    def test_plain_simulation_edge_cones_one_direction(self):
+        # dual=False keeps only the backward inequality (target=a),
+        # and nothing has source a, so the cone is just {a}.
+        soi = SystemOfInequalities()
+        a = soi.new_variable("a")
+        b = soi.new_variable("b")
+        soi.add_edge_constraint(a, "p", b, dual=False)
+        assert cone_of_influence(soi, {"p"}) == {a}
+
+    def test_copy_inequalities_participate_in_closure(self):
+        soi = SystemOfInequalities()
+        a = soi.new_variable("a")
+        b = soi.new_variable("b")
+        s = soi.new_variable("b_Q2")
+        soi.add_edge_constraint(a, "p", b, dual=False)
+        soi.add_copy_constraint(target=s, source=a)
+        # a seeds the cone; the label-less copy a -> s drags s in.
+        assert cone_of_influence(soi, {"p"}) == {a, s}
+
+    def test_cone_respects_unification(self):
+        soi, (a, b, c, d) = _two_components_soi()
+        root = soi.union(b, c)
+        cone = cone_of_influence(soi, {"p"})
+        # Unifying b with c bridges the components.
+        assert cone == {soi.find(v) for v in (a, b, c, d)}
+        assert root in cone
+
+    def test_cascade_seeds_cover_in_cone_targets(self):
+        soi, (a, b, c) = _chain_soi()
+        cone = cone_of_influence(soi, {"p"})
+        seeds = cascade_seeds(soi, cone)
+        assert seeds == [0, 1, 2, 3]  # every inequality: full cone
+        partial = cascade_seeds(_two_components_soi()[0], {2, 3})
+        assert partial == [2, 3]  # only the q-component's inequalities
+
+
+class TestFixpointCache:
+    def test_entry_identity_and_len(self):
+        cache = FixpointCache()
+        assert len(cache) == 0
+        e1 = cache.entry("SELECT ...")
+        assert cache.entry("SELECT ...") is e1
+        assert len(cache) == 1
+        cache.entry("SELECT other")
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_fresh_entry_is_cold(self):
+        entry = FixpointCache().entry("q")
+        assert entry.epoch == -1
+        assert entry.branches == {}
+
+
+def _directed_soi():
+    soi = SystemOfInequalities()
+    d = soi.new_variable("?d")
+    m = soi.new_variable("?m")
+    soi.add_edge_constraint(d, "directed", m)
+    return soi
+
+
+def _rows(result):
+    return {vid: row.to_frozenset() for vid, row in result._rows.items()}
+
+
+def _mode_count(mode):
+    return registry().counter(
+        f"incremental_{mode}s_total"
+        if mode != "cold"
+        else "incremental_cold_solves_total"
+    ).value
+
+
+class TestIncrementalSolver:
+    @pytest.fixture
+    def view(self):
+        return OverlayGraphView(InMemoryBackend(example_movie_database()))
+
+    def _solver(self, fraction=1.0):
+        return IncrementalSolver(CacheEntry(), fallback_fraction=fraction)
+
+    def test_first_solve_is_cold_then_reuse(self, view):
+        soi = _directed_soi()
+        solver = self._solver()
+        r1 = solver.solve_branch(0, soi, view, SolverOptions())
+        assert solver.last_mode == "cold"
+        assert r1.complete
+        r2 = solver.solve_branch(0, soi, view, SolverOptions())
+        assert solver.last_mode == "reuse"
+        assert _rows(r2) == _rows(r1)
+
+    def test_cascade_is_bit_identical_to_cold(self, view):
+        soi = _directed_soi()
+        solver = self._solver(fraction=1.0)
+        solver.solve_branch(0, soi, view, SolverOptions())
+        view.apply(retracts=[("G. Hamilton", "directed", "Goldfinger")])
+        before = _mode_count("cascade")
+        incremental = solver.solve_branch(0, soi, view, SolverOptions())
+        assert solver.last_mode == "cascade"
+        assert _mode_count("cascade") == before + 1
+        cold = solve(_directed_soi(), view, SolverOptions())
+        assert _rows(incremental) == _rows(cold)
+
+    def test_cascade_under_dynamic_ordering(self, view):
+        soi = _directed_soi()
+        options = SolverOptions(ordering="dynamic")
+        solver = self._solver(fraction=1.0)
+        solver.solve_branch(0, soi, view, options)
+        view.apply(retracts=[("G. Hamilton", "directed", "Goldfinger")])
+        incremental = solver.solve_branch(0, soi, view, options)
+        assert solver.last_mode == "cascade"
+        assert _rows(incremental) == _rows(solve(_directed_soi(), view, options))
+
+    def test_irrelevant_delta_cascades_with_empty_worklist(self, view):
+        soi = _directed_soi()
+        solver = self._solver(fraction=0.0)  # any seed would fall back
+        r1 = solver.solve_branch(0, soi, view, SolverOptions())
+        view.apply(retracts=[("B. De Palma", "awarded", "Oscar")])
+        r2 = solver.solve_branch(0, soi, view, SolverOptions())
+        assert solver.last_mode == "cascade"  # empty cone, zero seeds
+        assert _rows(r2) == _rows(r1)
+
+    def test_large_cone_falls_back(self, view):
+        soi = _directed_soi()
+        solver = self._solver(fraction=0.0)
+        solver.solve_branch(0, soi, view, SolverOptions())
+        view.apply(retracts=[("G. Hamilton", "directed", "Goldfinger")])
+        before = _mode_count("fallback")
+        result = solver.solve_branch(0, soi, view, SolverOptions())
+        assert solver.last_mode == "fallback"
+        assert _mode_count("fallback") == before + 1
+        assert _rows(result) == _rows(solve(_directed_soi(), view, SolverOptions()))
+
+    def test_node_growth_resolves_cold(self, view):
+        soi = _directed_soi()
+        solver = self._solver()
+        solver.solve_branch(0, soi, view, SolverOptions())
+        view.apply(adds=[("New Director", "directed", "New Movie")])
+        result = solver.solve_branch(0, soi, view, SolverOptions())
+        assert solver.last_mode == "cold"
+        assert _rows(result) == _rows(solve(_directed_soi(), view, SolverOptions()))
+
+    def test_recompiled_roots_resolve_cold(self, view):
+        solver = self._solver()
+        solver.solve_branch(0, _chain_soi()[0], view, SolverOptions())
+        # Same branch number, structurally different SOI: cached row
+        # keys no longer match the canonical roots.
+        solver.solve_branch(0, _directed_soi(), view, SolverOptions())
+        assert solver.last_mode == "cold"
+
+    def test_incomplete_results_never_cached(self, view):
+        soi = _directed_soi()
+        solver = self._solver()
+        solver.solve_branch(0, soi, view, SolverOptions())
+        assert 0 in solver.entry.branches
+        # Simulate a suspended trajectory having evicted the branch.
+        solver.entry.branches.pop(0)
+        solver.solve_branch(0, soi, view, SolverOptions())
+        assert solver.last_mode == "cold"

@@ -1,0 +1,140 @@
+"""Integration tests for `repro db compact` and `repro bench updates`."""
+
+import io
+import json
+
+import pytest
+
+import repro.bench as bench_module
+from repro import Database
+from repro.bench import UpdateQueryRow, UpdatesBenchResult
+from repro.cli import main
+from repro.graph import GraphDatabase, example_movie_database
+from repro.graph.io import save_ntriples
+
+X1 = ("SELECT * WHERE { ?director directed ?movie . "
+      "?director worked_with ?coworker . }")
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def movie_snap(tmp_path):
+    nt = tmp_path / "movies.nt"
+    save_ntriples(example_movie_database(), nt)
+    path = tmp_path / "movies.snap"
+    code, _ = run_cli(["db", "build", str(nt), "-o", str(path)])
+    assert code == 0
+    return str(path)
+
+
+def _nt_file(tmp_path, name, triples):
+    path = tmp_path / name
+    save_ntriples(GraphDatabase.from_triples(triples), path)
+    return str(path)
+
+
+class TestDbCompact:
+    def test_compact_with_add_and_retract(self, movie_snap, tmp_path):
+        add = _nt_file(tmp_path, "add.nt", [
+            ("Q. Tarantino", "directed", "Pulp Fiction"),
+            ("Q. Tarantino", "worked_with", "S. L. Jackson"),
+        ])
+        retract = _nt_file(tmp_path, "retract.nt", [
+            ("B. De Palma", "worked_with", "D. Koepp"),
+        ])
+        out_path = tmp_path / "edited.snap"
+        code, output = run_cli([
+            "db", "compact", movie_snap, "-o", str(out_path),
+            "--add", add, "--retract", retract,
+        ])
+        assert code == 0
+        assert "applied +2/-1 triples" in output
+        assert "21 triples" in output
+        db = Database.open(out_path, cached=False)
+        try:
+            rows = sorted(repr(r) for r in db.query(X1).rows())
+            assert any("Tarantino" in r for r in rows)
+            assert not any("D. Koepp" in r for r in rows)
+        finally:
+            db.close()
+
+    def test_compact_without_deltas_rewrites(self, movie_snap, tmp_path):
+        out_path = tmp_path / "copy.snap"
+        code, output = run_cli([
+            "db", "compact", movie_snap, "-o", str(out_path),
+        ])
+        assert code == 0
+        assert "applied +0/-0 triples" in output
+        assert "20 triples" in output
+
+    def test_compact_cold_threshold_flag(self, movie_snap, tmp_path):
+        out_path = tmp_path / "cold.snap"
+        code, _ = run_cli([
+            "db", "compact", movie_snap, "-o", str(out_path),
+            "--cold-threshold", "1e9",
+        ])
+        assert code == 0
+        code, output = run_cli(["db", "info", str(out_path)])
+        assert code == 0
+
+    def test_compact_missing_snapshot_exits_1(self, tmp_path):
+        # Matches `db query` on a missing snapshot: a ReproError.
+        code, _ = run_cli([
+            "db", "compact", str(tmp_path / "nope.snap"),
+            "-o", str(tmp_path / "out.snap"),
+        ])
+        assert code == 1
+
+
+def _fake_updates_result(equal=True):
+    return UpdatesBenchResult(
+        lubm_universities=2,
+        deltas_per_query=3,
+        engine="virtuoso-like",
+        t_warmup_incremental=0.01,
+        t_warmup_full=0.01,
+        queries=[
+            UpdateQueryRow(
+                query="L0",
+                n_steps=6,
+                t_incremental=0.002,
+                t_full=0.02,
+                answers_equal=equal,
+                modes={"cascades": 4, "fallbacks": 2},
+            )
+        ],
+    )
+
+
+class TestBenchUpdatesCli:
+    def test_renders_and_writes_json(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            bench_module, "run_updates_bench",
+            lambda: _fake_updates_result(),
+        )
+        json_path = tmp_path / "updates.json"
+        code, output = run_cli([
+            "bench", "updates", "--json", str(json_path),
+        ])
+        assert code == 0
+        assert "L0" in output
+        doc = json.loads(json_path.read_text())
+        assert doc["schema"] == "repro-updates-bench/v1"
+
+    def test_answer_divergence_exits_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            bench_module, "run_updates_bench",
+            lambda: _fake_updates_result(equal=False),
+        )
+        code, _ = run_cli(["bench", "updates"])
+        assert code == 1
+        assert "differ" in capsys.readouterr().err
+
+    def test_repeats_flag_rejected(self):
+        code, _ = run_cli(["bench", "updates", "--repeats", "2"])
+        assert code == 2

@@ -1,0 +1,56 @@
+"""Write gating over the wire: remote sessions are read-only, and
+`UnsupportedOperationError` travels as HTTP 405."""
+
+import pytest
+
+from repro.api.database import Database
+from repro.errors import UnsupportedOperationError
+from repro.serve import ReproServer, ServeConfig
+
+
+class TestRemoteSessionGating:
+    def test_remote_capabilities(self, movie_server):
+        caps = Database.connect(movie_server.url).capabilities()
+        assert caps.remote
+        assert not caps.writable
+
+    def test_add_raises_locally(self, movie_server):
+        remote = Database.connect(movie_server.url)
+        with pytest.raises(UnsupportedOperationError) as err:
+            remote.add([("a", "p", "b")])
+        assert "Database.writable()" in str(err.value)
+        with pytest.raises(UnsupportedOperationError):
+            remote.retract([("a", "p", "b")])
+        with pytest.raises(UnsupportedOperationError):
+            remote.compact("/tmp/never-written.snap")
+
+
+class TestWireMapping:
+    @pytest.fixture
+    def gated_server(self, movie_db, monkeypatch):
+        """A server whose session refuses every query with the typed
+        unsupported-operation error (stand-in for any future write-ish
+        endpoint a backend cannot serve)."""
+        db = Database.in_memory(movie_db)
+
+        def refuse(*args, **kwargs):
+            raise UnsupportedOperationError("writes are not supported here")
+
+        monkeypatch.setattr(db, "query", refuse)
+        server = ReproServer(db, ServeConfig(port=0, quantum_ms=10_000.0))
+        server.start()
+        yield server
+        server.stop()
+
+    def test_server_maps_to_405(self, gated_server, http):
+        status, body = http(
+            gated_server.url + "/query", {"query": "ASK { ?a p ?b . }"}
+        )
+        assert status == 405
+        assert body["error"]["code"] == "unsupported_operation"
+        assert "not supported" in body["error"]["message"]
+
+    def test_client_raises_typed_error(self, gated_server):
+        remote = Database.connect(gated_server.url)
+        with pytest.raises(UnsupportedOperationError):
+            list(remote.query("SELECT * WHERE { ?a p ?b . }"))

@@ -1,0 +1,83 @@
+"""Sharded snapshots + parallel solve: one knob, identical answers.
+
+Since PR 10 a snapshot can split its block payloads across shard
+files (``write_snapshot(..., shards=N)`` / ``db build --shards N``)
+and a session can evaluate the batched kernel's hazard-free flush
+runs in parallel (``ExecutionProfile(workers=N)`` / ``--workers N``):
+
+1. build a 4-shard LUBM snapshot — each shard carries its own
+   checksum table, and both directions of a label share a shard;
+2. solve the same query serially and at several worker widths, in
+   thread mode and (snapshot-backed only) fork mode, where each
+   worker process mmaps just its own shards;
+3. the point: parallelism is a *pure throughput knob* — answers and
+   every solver work counter are bit-identical to the serial run, so
+   the only thing that may change is the wall clock.
+
+Run: ``PYTHONPATH=src python examples/parallel_solve.py``
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import Database, ExecutionProfile
+from repro.core import parallel
+from repro.storage import write_snapshot
+from repro.workloads import LUBM_QUERIES, generate_lubm
+
+QUERY = LUBM_QUERIES["L0"]
+
+
+def run(path, workers, mode):
+    profile = ExecutionProfile(
+        kernel="batched", pruning="pruned",
+        workers=workers, worker_mode=mode,
+    )
+    db = Database.open(path, profile=profile, cached=False)
+    try:
+        start = time.perf_counter()
+        outcome = db.simulate(QUERY)
+        elapsed = time.perf_counter() - start
+        report = outcome.branches[0].report
+        return elapsed, (report.rounds, report.evaluations,
+                         report.updates, report.bits_removed)
+    finally:
+        db.close()
+
+
+def main():
+    # Tiny example graphs never reach the 4096-row parallel floor;
+    # drop it so the parallel paths actually engage.
+    old_floor = parallel.MIN_PARALLEL_ROWS
+    parallel.MIN_PARALLEL_ROWS = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "lubm.snap"
+        report = write_snapshot(
+            generate_lubm(n_universities=2, seed=7), path, shards=4
+        )
+        sizes = ", ".join(
+            f"{n} B" for n in report.shard_bytes.values()
+        )
+        print(f"built {path.name}: {report.n_shards} shards ({sizes})")
+
+        t_serial, counters = run(path, workers=1, mode="threads")
+        print(f"\nserial:            {t_serial * 1000:7.1f} ms  "
+              f"(rounds/evals/updates/bits = {counters})")
+
+        for workers, mode in ((2, "threads"), (4, "threads"),
+                              (2, "fork"), (4, "fork")):
+            t, c = run(path, workers, mode)
+            assert c == counters, "parallel must be bit-identical"
+            print(f"workers={workers} {mode:7s}: {t * 1000:7.1f} ms  "
+                  "(identical trajectory)")
+
+        print("\nEvery width and mode reproduced the serial solve "
+              "exactly; speedups need multi-core hardware and "
+              "snapshot-scale graphs, correctness needs neither.")
+        parallel.shutdown_pools()
+        parallel.MIN_PARALLEL_ROWS = old_floor
+
+
+if __name__ == "__main__":
+    main()

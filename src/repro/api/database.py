@@ -21,6 +21,8 @@ session code runs over memory or snapshot storage byte-identically.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 import weakref
 from dataclasses import dataclass, field
@@ -74,12 +76,33 @@ ProfileLike = Union[ExecutionProfile, str, None]
 #: snapshot never serves stale blocks.
 _OPEN_CACHE: Dict[Tuple[str, int, int], SnapshotBackend] = {}
 
+#: Guards every _OPEN_CACHE access.  Held across backend construction
+#: in :meth:`Database.open` so two threads racing to open the same
+#: snapshot share one backend instead of leaking a second mmap.
+_OPEN_CACHE_LOCK = threading.Lock()
+
 
 def clear_open_cache() -> None:
     """Close and forget every cached snapshot backend."""
-    while _OPEN_CACHE:
-        _, backend = _OPEN_CACHE.popitem()
+    with _OPEN_CACHE_LOCK:
+        backends = list(_OPEN_CACHE.values())
+        _OPEN_CACHE.clear()
+    for backend in backends:
         backend.close()
+
+
+def _open_cache_after_fork() -> None:
+    # A forked child inherits the parent's cache entries, but their
+    # mmaps/fds and the cache lock's state belong to the parent:
+    # closing them here would yank pages out from under it.  Drop the
+    # references (the parent still owns the real handles) and start
+    # from a fresh, guaranteed-unlocked lock.
+    global _OPEN_CACHE_LOCK
+    _OPEN_CACHE_LOCK = threading.Lock()
+    _OPEN_CACHE.clear()
+
+
+os.register_at_fork(after_in_child=_open_cache_after_fork)
 
 
 @dataclass
@@ -205,11 +228,31 @@ class Database:
                 key = (str(path.resolve()), stat.st_mtime_ns, stat.st_size)
             except OSError:
                 key = None  # let SnapshotReader raise its own error
-        backend = _OPEN_CACHE.get(key) if key is not None else None
-        if backend is None:
-            backend = SnapshotBackend(path)
-            if key is not None:
+        if key is None:
+            db = cls(SnapshotBackend(path), profile)
+            db._cache_key = None
+            return db
+        evicted = []
+        with _OPEN_CACHE_LOCK:
+            backend = _OPEN_CACHE.get(key)
+            if backend is None:
+                # Held across construction on purpose: two threads
+                # racing to open the same snapshot must share one
+                # backend, not leak a second mmap (check-then-insert
+                # was unlocked before PR 10).
+                backend = SnapshotBackend(path)
+                # A rebuilt snapshot gets a new (mtime, size) key; the
+                # entry under the old key would otherwise pin its mmap
+                # for the life of the process.  Evict same-path
+                # predecessors now.
+                for old in [
+                    k for k in _OPEN_CACHE
+                    if k[0] == key[0] and k != key
+                ]:
+                    evicted.append(_OPEN_CACHE.pop(old))
                 _OPEN_CACHE[key] = backend
+        for stale_backend in evicted:
+            stale_backend.close()
         db = cls(backend, profile)
         db._cache_key = key
         return db
@@ -451,7 +494,7 @@ class Database:
 
             self._pipeline = PruningPipeline(
                 profile=self.profile.engine,
-                solver_options=self.profile.solver,
+                solver_options=self.profile.solver_options(),
                 backend=self.backend,
             )
         return self._pipeline
@@ -791,7 +834,7 @@ class Database:
             for number, compiled in enumerate(compile_query(query)):
                 solved = solve(
                     compiled.soi, self.backend.graph,
-                    self.profile.solver, limits=limits,
+                    self.profile.solver_options(), limits=limits,
                 )
                 candidates: Dict[str, Tuple[Hashable, ...]] = {}
                 for variable in sorted(compiled.variables(), key=str):
@@ -904,7 +947,8 @@ class Database:
         """Release backend resources (and evict a cached snapshot
         backend from the open-cache)."""
         if self._cache_key is not None:
-            _OPEN_CACHE.pop(self._cache_key, None)
+            with _OPEN_CACHE_LOCK:
+                _OPEN_CACHE.pop(self._cache_key, None)
             self._cache_key = None
         self.backend.close()
 

@@ -18,6 +18,7 @@ latencies from sub-millisecond to ten seconds; integer-ish series
 from __future__ import annotations
 
 import bisect
+import os
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -185,6 +186,19 @@ class MetricsRegistry:
 
 #: The process-wide registry all engine hooks record into.
 _REGISTRY = MetricsRegistry()
+
+
+def _registry_after_fork() -> None:
+    # fork() can land while another thread holds the registry lock;
+    # the child inherits it locked with no owner to release it, and
+    # the first metrics hook in the child deadlocks.  Locks are not
+    # fork-inheritable state — reinitialize.  Instrument values are
+    # plain ints/lists and copy over consistently enough for a
+    # monitoring surface.
+    _REGISTRY._lock = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_registry_after_fork)
 
 
 def registry() -> MetricsRegistry:

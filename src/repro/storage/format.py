@@ -1,4 +1,4 @@
-"""Binary layout of the on-disk snapshot format (``repro-snap`` v1/v2).
+"""Binary layout of the on-disk snapshot format (``repro-snap`` v1-v3).
 
 A snapshot is a single file holding a dictionary-encoded graph
 database in an mmap-friendly layout: a fixed header, the two term
@@ -53,13 +53,46 @@ payload lazily on first access; a mismatch raises
 :class:`~repro.errors.SnapshotCorruptError`.  v1 files carry no table
 (``flags`` bit 0 clear) and stay readable, unchecksummed.
 
+Format **v3** (written on request by ``repro db build --shards N``)
+splits the block payloads across ``N`` *shard files* keyed by label
+hash — ``<snapshot>.shard0`` .. ``<snapshot>.shardN-1`` next to the
+manifest — so parallel workers can memory-map disjoint subsets of the
+graph.  The v3 header appends ``n_shards`` (u64) after
+``checksum_table_off`` and sets ``flags`` bit 1
+(:data:`FLAG_SHARDED`).  The manifest keeps the metadata sections
+(header, dictionaries, block table) and a checksum table covering
+*only* those four sections; each shard file carries its **own**
+trailing checksum table covering the shard header and every payload
+it holds, so a single shard verifies in isolation.  A shard file is::
+
+    shard header | payloads (8-aligned) | checksum table
+
+with a 32-byte shard header::
+
+    magic       8s   b"REPROSHD"
+    version     u32  3
+    shard_index u32  which shard this file is
+    n_payloads  u64  blocks stored here
+    table_off   u64  absolute offset of the shard's checksum table
+
+Both directions of a label land in the same shard
+(:func:`shard_of_label` — a CRC32C of the label name modulo
+``n_shards``, stable across processes and runs), preserving the
+per-(label, direction) block-table boundaries as natural shard
+boundaries.  A v3 manifest with ``n_shards=0`` is a plain single-file
+snapshot, identical in layout to v2 apart from the longer header.
+
 Each block-table entry is 40 bytes::
 
     label_id  u32   index into the predicate dictionary
     direction u8    0 = forward, 1 = backward
     encoding  u8    0 = dense, 1 = gap
-    reserved  u16   0
+    shard     u16   shard file index (0, and ignored, unless sharded)
     n_rows, n_edges, payload_off, payload_len           4 x u64
+
+``payload_off`` is an absolute offset into the manifest for
+single-file snapshots and into shard file ``shard`` for sharded
+ones.
 
 Terms are serialized as a tag byte, a ``u32`` byte length, and a
 UTF-8 payload.  The tag records whether the term is a plain node name
@@ -72,6 +105,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Hashable, List, Tuple
 
 from repro.errors import SnapshotCorruptError, SnapshotError
@@ -81,18 +115,29 @@ from repro.storage.checksum import crc32c
 MAGIC = b"REPROSNP"
 VERSION = 2
 VERSION_V1 = 1
-SUPPORTED_VERSIONS = (VERSION_V1, VERSION)
+VERSION_V3 = 3
+SUPPORTED_VERSIONS = (VERSION_V1, VERSION, VERSION_V3)
 
 HEADER = struct.Struct("<8sII9Q")       # v1 (no checksum_table_off)
 HEADER_V2 = struct.Struct("<8sII10Q")
+HEADER_V3 = struct.Struct("<8sII11Q")   # v2 + n_shards
 BLOCK_ENTRY = struct.Struct("<IBBHQQQQ")
 
 #: Header ``flags`` bit 0: the file carries a checksum table.
 FLAG_CHECKSUMS = 1
+#: Header ``flags`` bit 1 (v3): payloads live in shard files.
+FLAG_SHARDED = 2
 
 CHECKSUM_MAGIC = b"CRCS"
 CHECKSUM_ALGO_CRC32C = 1
 CHECKSUM_HEADER = struct.Struct("<4sHHQ")
+
+SHARD_MAGIC = b"REPROSHD"
+SHARD_HEADER = struct.Struct("<8sIIQQ")
+
+#: Hard cap on shard files per snapshot (the block entry's shard
+#: field is a u16; anything near it is a misconfiguration anyway).
+MAX_SHARDS = 4096
 
 DIRECTION_FORWARD = 0
 DIRECTION_BACKWARD = 1
@@ -131,14 +176,23 @@ class Header:
     block_table_off: int
     version: int = VERSION
     checksum_table_off: int = 0   # 0 for v1 (no table)
+    n_shards: int = 0             # v3 only; 0 = single-file layout
 
     @property
     def size(self) -> int:
-        return HEADER.size if self.version == VERSION_V1 else HEADER_V2.size
+        if self.version == VERSION_V1:
+            return HEADER.size
+        if self.version == VERSION_V3:
+            return HEADER_V3.size
+        return HEADER_V2.size
 
     @property
     def has_checksums(self) -> bool:
         return self.checksum_table_off != 0
+
+    @property
+    def sharded(self) -> bool:
+        return self.n_shards > 0
 
     def pack(self) -> bytes:
         if self.version == VERSION_V1:
@@ -150,8 +204,21 @@ class Header:
                 self.preds_len,
                 self.block_table_off,
             )
+        flags = FLAG_CHECKSUMS if self.has_checksums else 0
+        if self.version == VERSION_V3:
+            if self.sharded:
+                flags |= FLAG_SHARDED
+            return HEADER_V3.pack(
+                MAGIC, VERSION_V3, flags,
+                self.n_nodes, self.n_predicates, self.n_triples,
+                self.n_blocks,
+                self.nodes_off, self.nodes_len, self.preds_off,
+                self.preds_len,
+                self.block_table_off, self.checksum_table_off,
+                self.n_shards,
+            )
         return HEADER_V2.pack(
-            MAGIC, VERSION, FLAG_CHECKSUMS if self.has_checksums else 0,
+            MAGIC, VERSION, flags,
             self.n_nodes, self.n_predicates, self.n_triples, self.n_blocks,
             self.nodes_off, self.nodes_len, self.preds_off, self.preds_len,
             self.block_table_off, self.checksum_table_off,
@@ -175,10 +242,31 @@ class Header:
                 f"(this build reads versions {SUPPORTED_VERSIONS})"
             )
         checksum_table_off = 0
+        n_shards = 0
         if version == VERSION_V1:
             (_magic, _version, _flags, n_nodes, n_predicates, n_triples,
              n_blocks, nodes_off, nodes_len, preds_off, preds_len,
              block_table_off) = HEADER.unpack_from(buffer, 0)
+        elif version == VERSION_V3:
+            if len(buffer) < HEADER_V3.size:
+                raise SnapshotError(
+                    f"truncated snapshot: {len(buffer)} bytes, "
+                    f"v3 header needs {HEADER_V3.size}"
+                )
+            (_magic, _version, flags, n_nodes, n_predicates, n_triples,
+             n_blocks, nodes_off, nodes_len, preds_off, preds_len,
+             block_table_off, checksum_table_off,
+             n_shards) = HEADER_V3.unpack_from(buffer, 0)
+            if bool(flags & FLAG_SHARDED) != (n_shards > 0):
+                raise SnapshotError(
+                    f"inconsistent v3 header: flags {flags:#x} vs "
+                    f"n_shards {n_shards}"
+                )
+            if n_shards > MAX_SHARDS:
+                raise SnapshotError(
+                    f"snapshot claims {n_shards} shards "
+                    f"(limit {MAX_SHARDS})"
+                )
         else:
             if len(buffer) < HEADER_V2.size:
                 raise SnapshotError(
@@ -196,6 +284,7 @@ class Header:
             preds_off=preds_off, preds_len=preds_len,
             block_table_off=block_table_off,
             version=version, checksum_table_off=checksum_table_off,
+            n_shards=n_shards,
         )
 
 
@@ -210,16 +299,17 @@ class BlockEntry:
     n_edges: int
     payload_off: int
     payload_len: int
+    shard: int = 0   # shard file index; 0 and ignored when single-file
 
     def pack(self) -> bytes:
         return BLOCK_ENTRY.pack(
-            self.label_id, self.direction, self.encoding, 0,
+            self.label_id, self.direction, self.encoding, self.shard,
             self.n_rows, self.n_edges, self.payload_off, self.payload_len,
         )
 
     @classmethod
     def unpack_from(cls, buffer, offset: int) -> "BlockEntry":
-        (label_id, direction, encoding, _reserved,
+        (label_id, direction, encoding, shard,
          n_rows, n_edges, payload_off, payload_len) = BLOCK_ENTRY.unpack_from(
             buffer, offset
         )
@@ -231,6 +321,7 @@ class BlockEntry:
             label_id=label_id, direction=direction, encoding=encoding,
             n_rows=n_rows, n_edges=n_edges,
             payload_off=payload_off, payload_len=payload_len,
+            shard=shard,
         )
 
 
@@ -355,3 +446,66 @@ def unpack_checksum_table(buffer, offset: int) -> List[int]:
             section="checksum table",
         )
     return list(struct.unpack_from(f"<{n_entries}I", buffer, end))
+
+
+# -- shard files (v3) --------------------------------------------------------
+
+
+def shard_of_label(label: Hashable, n_shards: int) -> int:
+    """Which shard file holds the payloads of ``label``.
+
+    CRC32C of the label's serialized term, modulo ``n_shards`` — stable
+    across processes and Python hash randomization, so a fork worker
+    computes the same placement the writer did.  Both directions of a
+    label share its shard by construction.
+    """
+    if n_shards <= 0:
+        raise SnapshotError(f"shard_of_label needs n_shards >= 1, got {n_shards}")
+    return crc32c(encode_term(label)) % n_shards
+
+
+def shard_path(manifest_path, index: int) -> Path:
+    """Path of shard file ``index`` next to the manifest."""
+    path = Path(manifest_path)
+    return path.parent / f"{path.name}.shard{index}"
+
+
+def pack_shard_header(shard_index: int, n_payloads: int,
+                      table_off: int) -> bytes:
+    return SHARD_HEADER.pack(
+        SHARD_MAGIC, VERSION_V3, shard_index, n_payloads, table_off
+    )
+
+
+def unpack_shard_header(buffer, shard_index: int) -> Tuple[int, int]:
+    """Validate a shard file's header; returns ``(n_payloads, table_off)``.
+
+    ``shard_index`` is the index the manifest expects at this path; a
+    mismatch means shard files were shuffled or overwritten.
+    """
+    if len(buffer) < SHARD_HEADER.size:
+        raise SnapshotCorruptError(
+            f"shard {shard_index} truncated: {len(buffer)} bytes, "
+            f"header needs {SHARD_HEADER.size}",
+            section=f"shard {shard_index} header",
+        )
+    magic, version, stored_index, n_payloads, table_off = (
+        SHARD_HEADER.unpack_from(buffer, 0)
+    )
+    if magic != SHARD_MAGIC:
+        raise SnapshotCorruptError(
+            f"not a repro shard file (bad magic {magic!r})",
+            section=f"shard {shard_index} header",
+        )
+    if version != VERSION_V3:
+        raise SnapshotCorruptError(
+            f"unsupported shard version {version}",
+            section=f"shard {shard_index} header",
+        )
+    if stored_index != shard_index:
+        raise SnapshotCorruptError(
+            f"shard file claims index {stored_index}, "
+            f"manifest expects {shard_index}",
+            section=f"shard {shard_index} header",
+        )
+    return n_payloads, table_off

@@ -40,10 +40,13 @@ from repro.storage.format import (
     ENCODING_GAP,
     ENCODINGS,
     Header,
+    SHARD_HEADER,
     VERSION_V1,
     decode_terms,
     pad8,
+    shard_path,
     unpack_checksum_table,
+    unpack_shard_header,
 )
 
 #: Order of the fixed (non-payload) sections in the checksum table.
@@ -76,6 +79,7 @@ class SnapshotInfo:
     labels: List[LabelBlockInfo]
     version: int = VERSION_V1
     checksummed: bool = False
+    n_shards: int = 0
 
     @property
     def n_hot(self) -> int:
@@ -97,6 +101,7 @@ class SnapshotInfo:
             "n_cold": self.n_cold,
             "version": self.version,
             "checksummed": self.checksummed,
+            "n_shards": self.n_shards,
             "labels": [
                 {
                     "label": i.label,
@@ -188,14 +193,28 @@ class SnapshotReader:
             self._verified: set = set()
             #: (label, direction) -> position in the block table.
             self._block_seq: Dict[Tuple[str, str], int] = {}
+            #: sharded only: (label, direction) -> position among the
+            #: payloads of its shard file (its shard-CRC-table slot is
+            #: that position + 1; slot 0 is the shard header).
+            self._shard_pos: Dict[Tuple[str, str], int] = {}
+            #: shard index -> open mmap / file handle / CRC list,
+            #: filled lazily on first payload touch.
+            self._shard_mms: Dict[int, mmap.mmap] = {}
+            self._shard_handles: Dict[int, object] = {}
+            self._shard_crcs: Dict[int, List[int]] = {}
             if header.has_checksums:
                 self._crcs = unpack_checksum_table(
                     self._mm, header.checksum_table_off
                 )
-                if len(self._crcs) != len(_META_SECTIONS) + header.n_blocks:
+                # Sharded manifests checksum only the metadata
+                # sections — payload CRCs live in the shard files.
+                expected = len(_META_SECTIONS) + (
+                    0 if header.sharded else header.n_blocks
+                )
+                if len(self._crcs) != expected:
                     raise SnapshotCorruptError(
                         f"checksum table has {len(self._crcs)} entries, "
-                        f"expected {len(_META_SECTIONS) + header.n_blocks}",
+                        f"expected {expected}",
                         section="checksum table",
                     )
                 # Metadata is cheap to checksum and about to be
@@ -218,6 +237,7 @@ class SnapshotReader:
             ]
             self._blocks: Dict[Tuple[str, str], BlockEntry] = {}
             offset = header.block_table_off
+            per_shard_count = [0] * header.n_shards
             for position in range(header.n_blocks):
                 entry = BlockEntry.unpack_from(self._mm, offset)
                 offset += BLOCK_ENTRY.size
@@ -230,6 +250,21 @@ class SnapshotReader:
                 key = (label, DIRECTIONS[entry.direction])
                 self._blocks[key] = entry
                 self._block_seq[key] = position
+                if header.sharded:
+                    if entry.shard >= header.n_shards:
+                        raise SnapshotError(
+                            f"block {label}/{key[1]} references shard "
+                            f"{entry.shard} of {header.n_shards}"
+                        )
+                    self._shard_pos[key] = per_shard_count[entry.shard]
+                    per_shard_count[entry.shard] += 1
+            # Fail a sharded open fast when a shard file is gone, not
+            # on the first (arbitrarily later) query that touches it.
+            for index in range(header.n_shards):
+                if not shard_path(self.path, index).exists():
+                    raise SnapshotError(
+                        f"missing shard file {shard_path(self.path, index)}"
+                    )
         except Exception:
             self._mm.close()
             self._file.close()
@@ -250,18 +285,26 @@ class SnapshotReader:
         ]
 
     def _verify_range(
-        self, section: str, start: int, length: int, crc_index: int
+        self, section: str, start: int, length: int, crc_index: int,
+        buffer=None, crcs: Optional[List[int]] = None,
     ) -> None:
-        """Check one byte range against its stored CRC32C."""
+        """Check one byte range against its stored CRC32C.
+
+        Defaults to the manifest mapping and its table; pass a shard
+        mapping + its own CRC list to check a shard-resident range."""
+        if buffer is None:
+            buffer = self._mm
+        if crcs is None:
+            crcs = self._crcs
         end = start + length
-        if end > len(self._mm):
+        if end > len(buffer):
             raise SnapshotCorruptError(
                 f"{section} extends past end of file "
-                f"({end} > {len(self._mm)})",
+                f"({end} > {len(buffer)})",
                 section=section,
             )
-        actual = crc32c(self._mm[start:end])
-        expected = self._crcs[crc_index]
+        actual = crc32c(buffer[start:end])
+        expected = crcs[crc_index]
         if actual != expected:
             raise SnapshotCorruptError(
                 f"{section} failed CRC32C "
@@ -269,9 +312,63 @@ class SnapshotReader:
                 section=section,
             )
 
+    # -- shard files (v3) -----------------------------------------------
+
+    def _shard_mm(self, index: int) -> mmap.mmap:
+        """The mapping of shard ``index``, opened and header-verified
+        on first touch.
+
+        Shards open lazily so a reader that only ever touches a few
+        labels maps only their shards — the point of sharding for the
+        fork worker pool, where each worker faults in a disjoint
+        subset."""
+        mm = self._shard_mms.get(index)
+        if mm is not None:
+            return mm
+        path = shard_path(self.path, index)
+        if not path.exists():
+            raise SnapshotError(f"missing shard file {path}")
+        handle = path.open("rb")
+        try:
+            mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as error:
+            handle.close()
+            raise SnapshotError(
+                f"cannot map shard {path}: {error}"
+            ) from None
+        try:
+            n_payloads, table_off = unpack_shard_header(mm, index)
+            crcs = unpack_checksum_table(mm, table_off)
+            if len(crcs) != 1 + n_payloads:
+                raise SnapshotCorruptError(
+                    f"shard {index} checksum table has {len(crcs)} "
+                    f"entries, expected {1 + n_payloads}",
+                    section=f"shard {index} checksum table",
+                )
+            # Slot 0 covers the shard header itself.
+            self._verify_range(
+                f"shard {index} header", 0, SHARD_HEADER.size, 0,
+                buffer=mm, crcs=crcs,
+            )
+        except Exception:
+            mm.close()
+            handle.close()
+            raise
+        self._shard_mms[index] = mm
+        self._shard_handles[index] = handle
+        self._shard_crcs[index] = crcs
+        return mm
+
+    def _buf(self, entry: BlockEntry):
+        """The buffer holding ``entry``'s payload bytes — the manifest
+        mapping, or the entry's shard mapping when sharded."""
+        if self._header.sharded:
+            return self._shard_mm(entry.shard)
+        return self._mm
+
     def _check_payload(self, label: str, direction: str,
                        entry: BlockEntry) -> None:
-        """Verify a block payload on first access (v2; no-op for v1).
+        """Verify a block payload on first access (v2+; no-op for v1).
 
         Verified payloads are remembered per block — the mapping is
         immutable for the reader's lifetime, so one pass suffices no
@@ -281,27 +378,44 @@ class SnapshotReader:
         position = self._block_seq[(label, direction)]
         if position in self._verified:
             return
-        self._verify_range(
-            f"payload {label}/{direction}",
-            entry.payload_off, entry.payload_len,
-            len(_META_SECTIONS) + position,
-        )
+        if self._header.sharded:
+            self._verify_range(
+                f"payload {label}/{direction}",
+                entry.payload_off, entry.payload_len,
+                1 + self._shard_pos[(label, direction)],
+                buffer=self._shard_mm(entry.shard),
+                crcs=self._shard_crcs[entry.shard],
+            )
+        else:
+            self._verify_range(
+                f"payload {label}/{direction}",
+                entry.payload_off, entry.payload_len,
+                len(_META_SECTIONS) + position,
+            )
         self._verified.add(position)
 
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
-        """Release the mapping.  Safe to skip: dropping the reader (and
-        every matrix view served from it) releases the file as well."""
-        try:
-            self._mm.close()
-        except BufferError:
-            # NumPy views into the mapping are still alive; the map is
-            # released when they are garbage collected.
-            pass
-        # The descriptor is independent of the mapping's lifetime:
-        # close it either way so live views never pin an fd.
-        self._file.close()
+        """Release the mappings.  Safe to skip: dropping the reader (and
+        every matrix view served from it) releases the files as well."""
+        maps = [(self._mm, self._file)] + [
+            (self._shard_mms[i], self._shard_handles[i])
+            for i in sorted(self._shard_mms)
+        ]
+        for mm, handle in maps:
+            try:
+                mm.close()
+            except BufferError:
+                # NumPy views into the mapping are still alive; the map
+                # is released when they are garbage collected.
+                pass
+            # The descriptor is independent of the mapping's lifetime:
+            # close it either way so live views never pin an fd.
+            handle.close()
+        self._shard_mms.clear()
+        self._shard_handles.clear()
+        self._shard_crcs.clear()
 
     def __enter__(self) -> "SnapshotReader":
         return self
@@ -313,7 +427,20 @@ class SnapshotReader:
 
     @property
     def file_bytes(self) -> int:
-        return len(self._mm)
+        """Total on-disk bytes: the manifest plus every shard file."""
+        total = len(self._mm)
+        if self._header.sharded:
+            for index in range(self._header.n_shards):
+                try:
+                    total += shard_path(self.path, index).stat().st_size
+                except OSError:
+                    pass
+            return total
+        return total
+
+    @property
+    def n_shards(self) -> int:
+        return self._header.n_shards
 
     @property
     def n_nodes(self) -> int:
@@ -358,14 +485,17 @@ class SnapshotReader:
                 f"no {direction} block for label {label!r}"
             ) from None
 
-    def _array(self, dtype, count: int, offset: int) -> np.ndarray:
+    def _array(self, dtype, count: int, offset: int,
+               buffer=None) -> np.ndarray:
+        if buffer is None:
+            buffer = self._mm
         end = offset + np.dtype(dtype).itemsize * count
-        if end > len(self._mm):
+        if end > len(buffer):
             raise SnapshotError(
                 "block payload extends past end of file "
-                f"({end} > {len(self._mm)})"
+                f"({end} > {len(buffer)})"
             )
-        return np.frombuffer(self._mm, dtype=dtype, count=count,
+        return np.frombuffer(buffer, dtype=dtype, count=count,
                              offset=offset)
 
     def _row_nodes(self, entry: BlockEntry) -> np.ndarray:
@@ -375,7 +505,8 @@ class SnapshotReader:
         (negative wrap-around) or raise a bare NumPy error; corrupt
         files must fail as :class:`SnapshotError` like every other
         malformed-file path."""
-        nodes = self._array(np.int64, entry.n_rows, entry.payload_off)
+        nodes = self._array(np.int64, entry.n_rows, entry.payload_off,
+                            buffer=self._buf(entry))
         if nodes.size and (
             int(nodes.min()) < 0 or int(nodes.max()) >= self.n_nodes
         ):
@@ -407,6 +538,7 @@ class SnapshotReader:
         packed = self._array(
             np.uint64, entry.n_rows * self._n_words,
             entry.payload_off + 8 * entry.n_rows,
+            buffer=self._buf(entry),
         ).reshape(entry.n_rows, self._n_words)
         out = AdjacencyMatrix(n)
         for position, node in enumerate(nodes.tolist()):
@@ -432,13 +564,16 @@ class SnapshotReader:
             )
         n = self.n_nodes
         nodes = self._row_nodes(entry)
+        buffer = self._buf(entry)
         offsets = self._array(
             np.uint64, entry.n_rows + 1,
             entry.payload_off + 8 * entry.n_rows,
+            buffer=buffer,
         )
         runs = self._array(
             np.uint32, int(offsets[-1]) if entry.n_rows else 0,
             entry.payload_off + 8 * entry.n_rows + 8 * (entry.n_rows + 1),
+            buffer=buffer,
         )
         out = GapEncodedMatrix(n)
         bounds = offsets.astype(np.int64)
@@ -507,10 +642,28 @@ class SnapshotReader:
                 self._block_seq.items(), key=lambda kv: kv[1]
             ):
                 entry = self._blocks[key]
-                sections.append(self._checked(
-                    f"payload {key[0]}/{key[1]}",
-                    entry.payload_off, entry.payload_len, meta + position,
-                ))
+                name = f"payload {key[0]}/{key[1]}"
+                if self._header.sharded:
+                    # Opening the shard verifies its header; a missing
+                    # or structurally broken shard file reports as a
+                    # corrupt section, not a raised error.
+                    try:
+                        buffer = self._shard_mm(entry.shard)
+                    except SnapshotError as error:
+                        sections.append(
+                            SectionCheck(name, "corrupt", str(error))
+                        )
+                        continue
+                    sections.append(self._checked(
+                        name, entry.payload_off, entry.payload_len,
+                        1 + self._shard_pos[key],
+                        buffer=buffer, crcs=self._shard_crcs[entry.shard],
+                    ))
+                else:
+                    sections.append(self._checked(
+                        name, entry.payload_off, entry.payload_len,
+                        meta + position,
+                    ))
         else:
             for (label, direction), entry in sorted(
                 self._blocks.items()
@@ -539,10 +692,12 @@ class SnapshotReader:
         )
 
     def _checked(
-        self, section: str, start: int, length: int, crc_index: int
+        self, section: str, start: int, length: int, crc_index: int,
+        buffer=None, crcs: Optional[List[int]] = None,
     ) -> SectionCheck:
         try:
-            self._verify_range(section, start, length, crc_index)
+            self._verify_range(section, start, length, crc_index,
+                               buffer=buffer, crcs=crcs)
         except SnapshotCorruptError as error:
             return SectionCheck(section, "corrupt", str(error))
         return SectionCheck(section, "ok")
@@ -576,6 +731,7 @@ class SnapshotReader:
             labels=labels,
             version=self.version,
             checksummed=self.checksummed,
+            n_shards=self._header.n_shards,
         )
 
     def __repr__(self) -> str:

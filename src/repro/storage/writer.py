@@ -21,7 +21,7 @@ from __future__ import annotations
 import os
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -38,14 +38,21 @@ from repro.storage.format import (
     ENCODING_GAP,
     HEADER,
     HEADER_V2,
+    HEADER_V3,
     Header,
+    MAX_SHARDS,
+    SHARD_HEADER,
     SUPPORTED_VERSIONS,
     VERSION,
     VERSION_V1,
+    VERSION_V3,
     encode_term_section,
     pack_block_table,
     pack_checksum_table,
+    pack_shard_header,
     pad8,
+    shard_of_label,
+    shard_path,
 )
 
 #: Default tier heuristic: a label goes cold when its gap-encoded
@@ -69,6 +76,10 @@ class WriteReport:
     payload_bytes: Dict[str, int] = field(default_factory=dict)
     #: label -> payload bytes had the label been stored dense
     dense_bytes: Dict[str, int] = field(default_factory=dict)
+    #: shard file count (0 = single-file layout)
+    n_shards: int = 0
+    #: shard index -> on-disk bytes of that shard file
+    shard_bytes: Dict[int, int] = field(default_factory=dict)
 
     @property
     def n_hot(self) -> int:
@@ -117,6 +128,7 @@ class SnapshotWriter:
         path: Union[str, Path],
         cold_threshold: float = DEFAULT_COLD_THRESHOLD,
         version: int = VERSION,
+        shards: int = 0,
     ):
         if cold_threshold < 0:
             raise SnapshotError(
@@ -127,9 +139,22 @@ class SnapshotWriter:
                 f"cannot write snapshot version {version} "
                 f"(supported: {SUPPORTED_VERSIONS})"
             )
+        if shards < 0 or shards > MAX_SHARDS:
+            raise SnapshotError(
+                f"shards must be in [0, {MAX_SHARDS}], got {shards}"
+            )
+        if shards > 0:
+            if version == VERSION_V1:
+                raise SnapshotError(
+                    "v1 snapshots cannot be sharded (sharding needs v3)"
+                )
+            # Sharding is what v3 exists for: requesting shards selects
+            # it regardless of the (v2) default version argument.
+            version = VERSION_V3
         self.path = Path(path)
         self.cold_threshold = cold_threshold
         self.version = version
+        self.shards = shards
 
     def write(self, db) -> WriteReport:
         start = time.perf_counter()
@@ -162,6 +187,9 @@ class SnapshotWriter:
             chosen = gap if cold else dense
             payload_bytes[label] = sum(len(p) for p in chosen.values())
             dense_sizes[label] = dense_total
+            shard = (
+                shard_of_label(label, self.shards) if self.shards else 0
+            )
             for direction, matrix in sides:
                 entries.append(
                     BlockEntry(
@@ -172,40 +200,60 @@ class SnapshotWriter:
                         n_edges=matrix.n_edges,
                         payload_off=0,  # patched below
                         payload_len=len(chosen[direction]),
+                        shard=shard,
                     )
                 )
                 payloads.append(chosen[direction])
 
         nodes_section = encode_term_section(names)
         preds_section = encode_term_section(labels)
-        header_size = (
-            HEADER.size if self.version == VERSION_V1 else HEADER_V2.size
-        )
+        if self.version == VERSION_V1:
+            header_size = HEADER.size
+        elif self.version == VERSION_V3:
+            header_size = HEADER_V3.size
+        else:
+            header_size = HEADER_V2.size
         nodes_off = header_size
         preds_off = nodes_off + len(nodes_section)
         block_table_off = preds_off + len(preds_section)
         table_len = len(pack_block_table(entries))
 
-        # Patch absolute payload offsets (payloads are 8-aligned by
-        # construction: dense payloads are whole uint64/int64 arrays
-        # and gap payloads are padded explicitly).
-        cursor = block_table_off + table_len
-        placed: List[BlockEntry] = []
-        for entry, payload in zip(entries, payloads):
+        # Payloads are 8-aligned by construction: dense payloads are
+        # whole uint64/int64 arrays and gap payloads are padded
+        # explicitly.
+        for payload in payloads:
             if len(payload) % 8:
                 raise SnapshotError("internal: unaligned payload")
-            placed.append(
-                BlockEntry(
-                    label_id=entry.label_id,
-                    direction=entry.direction,
-                    encoding=entry.encoding,
-                    n_rows=entry.n_rows,
-                    n_edges=entry.n_edges,
-                    payload_off=cursor,
-                    payload_len=entry.payload_len,
-                )
-            )
-            cursor += len(payload)
+
+        # Patch payload offsets.  Single-file: absolute into the
+        # manifest, right after the block table.  Sharded: per shard
+        # file, right after its 32-byte shard header; the per-shard
+        # cursor walks the shard's payloads in block-table order, so
+        # block -> position-in-shard is recoverable by counting
+        # earlier same-shard entries.
+        placed: List[BlockEntry] = []
+        shard_payloads: List[List[bytes]] = [[] for _ in range(self.shards)]
+        if self.shards:
+            cursors = [SHARD_HEADER.size] * self.shards
+            for entry, payload in zip(entries, payloads):
+                placed.append(replace(entry, payload_off=cursors[entry.shard]))
+                cursors[entry.shard] += len(payload)
+                shard_payloads[entry.shard].append(payload)
+        else:
+            cursor = block_table_off + table_len
+            for entry, payload in zip(entries, payloads):
+                placed.append(replace(entry, payload_off=cursor))
+                cursor += len(payload)
+
+        if self.version == VERSION_V1:
+            checksum_table_off = 0
+        elif self.shards:
+            # Sharded manifest: the table covers only the four
+            # metadata sections and lands right after the block table.
+            checksum_table_off = block_table_off + table_len
+        else:
+            # Single-file: the table lands right after the last payload.
+            checksum_table_off = cursor
 
         header = Header(
             n_nodes=n,
@@ -218,41 +266,69 @@ class SnapshotWriter:
             preds_len=len(preds_section),
             block_table_off=block_table_off,
             version=self.version,
-            # v2 only: the table lands right after the last payload.
-            checksum_table_off=(
-                0 if self.version == VERSION_V1 else cursor
-            ),
+            checksum_table_off=checksum_table_off,
+            n_shards=self.shards,
         )
         header_bytes = header.pack()
         table_bytes = pack_block_table(placed)
-        sections = [header_bytes, nodes_section, preds_section,
-                    table_bytes] + payloads
+        sections = [header_bytes, nodes_section, preds_section, table_bytes]
+        if not self.shards:
+            sections += payloads
         blob = b"".join(sections)
         if self.version != VERSION_V1:
             # Per-section CRC32C: header, nodes, predicates, block
-            # table, then each payload in block-table order — every
-            # byte of the file is covered by exactly one CRC (the
-            # trailing table checksums itself).
+            # table, then (single-file only) each payload in
+            # block-table order — every byte of the file is covered by
+            # exactly one CRC (the trailing table checksums itself).
             blob += pack_checksum_table([crc32c(s) for s in sections])
+
+        # Each shard file carries its own trailing checksum table —
+        # shard header, then its payloads in shard order — so one
+        # shard verifies without touching its siblings.
+        shard_blobs: List[bytes] = []
+        shard_sizes: Dict[int, int] = {}
+        for index in range(self.shards):
+            body = shard_payloads[index]
+            head = pack_shard_header(
+                index, len(body),
+                SHARD_HEADER.size + sum(len(p) for p in body),
+            )
+            shard_sections = [head] + body
+            shard_blob = b"".join(shard_sections)
+            shard_blob += pack_checksum_table(
+                [crc32c(s) for s in shard_sections]
+            )
+            shard_blobs.append(shard_blob)
+            shard_sizes[index] = len(shard_blob)
+
         # Atomic publish: snapshot paths double as build-once cache
         # keys (path.exists() gates regeneration), so a crash mid-write
-        # must never leave a truncated file at the final path.
-        fd, staging = tempfile.mkstemp(
-            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(staging, self.path)
-        except BaseException:
+        # must never leave a truncated file at the final path.  Shards
+        # are published before the manifest: a crash part-way leaves at
+        # worst orphan/mismatched shard files that the (old or absent)
+        # manifest's checksums refuse — never a valid manifest pointing
+        # at missing shards.
+        def publish(target: Path, data: bytes) -> None:
+            fd, staging = tempfile.mkstemp(
+                dir=target.parent, prefix=target.name, suffix=".tmp"
+            )
             try:
-                os.unlink(staging)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                os.replace(staging, target)
+            except BaseException:
+                try:
+                    os.unlink(staging)
+                except OSError:
+                    pass
+                raise
+
+        for index, shard_blob in enumerate(shard_blobs):
+            publish(shard_path(self.path, index), shard_blob)
+        publish(self.path, blob)
         return WriteReport(
             path=self.path,
-            file_bytes=len(blob),
+            file_bytes=len(blob) + sum(shard_sizes.values()),
             n_nodes=n,
             n_predicates=len(labels),
             n_triples=db.n_edges,
@@ -260,6 +336,8 @@ class SnapshotWriter:
             tiers=tiers,
             payload_bytes=payload_bytes,
             dense_bytes=dense_sizes,
+            n_shards=self.shards,
+            shard_bytes=shard_sizes,
         )
 
 
@@ -268,12 +346,16 @@ def write_snapshot(
     path: Union[str, Path],
     cold_threshold: float = DEFAULT_COLD_THRESHOLD,
     version: int = VERSION,
+    shards: int = 0,
 ) -> WriteReport:
     """Convenience wrapper: ``SnapshotWriter(path, ...).write(db)``.
 
     ``version=1`` writes the legacy unchecksummed layout (kept so the
     v1-compat path stays testable); the default is the current v2.
+    ``shards=N`` (N >= 1) writes the v3 sharded layout: the block
+    payloads split across ``<path>.shard0`` .. ``<path>.shardN-1``
+    keyed by label hash, one checksum table per shard.
     """
     return SnapshotWriter(
-        path, cold_threshold=cold_threshold, version=version
+        path, cold_threshold=cold_threshold, version=version, shards=shards
     ).write(db)

@@ -1,0 +1,156 @@
+"""Regression tests for the `Database.open` snapshot cache.
+
+PR 10 fixed three bugs here: (1) a rebuilt snapshot left its
+predecessor's entry — and mmap — in the cache forever (stale-key
+leak); (2) the check-then-insert on a cache miss was unlocked, so
+racing threads opened duplicate backends; (3) the cache and the
+metrics registry lock crossed ``fork()`` unguarded, handing children
+pipes/mmaps they do not own and possibly a lock with no owner.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.api import database as database_module
+from repro.api.database import Database, clear_open_cache
+from repro.graph import example_movie_database
+from repro.storage.writer import write_snapshot
+
+_OPEN_CACHE = database_module._OPEN_CACHE
+
+
+@pytest.fixture
+def snapshot(tmp_path):
+    path = tmp_path / "movies.snap"
+    write_snapshot(example_movie_database(), path)
+    return path
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    clear_open_cache()
+    yield
+    clear_open_cache()
+
+
+class TestStaleKeyEviction:
+    def test_rebuilt_snapshot_evicts_predecessor(self, snapshot):
+        db1 = Database.open(snapshot)
+        old_backend = db1.backend
+        assert len(_OPEN_CACHE) == 1
+        # Rebuild: same path, different (mtime, size) key.
+        os.utime(snapshot, ns=(123, 456))
+        db2 = Database.open(snapshot)
+        assert db2.backend is not old_backend
+        # The regression: before the fix, both entries survived and
+        # the old mmap leaked for the process lifetime.
+        assert len(_OPEN_CACHE) == 1
+        assert next(iter(_OPEN_CACHE.values())) is db2.backend
+        # ... and the stale backend was actually closed, not dropped.
+        assert old_backend.reader._file.closed
+        db2.close()
+
+    def test_other_paths_untouched(self, tmp_path, snapshot):
+        other = tmp_path / "other.snap"
+        write_snapshot(example_movie_database(), other)
+        Database.open(snapshot)
+        Database.open(other)
+        assert len(_OPEN_CACHE) == 2
+        os.utime(snapshot, ns=(123, 456))
+        Database.open(snapshot)
+        assert len(_OPEN_CACHE) == 2  # `other` survived the eviction
+
+    def test_uncached_open_bypasses_cache(self, snapshot):
+        db = Database.open(snapshot, cached=False)
+        assert not _OPEN_CACHE
+        db.close()
+
+
+class TestOpenRace:
+    def test_concurrent_opens_share_one_backend(self, snapshot):
+        n = 12
+        barrier = threading.Barrier(n)
+        backends = []
+        errors = []
+
+        def opener():
+            try:
+                barrier.wait()
+                backends.append(Database.open(snapshot).backend)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=opener) for _ in range(n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(backends) == n
+        # The unlocked check-then-insert let several racers construct
+        # their own SnapshotBackend; all but the last leaked.
+        assert len({id(backend) for backend in backends}) == 1
+        assert len(_OPEN_CACHE) == 1
+
+    def test_close_evicts_under_lock(self, snapshot):
+        db = Database.open(snapshot)
+        db.close()
+        assert not _OPEN_CACHE
+        # Closing twice is fine and the cache stays consistent.
+        db.close()
+        assert not _OPEN_CACHE
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork()")
+class TestForkSafety:
+    def test_child_cache_cleared_parent_intact(self, snapshot):
+        db = Database.open(snapshot)
+        assert len(_OPEN_CACHE) == 1
+        pid = os.fork()
+        if pid == 0:  # child
+            try:
+                ok = not _OPEN_CACHE
+                # The reinitialized lock must be acquirable at once
+                # (the inherited one may have been held mid-fork).
+                ok = ok and database_module._OPEN_CACHE_LOCK.acquire(
+                    timeout=1
+                )
+                # And a fresh open in the child must work end to end.
+                child_db = Database.open(snapshot, cached=False)
+                ok = ok and child_db.n_triples > 0
+                os._exit(0 if ok else 1)
+            except BaseException:
+                os._exit(2)
+        _, status = os.waitpid(pid, 0)
+        assert os.WEXITSTATUS(status) == 0
+        # The parent's entry survived: the child cleared references,
+        # it did not close the parent's mmap.
+        assert len(_OPEN_CACHE) == 1
+        assert db.n_triples > 0
+        db.close()
+
+    def test_metrics_registry_lock_reinitialized(self):
+        from repro.obs.metrics import registry
+
+        lock = registry()._lock
+        lock.acquire()  # simulate fork landing mid-record
+        try:
+            pid = os.fork()
+            if pid == 0:  # child
+                try:
+                    # Before the fix this deadlocked: the child
+                    # inherited a locked _lock with no owner.
+                    acquired = registry()._lock.acquire(timeout=2)
+                    if acquired:
+                        registry()._lock.release()
+                        # ... and the registry is fully usable again.
+                        registry().counter("post_fork_probe").inc()
+                    os._exit(0 if acquired else 1)
+                except BaseException:
+                    os._exit(2)
+            _, status = os.waitpid(pid, 0)
+            assert os.WEXITSTATUS(status) == 0
+        finally:
+            lock.release()

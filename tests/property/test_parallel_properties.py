@@ -1,0 +1,216 @@
+"""Property suite: parallel solves are bit-identical to serial.
+
+The contract of PR 10: ``SolverOptions.workers`` is a pure throughput
+knob.  For every worker count, worker mode, kernel, and backend
+(in-memory, single-file snapshot, sharded snapshot), the answers, the
+fixpoint rows, and the whole work-counter trajectory (rounds,
+evaluations, updates, bits removed) must equal the serial run's — and
+a solve preempted mid-flight under workers must resume to the same
+place.  MIN_PARALLEL_ROWS is forced to zero throughout so the tiny
+property graphs actually exercise the parallel paths.
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitvec.kernel import use_kernel
+from repro.core import (
+    ExecutionLimits,
+    SolverOptions,
+    SystemOfInequalities,
+    solve,
+)
+from repro.core import parallel
+from repro.graph import Graph
+from repro.graph.database import GraphDatabase
+from repro.storage import TieredGraphView, write_snapshot
+
+LABELS = ("a", "b")
+KERNELS = ("packed", "batched", "reference")
+WORKER_COUNTS = (1, 2, 4)
+
+HAS_FORK = hasattr(os, "fork")
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _force_parallel_paths():
+    old = parallel.MIN_PARALLEL_ROWS
+    parallel.MIN_PARALLEL_ROWS = 0
+    yield
+    parallel.MIN_PARALLEL_ROWS = old
+    parallel.shutdown_pools()
+
+
+@st.composite
+def databases(draw, max_nodes=10, max_edges=20):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    n_edges = draw(st.integers(min_value=1, max_value=max_edges))
+    db = GraphDatabase()
+    for i in range(n):
+        db.add_node(f"n{i}")
+    for _ in range(n_edges):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        db.add_triple(f"n{src}", draw(st.sampled_from(LABELS)), f"n{dst}")
+    return db
+
+
+@st.composite
+def patterns(draw, max_nodes=4, max_edges=6):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    g = Graph()
+    for i in range(n):
+        g.add_node(f"p{i}")
+    for _ in range(n_edges):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        g.add_edge(f"p{src}", draw(st.sampled_from(LABELS)), f"p{dst}")
+    return g
+
+
+def _signature(result):
+    report = result.report
+    return (
+        result.to_relation(),
+        report.rounds,
+        report.evaluations,
+        report.updates,
+        report.bits_removed,
+    )
+
+
+def _random_case(seed, n_nodes=24, n_edges=70):
+    rng = random.Random(seed)
+    db = GraphDatabase()
+    for i in range(n_nodes):
+        db.add_node(f"n{i}")
+    for _ in range(n_edges):
+        db.add_triple(
+            f"n{rng.randrange(n_nodes)}",
+            rng.choice(LABELS),
+            f"n{rng.randrange(n_nodes)}",
+        )
+    pattern = Graph()
+    n_vars = rng.randint(2, 4)
+    for i in range(n_vars):
+        pattern.add_node(f"v{i}")
+    for _ in range(rng.randint(1, 5)):
+        pattern.add_edge(
+            f"v{rng.randrange(n_vars)}",
+            rng.choice(LABELS),
+            f"v{rng.randrange(n_vars)}",
+        )
+    return pattern, db
+
+
+@given(patterns(), databases(), st.sampled_from(KERNELS),
+       st.sampled_from(WORKER_COUNTS))
+@settings(max_examples=40, deadline=None)
+def test_thread_workers_bit_identical(pattern, db, kernel, workers):
+    """Any worker count under any kernel reproduces the serial solve
+    exactly — fixpoint, answers, and every work counter."""
+    soi = SystemOfInequalities.from_pattern_graph(pattern)
+    with use_kernel(kernel):
+        serial = solve(soi, db, SolverOptions())
+        parallel_run = solve(soi, db, SolverOptions(workers=workers))
+    assert _signature(parallel_run) == _signature(serial)
+    for var in serial.soi.roots():
+        assert parallel_run.row(var) == serial.row(var)
+
+
+@given(
+    seed=st.integers(0, 10**6),
+    preempt=st.integers(1, 6),
+    workers=st.sampled_from((2, 4)),
+)
+@settings(max_examples=20, deadline=None)
+def test_preempted_parallel_solve_resumes_bit_identical(
+    seed, preempt, workers
+):
+    """Preempt a parallel batched solve mid-flight; the drained run
+    must equal the uninterrupted serial one — and continuations taken
+    under workers resume correctly at any other width."""
+    pattern, db = _random_case(seed)
+    soi = SystemOfInequalities.from_pattern_graph(pattern)
+    with use_kernel("batched"):
+        baseline = _signature(solve(soi, db, SolverOptions()))
+        options = SolverOptions(workers=workers)
+        limits = ExecutionLimits(preempt_after=preempt)
+        result = solve(soi, db, options, limits=limits)
+        widths = (1, 2, 4)
+        step = 0
+        while not result.complete:
+            # rotate the worker width across resumes: the checkpoint
+            # must be width-agnostic
+            step_options = SolverOptions(workers=widths[step % 3])
+            result = solve(
+                soi, db, step_options, limits=limits,
+                resume=result.checkpoint,
+            )
+            step += 1
+    assert _signature(result) == baseline
+
+
+@pytest.mark.parametrize("shards", [0, 3])
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize(
+    "mode",
+    ["threads"] + (["fork"] if HAS_FORK else []),
+)
+def test_snapshot_solves_bit_identical(tmp_path, shards, workers, mode):
+    """Parallel solves over snapshot views (sharded and single-file,
+    threads and fork) match the serial fixpoint and trajectory."""
+    pattern, db = _random_case(seed=shards * 10 + workers, n_nodes=30,
+                               n_edges=110)
+    path = tmp_path / "g.snap"
+    write_snapshot(db, path, shards=shards)
+    soi = SystemOfInequalities.from_pattern_graph(pattern)
+    view = TieredGraphView(path)
+    try:
+        with use_kernel("batched"):
+            serial = solve(soi, view, SolverOptions())
+            run = solve(
+                soi, view,
+                SolverOptions(workers=workers, worker_mode=mode),
+            )
+        assert _signature(run) == _signature(serial)
+        for var in serial.soi.roots():
+            assert run.candidates(var) == serial.candidates(var)
+    finally:
+        view.close()
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="needs fork()")
+def test_fork_matches_in_memory_answers(tmp_path):
+    """The fork path (snapshot-backed, worker processes own the
+    matrices) agrees with the plain in-memory serial solve — candidate
+    names, not just masses, across node renumbering."""
+    pattern, db = _random_case(seed=99, n_nodes=40, n_edges=160)
+    soi = SystemOfInequalities.from_pattern_graph(pattern)
+    with use_kernel("batched"):
+        expected = solve(soi, db, SolverOptions())
+    path = tmp_path / "g.snap"
+    write_snapshot(db, path, shards=4)
+    view = TieredGraphView(path)
+    try:
+        with use_kernel("batched"):
+            run = solve(
+                SystemOfInequalities.from_pattern_graph(pattern), view,
+                SolverOptions(workers=3, worker_mode="fork"),
+            )
+        for var, expected_var in zip(
+            run.soi.roots(), expected.soi.roots()
+        ):
+            assert run.candidates(var) == expected.candidates(
+                expected_var
+            )
+        assert run.total_bits() == expected.total_bits()
+        assert run.report.rounds == expected.report.rounds
+        assert run.report.evaluations == expected.report.evaluations
+        assert run.report.updates == expected.report.updates
+    finally:
+        view.close()
